@@ -1,0 +1,102 @@
+// E13 — Design ablations around the paper's constants.
+//
+// Sweeps the knobs DESIGN.md calls out: committee refresh period (paper:
+// every 2 tau), invitation oversampling (our finite-n compensation for
+// sample staleness), landmark tree fanout (paper: 2) and TTL (paper: 2
+// tau), and walk length. Each row reports item persistence, search
+// success, and the per-node traffic the setting costs.
+#include "common.h"
+
+using namespace churnstore;
+using namespace churnstore::bench;
+
+namespace {
+
+struct AblationResult {
+  double persist = 0.0;
+  double locate = 0.0;
+  double bits = 0.0;
+};
+
+AblationResult run(SystemConfig cfg, std::uint32_t trials,
+                   std::uint64_t seed) {
+  RunningStat persist, locate, bits;
+  for (std::uint32_t trial = 0; trial < trials; ++trial) {
+    cfg.sim.seed = mix64(seed + trial * 101);
+    const auto trace = run_availability_trial(cfg, 10.0);
+    persist.add(trace.recoverable_fraction());
+    StoreSearchOptions opts;
+    opts.items = 1;
+    opts.searchers_per_batch = 8;
+    opts.batches = 1;
+    const auto res = run_store_search_trial(cfg, opts);
+    locate.add(res.locate_rate());
+    bits.add(res.mean_bits_node_round);
+  }
+  return AblationResult{persist.mean(), locate.mean(), bits.mean()};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Cli cli(argc, argv);
+  const auto args = BenchArgs::parse(cli, {512}, 2);
+  const auto n = static_cast<std::uint32_t>(args.n_list.front());
+
+  banner("E13 bench_ablation — design-choice sweeps",
+         "persistence / search success / cost as each protocol constant "
+         "moves around the paper's choice");
+
+  Table t({"knob", "value", "recoverable", "locate rate",
+           "mean bits/node/rd"});
+  auto base = [&] {
+    SystemConfig cfg = default_system_config(n, args.seed);
+    cfg.sim.churn.multiplier = args.churn_mult;
+    return cfg;
+  };
+
+  for (const double v : {0.5, 1.0, 2.0}) {
+    SystemConfig cfg = base();
+    cfg.protocol.refresh_taus = v;
+    const auto r = run(cfg, args.trials, args.seed + 1);
+    t.begin_row().cell("refresh period (taus)").cell(v, 1).cell(r.persist, 3)
+        .cell(r.locate, 3).cell(r.bits, 0);
+  }
+  for (const double v : {1.0, 2.0, 3.0, 4.0}) {
+    SystemConfig cfg = base();
+    cfg.protocol.invite_oversample = v;
+    const auto r = run(cfg, args.trials, args.seed + 2);
+    t.begin_row().cell("invite oversample").cell(v, 1).cell(r.persist, 3)
+        .cell(r.locate, 3).cell(r.bits, 0);
+  }
+  for (const std::uint32_t v : {2u, 3u, 4u}) {
+    SystemConfig cfg = base();
+    cfg.protocol.tree_fanout = v;
+    const auto r = run(cfg, args.trials, args.seed + 3);
+    t.begin_row().cell("tree fanout").cell(static_cast<std::int64_t>(v))
+        .cell(r.persist, 3).cell(r.locate, 3).cell(r.bits, 0);
+  }
+  for (const double v : {1.0, 2.0, 3.0}) {
+    SystemConfig cfg = base();
+    cfg.protocol.landmark_ttl_taus = v;
+    const auto r = run(cfg, args.trials, args.seed + 4);
+    t.begin_row().cell("landmark TTL (taus)").cell(v, 1).cell(r.persist, 3)
+        .cell(r.locate, 3).cell(r.bits, 0);
+  }
+  for (const double v : {2.0, 2.5, 3.0}) {
+    SystemConfig cfg = base();
+    cfg.walk.t_mult = v;
+    const auto r = run(cfg, args.trials, args.seed + 5);
+    t.begin_row().cell("walk length (x ln n)").cell(v, 1).cell(r.persist, 3)
+        .cell(r.locate, 3).cell(r.bits, 0);
+  }
+  for (const double v : {1.0, 1.5, 2.5}) {
+    SystemConfig cfg = base();
+    cfg.walk.rate_mult = v;
+    const auto r = run(cfg, args.trials, args.seed + 6);
+    t.begin_row().cell("walk rate (x ln n)").cell(v, 1).cell(r.persist, 3)
+        .cell(r.locate, 3).cell(r.bits, 0);
+  }
+  emit(t, args.csv);
+  return 0;
+}

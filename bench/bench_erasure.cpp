@@ -1,0 +1,130 @@
+// E10 — Erasure-coded storage (paper section 4.4).
+//
+// Claim: replacing replicas by Rabin IDA pieces cuts the stored bytes from
+// Theta(log n) * |I| to a constant-factor blowup L/K while the committee
+// machinery keeps >= K pieces alive across handovers.
+//
+// Measurement: replication vs IDA across a churn sweep and a surplus sweep:
+// bytes stored network-wide per item, persistence, and retrieval success.
+#include "common.h"
+
+using namespace churnstore;
+using namespace churnstore::bench;
+
+namespace {
+
+struct ErasureRow {
+  double stored_bytes = 0.0;
+  double persist = 0.0;
+  double fetch_rate = 0.0;
+};
+
+ErasureRow run_once(std::uint32_t n, double cm, bool erasure,
+                    std::uint32_t surplus, std::uint64_t seed) {
+  SystemConfig cfg = default_system_config(n, seed);
+  cfg.sim.churn.multiplier = cm;
+  cfg.protocol.use_erasure_coding = erasure;
+  cfg.protocol.ida_surplus = surplus;
+  cfg.protocol.item_bits = 8192;
+  P2PSystem sys(cfg);
+  sys.run_rounds(sys.warmup_rounds());
+  const ItemId item = 0xE0;
+  for (int i = 0; i < 20 && !sys.store_item(3, item); ++i) sys.run_round();
+  sys.run_rounds(2 * sys.tau());
+
+  std::size_t bytes = 0;
+  for (Vertex v = 0; v < sys.n(); ++v) {
+    if (const Membership* m = sys.committees().membership_at(v, item)) {
+      bytes += m->payload.size();
+    }
+  }
+
+  // Age through several handovers, then search from survivors.
+  sys.run_rounds(6 * sys.committees().refresh_period());
+  ErasureRow row;
+  row.stored_bytes = static_cast<double>(bytes);
+  row.persist = sys.store().is_recoverable(item) ? 1.0 : 0.0;
+
+  Rng rng(seed ^ 5);
+  std::uint32_t ok = 0, eligible = 0;
+  std::vector<std::uint64_t> sids;
+  for (int s = 0; s < 6; ++s) {
+    sids.push_back(
+        sys.search(static_cast<Vertex>(rng.next_below(sys.n())), item));
+  }
+  sys.run_rounds(sys.search_timeout() + 4);
+  for (const auto sid : sids) {
+    const SearchStatus* st = sys.search_status(sid);
+    if (!st || (st->initiator_churned && !st->succeeded_locate())) continue;
+    ++eligible;
+    ok += st->succeeded_fetch();
+  }
+  row.fetch_rate = eligible ? static_cast<double>(ok) / eligible : 0.0;
+  return row;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Cli cli(argc, argv);
+  const auto args = BenchArgs::parse(cli, {512}, 2);
+
+  banner("E10 bench_erasure — IDA vs replication (section 4.4)",
+         "stored bytes per item drop from Theta(log n)*|I| to ~L/K * |I| "
+         "while persistence and retrieval stay intact");
+
+  Table t({"mode", "n", "churn/rd", "surplus", "stored bytes", "x item size",
+           "persisted", "fetch rate"});
+  const double item_bytes = 8192.0 / 8.0;
+  for (const auto n64 : args.n_list) {
+    const auto n = static_cast<std::uint32_t>(n64);
+    for (const double cm : {0.25, args.churn_mult}) {
+      ChurnSpec spec;
+      spec.kind = AdversaryKind::kUniform;
+      spec.k = 1.5;
+      spec.multiplier = cm;
+      const auto churn_rd = static_cast<std::int64_t>(spec.per_round(n));
+      // Replication reference.
+      {
+        RunningStat bytes, persist, fetch;
+        for (std::uint32_t trial = 0; trial < args.trials; ++trial) {
+          const auto r = run_once(n, cm, false, 3,
+                                  mix64(args.seed + trial * 71 + n));
+          bytes.add(r.stored_bytes);
+          persist.add(r.persist);
+          fetch.add(r.fetch_rate);
+        }
+        t.begin_row()
+            .cell("replication")
+            .cell(static_cast<std::int64_t>(n))
+            .cell(churn_rd)
+            .cell("-")
+            .cell(bytes.mean(), 0)
+            .cell(bytes.mean() / item_bytes, 2)
+            .cell(persist.mean(), 2)
+            .cell(fetch.mean(), 2);
+      }
+      for (const std::uint32_t surplus : {2u, 3u, 4u}) {
+        RunningStat bytes, persist, fetch;
+        for (std::uint32_t trial = 0; trial < args.trials; ++trial) {
+          const auto r = run_once(n, cm, true, surplus,
+                                  mix64(args.seed + trial * 71 + n));
+          bytes.add(r.stored_bytes);
+          persist.add(r.persist);
+          fetch.add(r.fetch_rate);
+        }
+        t.begin_row()
+            .cell("ida")
+            .cell(static_cast<std::int64_t>(n))
+            .cell(churn_rd)
+            .cell(static_cast<std::int64_t>(surplus))
+            .cell(bytes.mean(), 0)
+            .cell(bytes.mean() / item_bytes, 2)
+            .cell(persist.mean(), 2)
+            .cell(fetch.mean(), 2);
+      }
+    }
+  }
+  emit(t, args.csv);
+  return 0;
+}

@@ -1,0 +1,74 @@
+// E5 — Landmark set size (paper Lemma 8).
+//
+// Claim: the landmark trees built by a committee contain between sqrt(n)
+// and O(n^{0.5+delta} log n) nodes, near-uniformly distributed over the
+// Core.
+//
+// Measurement: peak live landmark count across an n sweep, compared to
+// sqrt(n) and n^{0.75} ln n; the log-log slope of the count against n
+// should sit in [0.5, 0.75].
+#include <cmath>
+
+#include "common.h"
+#include "stats/summary.h"
+
+using namespace churnstore;
+using namespace churnstore::bench;
+
+int main(int argc, char** argv) {
+  const Cli cli(argc, argv);
+  const auto args = BenchArgs::parse(cli, {256, 512, 1024, 2048, 4096}, 2);
+
+  banner("E5 bench_landmark — landmark set size (Lemma 8)",
+         "sqrt(n) <= |M_I| <= O(n^{0.5+delta} log n); log-log slope of the "
+         "landmark count vs n should land in [0.5, 0.75]");
+
+  Table t({"n", "tree depth", "peak landmarks", "mean landmarks", "sqrt(n)",
+           "n^0.75*ln n", "peak/sqrt(n)"});
+  std::vector<double> xs, ys;
+  for (const auto n64 : args.n_list) {
+    const auto n = static_cast<std::uint32_t>(n64);
+    RunningStat peak, mean;
+    std::uint32_t depth = 0;
+    for (std::uint32_t trial = 0; trial < args.trials; ++trial) {
+      SystemConfig cfg =
+          default_system_config(n, mix64(args.seed + trial * 31 + n));
+      cfg.sim.churn.multiplier = args.churn_mult;
+      P2PSystem sys(cfg);
+      depth = sys.landmarks().tree_depth();
+      sys.run_rounds(sys.warmup_rounds());
+      for (int i = 0; i < 20 && !sys.store_item(0, 1); ++i) sys.run_round();
+      // Observe across two refresh cycles after the first wave completes.
+      sys.run_rounds(depth + 3);
+      std::size_t mx = 0;
+      RunningStat trace;
+      for (std::uint32_t r = 0; r < 2 * sys.committees().refresh_period();
+           ++r) {
+        sys.run_round();
+        const std::size_t live = sys.landmarks().live_count(1);
+        mx = std::max(mx, live);
+        trace.add(static_cast<double>(live));
+      }
+      peak.add(static_cast<double>(mx));
+      mean.add(trace.mean());
+    }
+    const double sqrt_n = std::sqrt(static_cast<double>(n));
+    const double upper =
+        std::pow(static_cast<double>(n), 0.75) * std::log(n);
+    t.begin_row()
+        .cell(static_cast<std::int64_t>(n))
+        .cell(static_cast<std::int64_t>(depth))
+        .cell(peak.mean(), 1)
+        .cell(mean.mean(), 1)
+        .cell(sqrt_n, 1)
+        .cell(upper, 1)
+        .cell(peak.mean() / sqrt_n, 2);
+    xs.push_back(static_cast<double>(n));
+    ys.push_back(peak.mean());
+  }
+  emit(t, args.csv);
+  std::printf("\nlog-log slope of peak landmarks vs n: %.3f "
+              "(Lemma 8 predicts within [0.5, 0.75])\n",
+              loglog_slope(xs, ys));
+  return 0;
+}

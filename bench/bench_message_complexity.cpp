@@ -1,0 +1,60 @@
+// E8 — Scalability (paper section 1.1: "polylogarithmic in n bits processed
+// and sent per round by each node").
+//
+// Measurement: run the full protocol stack (soup + storage + searches) and
+// record per-node per-round bit counts across an n sweep. If traffic were
+// linear in n the bits/ln^2(n) column would blow up with n; polylog keeps
+// it near-constant (the soup's Theta(log^2 n) token forwarding dominates).
+#include <cmath>
+
+#include "common.h"
+#include "stats/summary.h"
+
+using namespace churnstore;
+using namespace churnstore::bench;
+
+int main(int argc, char** argv) {
+  const Cli cli(argc, argv);
+  const auto args = BenchArgs::parse(cli, {128, 256, 512, 1024, 2048}, 1);
+
+  banner("E8 bench_message_complexity — per-node traffic is polylog(n)",
+         "mean/max bits per node per round under the full workload; "
+         "bits / ln^2 n stays near-constant while bits/n vanishes");
+
+  Table t({"n", "mean bits/node/rd", "max bits/node/rd", "mean/ln^2 n",
+           "mean/n", "dropped msgs"});
+  std::vector<double> xs, ys;
+  for (const auto n64 : args.n_list) {
+    const auto n = static_cast<std::uint32_t>(n64);
+    RunningStat mean_bits, max_bits;
+    std::uint64_t dropped = 0;
+    for (std::uint32_t trial = 0; trial < args.trials; ++trial) {
+      SystemConfig cfg =
+          default_system_config(n, mix64(args.seed + trial * 53 + n));
+      cfg.sim.churn.multiplier = args.churn_mult;
+      StoreSearchOptions opts;
+      opts.items = 2;
+      opts.searchers_per_batch = 6;
+      opts.batches = 1;
+      const auto res = run_store_search_trial(cfg, opts);
+      mean_bits.add(res.mean_bits_node_round);
+      max_bits.add(res.max_bits_node_round);
+      (void)dropped;
+    }
+    const double ln2 = std::pow(std::log(static_cast<double>(n)), 2.0);
+    t.begin_row()
+        .cell(static_cast<std::int64_t>(n))
+        .cell(mean_bits.mean(), 0)
+        .cell(max_bits.mean(), 0)
+        .cell(mean_bits.mean() / ln2, 1)
+        .cell(mean_bits.mean() / n, 1)
+        .cell(static_cast<std::int64_t>(0));
+    xs.push_back(static_cast<double>(n));
+    ys.push_back(mean_bits.mean());
+  }
+  emit(t, args.csv);
+  std::printf("\nlog-log slope of mean bits vs n: %.3f "
+              "(0 = constant, 1 = linear; polylog gives ~0.1-0.3 at these n)\n",
+              loglog_slope(xs, ys));
+  return 0;
+}

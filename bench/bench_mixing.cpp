@@ -1,0 +1,115 @@
+// E2 — Dynamic mixing (paper Lemma 1).
+//
+// Claim: on a dynamic d-regular expander (edges changing every round, no
+// churn), a walk of T = Theta(log n) steps lands within [1/2n, 3/2n] of
+// every node, and all walks complete T steps within tau = O(log n) rounds.
+//
+// Measurement: many probe walks from a SINGLE source (injected in batches
+// under the forwarding cap), sweeping the walk length and the edge-dynamics
+// mode. The per-source destination TVD collapses once T crosses ~2.5 ln n
+// for d = 8 — identically for static, rewired, and regenerated topologies,
+// which is exactly the "dynamic mixing time" claim.
+#include <vector>
+
+#include "common.h"
+#include "net/network.h"
+#include "stats/divergence.h"
+#include "walk/token_soup.h"
+
+using namespace churnstore;
+using namespace churnstore::bench;
+
+namespace {
+
+UniformityReport measure(std::uint32_t n, EdgeDynamics dynamics,
+                         double t_mult, std::uint64_t seed,
+                         std::uint32_t total_probes) {
+  SimConfig cfg;
+  cfg.n = n;
+  cfg.seed = seed;
+  cfg.churn.kind = AdversaryKind::kNone;
+  cfg.edge_dynamics = dynamics;
+  Network net(cfg);
+  WalkConfig wc;
+  wc.t_mult = t_mult;
+  TokenSoup soup(net, wc);
+  soup.set_spawning(false);
+
+  std::vector<std::uint64_t> arrivals(n, 0);
+  std::uint64_t done = 0;
+  soup.set_probe_hook(
+      [&](std::uint64_t, Vertex d, Round) { ++arrivals[d]; ++done; });
+
+  // Inject from vertex 0 in batches of cap/2 per round so nothing queues,
+  // then drain.
+  const std::uint32_t batch = std::max(1u, soup.cap() / 2);
+  std::uint32_t injected = 0;
+  while (done < total_probes) {
+    net.begin_round();
+    for (std::uint32_t i = 0; i < batch && injected < total_probes; ++i) {
+      soup.inject_probe(0, 0, soup.walk_length());
+      ++injected;
+    }
+    soup.step();
+    net.deliver();
+  }
+  return uniformity_report(arrivals);
+}
+
+const char* mode_name(EdgeDynamics d) {
+  switch (d) {
+    case EdgeDynamics::kStatic: return "static";
+    case EdgeDynamics::kRewire: return "rewire";
+    case EdgeDynamics::kRegenerate: return "regenerate";
+  }
+  return "?";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Cli cli(argc, argv);
+  const auto args = BenchArgs::parse(cli, {1024}, 1);
+  const auto probes =
+      static_cast<std::uint32_t>(cli.get_int("probes", 40000));
+
+  banner("E2 bench_mixing — dynamic mixing time (Lemma 1)",
+         "single-source destination TVD vs walk length, per edge-dynamics "
+         "mode; T ~ 2.5 ln n suffices on every mode (mixing is Theta(log n))");
+
+  Table t({"n", "mode", "T (steps)", "T/ln n", "tvd", "min p*n", "max p*n",
+           "zero frac"});
+  for (const auto n64 : args.n_list) {
+    const auto n = static_cast<std::uint32_t>(n64);
+    for (const EdgeDynamics mode :
+         {EdgeDynamics::kStatic, EdgeDynamics::kRewire,
+          EdgeDynamics::kRegenerate}) {
+      for (const double tm : {0.5, 1.0, 1.5, 2.0, 2.5, 3.0}) {
+        RunningStat tvd, min_pn, max_pn, zero;
+        std::uint32_t steps = 0;
+        for (std::uint32_t trial = 0; trial < args.trials; ++trial) {
+          WalkConfig wc;
+          wc.t_mult = tm;
+          steps = walk_length(n, wc);
+          const auto rep =
+              measure(n, mode, tm, mix64(args.seed + trial + n), probes);
+          tvd.add(rep.tvd);
+          min_pn.add(rep.min_prob_times_n);
+          max_pn.add(rep.max_prob_times_n);
+          zero.add(rep.zero_fraction);
+        }
+        t.begin_row()
+            .cell(static_cast<std::int64_t>(n))
+            .cell(mode_name(mode))
+            .cell(static_cast<std::int64_t>(steps))
+            .cell(tm, 1)
+            .cell(tvd.mean())
+            .cell(min_pn.mean(), 3)
+            .cell(max_pn.mean(), 3)
+            .cell(zero.mean(), 3);
+      }
+    }
+  }
+  emit(t, args.csv);
+  return 0;
+}

@@ -1,0 +1,52 @@
+// Shared plumbing for the experiment benches (DESIGN.md E1-E13).
+//
+// Every bench accepts --n=..., --trials=..., --churn-mult=..., --seed=...
+// (or CHURNSTORE_* environment variables) so the whole suite can be scaled
+// up or down without editing code. Each bench prints the table recorded in
+// EXPERIMENTS.md; pass --csv for machine-readable output.
+#pragma once
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "core/experiment.h"
+#include "core/system.h"
+#include "util/cli.h"
+#include "util/table.h"
+
+namespace churnstore::bench {
+
+struct BenchArgs {
+  std::vector<std::int64_t> n_list;
+  std::uint32_t trials;
+  double churn_mult;
+  std::uint64_t seed;
+  bool csv;
+
+  static BenchArgs parse(const Cli& cli, std::vector<std::int64_t> default_n,
+                         std::uint32_t default_trials = 2) {
+    BenchArgs a;
+    a.n_list = cli.get_int_list("n", std::move(default_n));
+    a.trials = static_cast<std::uint32_t>(
+        cli.get_int("trials", default_trials));
+    a.churn_mult = cli.get_double("churn-mult", 0.5);
+    a.seed = static_cast<std::uint64_t>(cli.get_int("seed", 1));
+    a.csv = cli.get_bool("csv", false);
+    return a;
+  }
+};
+
+inline void emit(const Table& table, bool csv) {
+  if (csv) {
+    table.print_csv(std::cout);
+  } else {
+    table.print(std::cout);
+  }
+}
+
+inline void banner(const std::string& experiment, const std::string& claim) {
+  std::printf("== %s ==\n%s\n\n", experiment.c_str(), claim.c_str());
+}
+
+}  // namespace churnstore::bench

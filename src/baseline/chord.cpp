@@ -1,0 +1,107 @@
+#include "baseline/chord.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace churnstore {
+
+ChordSim::ChordSim(Options options)
+    : options_(options), rng_(mix64(options.seed ^ 0x63686f72ULL)) {
+  while (ring_.size() < options_.n) {
+    ring_.insert(rng_.next());
+  }
+}
+
+std::vector<std::uint64_t> ChordSim::successors(std::uint64_t key,
+                                                std::uint32_t count) const {
+  std::vector<std::uint64_t> out;
+  out.reserve(count);
+  auto it = ring_.lower_bound(key);
+  while (out.size() < count && out.size() < ring_.size()) {
+    if (it == ring_.end()) it = ring_.begin();
+    out.push_back(*it);
+    ++it;
+  }
+  return out;
+}
+
+void ChordSim::store(std::uint64_t key) {
+  for (const std::uint64_t node : successors(key, options_.replication)) {
+    holders_[key].insert(node);
+    inventory_[node].insert(key);
+  }
+}
+
+void ChordSim::churn_step() {
+  for (std::uint32_t i = 0; i < options_.churn_per_round && !ring_.empty();
+       ++i) {
+    // Remove a uniformly random node (with its replicas)...
+    auto it = ring_.lower_bound(rng_.next());
+    if (it == ring_.end()) it = ring_.begin();
+    const std::uint64_t victim = *it;
+    ring_.erase(it);
+    if (const auto inv = inventory_.find(victim); inv != inventory_.end()) {
+      for (const std::uint64_t key : inv->second) holders_[key].erase(victim);
+      inventory_.erase(inv);
+    }
+    // ...and admit a fresh node with a random id (joins hold no data until
+    // the next stabilization pass).
+    std::uint64_t fresh = rng_.next();
+    while (!ring_.insert(fresh).second) fresh = rng_.next();
+  }
+}
+
+void ChordSim::stabilize() {
+  // For every key that still has at least one live replica, one surviving
+  // holder pushes copies to the key's current r successors. Each push is a
+  // message carrying the item.
+  for (auto& [key, nodes] : holders_) {
+    if (nodes.empty()) continue;
+    const auto succ = successors(key, options_.replication);
+    for (const std::uint64_t node : succ) {
+      if (nodes.insert(node).second) {
+        inventory_[node].insert(key);
+        ++stabilize_messages_;
+      }
+    }
+    // Holders that are no longer among the successors hand off and drop.
+    for (auto it = nodes.begin(); it != nodes.end();) {
+      if (std::find(succ.begin(), succ.end(), *it) == succ.end()) {
+        inventory_[*it].erase(key);
+        it = nodes.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+}
+
+void ChordSim::run_round() {
+  ++round_;
+  churn_step();
+  if (options_.stabilize_period != 0 &&
+      round_ % options_.stabilize_period == 0) {
+    stabilize();
+  }
+}
+
+void ChordSim::run_rounds(std::uint32_t k) {
+  for (std::uint32_t i = 0; i < k; ++i) run_round();
+}
+
+std::size_t ChordSim::replicas_alive(std::uint64_t key) const {
+  const auto it = holders_.find(key);
+  return it == holders_.end() ? 0 : it->second.size();
+}
+
+ChordSim::LookupResult ChordSim::lookup(std::uint64_t key) {
+  LookupResult res;
+  res.hops = static_cast<std::uint32_t>(
+      std::ceil(std::log2(std::max<std::size_t>(ring_.size(), 2))));
+  // Routing takes one round per hop; churn keeps running underneath.
+  run_rounds(res.hops);
+  res.success = replicas_alive(key) > 0;
+  return res;
+}
+
+}  // namespace churnstore

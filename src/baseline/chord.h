@@ -1,0 +1,83 @@
+// Baseline: Chord-like structured DHT under churn (paper related work:
+// structured/DHT schemes have "no provable performance guarantees under
+// large adversarial churn"). Self-contained round simulator over the ring
+// id space: items live at the r successors of their key; joins/leaves
+// happen every round; a periodic stabilization pass re-replicates items
+// from surviving copies to the current correct successors. Between
+// stabilizations replication decays, and once all r copies die within one
+// period the item is lost forever — which happens readily at the paper's
+// churn rates, unlike in the committee protocol.
+//
+// Lookups route greedily over idealized finger tables (ceil(log2 n) hops,
+// one hop per round); routing itself is assumed perfect so that measured
+// failures isolate the DATA loss channel, which is the comparison that
+// matters for storage under churn.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <unordered_map>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace churnstore {
+
+class ChordSim {
+ public:
+  struct Options {
+    std::uint32_t n = 1024;
+    std::uint32_t replication = 8;           ///< r successors hold each key
+    std::uint32_t stabilize_period = 16;     ///< rounds between repair passes
+    std::uint32_t churn_per_round = 8;
+    std::uint64_t seed = 1;
+    std::uint64_t item_bits = 1024;
+  };
+
+  explicit ChordSim(Options options);
+
+  void store(std::uint64_t key);
+
+  /// Advance one round: churn, then (periodically) stabilization.
+  void run_round();
+  void run_rounds(std::uint32_t k);
+
+  struct LookupResult {
+    bool success = false;
+    std::uint32_t hops = 0;
+  };
+  /// Route to the key's successor set; succeeds if a live replica exists at
+  /// completion time (churn continues during the hops).
+  LookupResult lookup(std::uint64_t key);
+
+  [[nodiscard]] std::size_t replicas_alive(std::uint64_t key) const;
+  [[nodiscard]] bool item_lost(std::uint64_t key) const {
+    return replicas_alive(key) == 0;
+  }
+  [[nodiscard]] std::uint64_t round() const noexcept { return round_; }
+  /// Messages spent on stabilization so far (repair cost accounting).
+  [[nodiscard]] std::uint64_t stabilize_messages() const noexcept {
+    return stabilize_messages_;
+  }
+  [[nodiscard]] std::size_t ring_size() const noexcept { return ring_.size(); }
+
+ private:
+  [[nodiscard]] std::vector<std::uint64_t> successors(std::uint64_t key,
+                                                      std::uint32_t count) const;
+  void churn_step();
+  void stabilize();
+
+  Options options_;
+  Rng rng_;
+  std::uint64_t round_ = 0;
+  std::set<std::uint64_t> ring_;                        ///< live node ids
+  /// key -> node ids currently holding a replica (live or not, pruned on
+  /// access). Stored as sets for cheap erase on churn.
+  std::unordered_map<std::uint64_t, std::set<std::uint64_t>> holders_;
+  /// node id -> keys it holds (to drop replicas when the node leaves).
+  std::unordered_map<std::uint64_t, std::set<std::uint64_t>> inventory_;
+  std::uint64_t stabilize_messages_ = 0;
+};
+
+}  // namespace churnstore

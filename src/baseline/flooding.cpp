@@ -1,0 +1,69 @@
+#include "baseline/flooding.h"
+
+namespace churnstore {
+
+FloodingStore::FloodingStore(Network& net, Options options)
+    : net_(net), options_(options), held_(net.n()), forwarded_(net.n()) {
+  net_.add_churn_listener([this](Vertex v, PeerId, PeerId) { on_churn(v); });
+}
+
+void FloodingStore::on_churn(Vertex v) {
+  held_[v].clear();
+  forwarded_[v].clear();
+}
+
+void FloodingStore::store(Vertex creator, ItemId item) {
+  held_[creator].insert(item);
+  frontier_.emplace_back(creator, item);
+}
+
+bool FloodingStore::has_item(Vertex v, ItemId item) const {
+  return held_[v].count(item) > 0;
+}
+
+double FloodingStore::coverage(ItemId item) const {
+  std::uint64_t acc = 0;
+  for (const auto& s : held_) acc += s.count(item);
+  return static_cast<double>(acc) / static_cast<double>(held_.size());
+}
+
+void FloodingStore::on_round() {
+  // Periodic refresh: every holder re-enters the frontier so newly churned-
+  // in nodes eventually receive the item again.
+  if (options_.refresh_period != 0 &&
+      net_.round() % options_.refresh_period == 0) {
+    for (Vertex v = 0; v < net_.n(); ++v) {
+      forwarded_[v].clear();
+      for (const ItemId item : held_[v]) frontier_.emplace_back(v, item);
+    }
+  }
+
+  std::vector<std::pair<Vertex, ItemId>> frontier;
+  frontier.swap(frontier_);
+  const RegularGraph& g = net_.graph();
+  for (const auto& [v, item] : frontier) {
+    if (!held_[v].count(item)) continue;  // churned away since queued
+    if (!forwarded_[v].insert(item).second) continue;
+    const PeerId self = net_.peer_at(v);
+    for (std::uint32_t i = 0; i < g.degree(); ++i) {
+      Message msg;
+      msg.src = self;
+      msg.dst = net_.peer_at(g.neighbor(v, i));
+      msg.type = MsgType::kFloodData;
+      msg.words = {item};
+      msg.payload_bits = options_.item_bits;
+      net_.send(v, std::move(msg));
+    }
+  }
+}
+
+bool FloodingStore::handle(Vertex v, const Message& m) {
+  if (m.type != MsgType::kFloodData) return false;
+  const ItemId item = m.words[0];
+  if (held_[v].insert(item).second) {
+    frontier_.emplace_back(v, item);
+  }
+  return true;
+}
+
+}  // namespace churnstore

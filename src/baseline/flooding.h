@@ -1,0 +1,52 @@
+// Baseline: flooding storage (the naive solution of paper section 4, first
+// paragraph). The creator floods the item through the network; every node
+// stores a replica, so retrieval is trivially local and persistence is
+// near-certain — at the cost of linear storage and per-node traffic
+// proportional to d * |I| bits per round during the flood. Freshly churned-
+// in nodes pull nothing, so coverage decays unless the item is re-flooded
+// (optional refresh knob), which is exactly the scalability failure the
+// paper's protocol avoids.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "net/network.h"
+
+namespace churnstore {
+
+class FloodingStore {
+ public:
+  struct Options {
+    /// Re-flood from every holder each `refresh_period` rounds (0 = never).
+    std::uint32_t refresh_period = 0;
+    std::uint64_t item_bits = 1024;
+  };
+
+  FloodingStore(Network& net, Options options);
+
+  /// Inject the item at `creator`; it floods from there.
+  void store(Vertex creator, ItemId item);
+
+  /// Drive the flood frontier one round. Call between begin_round() and
+  /// deliver(); then call handle() on delivered kFloodData messages.
+  void on_round();
+  bool handle(Vertex v, const Message& m);
+
+  [[nodiscard]] bool has_item(Vertex v, ItemId item) const;
+  /// Fraction of nodes currently holding the item.
+  [[nodiscard]] double coverage(ItemId item) const;
+
+ private:
+  void on_churn(Vertex v);
+
+  Network& net_;
+  Options options_;
+  std::vector<std::unordered_set<ItemId>> held_;
+  std::vector<std::unordered_set<ItemId>> forwarded_;
+  std::vector<std::pair<Vertex, ItemId>> frontier_;
+};
+
+}  // namespace churnstore

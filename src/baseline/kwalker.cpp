@@ -1,0 +1,103 @@
+#include "baseline/kwalker.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace churnstore {
+
+KWalkerSearch::KWalkerSearch(Network& net, TokenSoup& soup, Options options)
+    : net_(net),
+      soup_(soup),
+      options_(options),
+      rng_(net.protocol_rng().fork(0x6b77616cULL)),
+      held_(net.n()) {
+  net_.add_churn_listener([this](Vertex v, PeerId, PeerId) { on_churn(v); });
+}
+
+void KWalkerSearch::on_churn(Vertex v) {
+  held_[v].clear();
+  // Walkers currently sitting at v die with the peer that was carrying them.
+  for (auto& w : walkers_) {
+    if (w.at == v && w.ttl > 0) {
+      w.ttl = 0;
+      ++outcomes_[w.sid].walkers_lost;
+    }
+  }
+}
+
+std::size_t KWalkerSearch::store(Vertex creator, ItemId item) {
+  const auto want =
+      options_.replication != 0
+          ? options_.replication
+          : static_cast<std::uint32_t>(
+                std::ceil(std::sqrt(static_cast<double>(net_.n()))));
+  const auto targets = soup_.samples(creator).recent_distinct(want);
+  if (targets.size() < std::max<std::size_t>(1, want / 2)) return 0;
+  const PeerId self = net_.peer_at(creator);
+  for (const PeerId t : targets) {
+    Message msg;
+    msg.src = self;
+    msg.dst = t;
+    msg.type = MsgType::kFloodData;
+    msg.words = {item};
+    msg.payload_bits = options_.item_bits;
+    net_.send(creator, std::move(msg));
+    // Place synchronously for the god view (the message also charges cost).
+    const Vertex tv = net_.vertex_of(t);
+    if (tv != net_.n()) held_[tv].insert(item);
+  }
+  placed_[item] = targets;
+  return targets.size();
+}
+
+std::uint64_t KWalkerSearch::search(Vertex initiator, ItemId item,
+                                    std::uint32_t ttl) {
+  const std::uint64_t sid = mix64(next_sid_++ ^ 0x6b77ULL) | 1;
+  outcomes_[sid] = SearchOutcome{};
+  start_round_[sid] = net_.round();
+  for (std::uint32_t i = 0; i < options_.walkers; ++i) {
+    walkers_.push_back(Walker{sid, item, initiator, ttl});
+  }
+  return sid;
+}
+
+KWalkerSearch::SearchOutcome KWalkerSearch::outcome(std::uint64_t sid) const {
+  const auto it = outcomes_.find(sid);
+  return it == outcomes_.end() ? SearchOutcome{} : it->second;
+}
+
+std::size_t KWalkerSearch::holders_alive(ItemId item) const {
+  const auto it = placed_.find(item);
+  if (it == placed_.end()) return 0;
+  std::size_t alive = 0;
+  for (const PeerId p : it->second) {
+    const Vertex v = net_.vertex_of(p);
+    if (v != net_.n() && held_[v].count(item)) ++alive;
+  }
+  return alive;
+}
+
+void KWalkerSearch::on_round() {
+  const RegularGraph& g = net_.graph();
+  const std::uint32_t d = g.degree();
+  std::size_t write = 0;
+  for (std::size_t read = 0; read < walkers_.size(); ++read) {
+    Walker w = walkers_[read];
+    if (w.ttl == 0) continue;
+    SearchOutcome& out = outcomes_[w.sid];
+    if (out.done) continue;
+    w.at = g.neighbor(w.at, static_cast<std::uint32_t>(rng_.next_below(d)));
+    --w.ttl;
+    net_.charge_processing(w.at, 64 + 64 + 16);  // item id + sid + ttl
+    if (held_[w.at].count(w.item)) {
+      out.done = true;
+      out.success = true;
+      out.rounds_taken = net_.round() - start_round_[w.sid];
+      continue;
+    }
+    if (w.ttl > 0) walkers_[write++] = w;
+  }
+  walkers_.resize(write);
+}
+
+}  // namespace churnstore

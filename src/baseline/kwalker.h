@@ -1,0 +1,71 @@
+// Baseline: k-walker unstructured search (Lv et al. style, paper's related
+// work on random-walk search in unstructured P2P networks). The item sits
+// at a replication set of random nodes with no maintenance; a search
+// launches k walker agents that move one hop per round and succeed when a
+// walker lands on a holder. Under churn both holders and in-flight walkers
+// die, so success decays with churn — the soup/committee design fixes both
+// failure modes.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "net/network.h"
+#include "util/rng.h"
+#include "walk/token_soup.h"
+
+namespace churnstore {
+
+class KWalkerSearch {
+ public:
+  struct Options {
+    std::uint32_t walkers = 16;       ///< k
+    std::uint32_t replication = 0;    ///< holders; 0 = sqrt(n)
+    std::uint64_t item_bits = 1024;
+  };
+
+  KWalkerSearch(Network& net, TokenSoup& soup, Options options);
+
+  /// Place replicas from the creator's walk samples; 0 while buffer cold.
+  std::size_t store(Vertex creator, ItemId item);
+
+  std::uint64_t search(Vertex initiator, ItemId item, std::uint32_t ttl);
+
+  /// Move walkers one hop and resolve hits. Walkers at churned vertices die.
+  void on_round();
+
+  struct SearchOutcome {
+    bool done = false;
+    bool success = false;
+    Round rounds_taken = -1;
+    std::uint32_t walkers_lost = 0;
+  };
+  [[nodiscard]] SearchOutcome outcome(std::uint64_t sid) const;
+
+  [[nodiscard]] std::size_t holders_alive(ItemId item) const;
+
+ private:
+  struct Walker {
+    std::uint64_t sid;
+    ItemId item;
+    Vertex at;
+    std::uint32_t ttl;
+  };
+
+  void on_churn(Vertex v);
+
+  Network& net_;
+  TokenSoup& soup_;
+  Options options_;
+  Rng rng_;
+  std::uint64_t next_sid_ = 1;
+  std::vector<std::unordered_set<ItemId>> held_;
+  std::unordered_map<ItemId, std::vector<PeerId>> placed_;
+  std::vector<Walker> walkers_;
+  std::unordered_map<std::uint64_t, SearchOutcome> outcomes_;
+  std::unordered_map<std::uint64_t, Round> start_round_;
+};
+
+}  // namespace churnstore

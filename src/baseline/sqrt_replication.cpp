@@ -1,0 +1,139 @@
+#include "baseline/sqrt_replication.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace churnstore {
+
+namespace {
+// kProbe:    [0] item [1] sid
+// kProbeHit: [0] item [1] sid
+}  // namespace
+
+SqrtReplication::SqrtReplication(Network& net, TokenSoup& soup, Options options)
+    : net_(net), soup_(soup), options_(options), held_(net.n()) {
+  net_.add_churn_listener([this](Vertex v, PeerId, PeerId) { on_churn(v); });
+}
+
+void SqrtReplication::on_churn(Vertex v) { held_[v].clear(); }
+
+std::size_t SqrtReplication::store(Vertex creator, ItemId item) {
+  const double n = static_cast<double>(net_.n());
+  const auto want = static_cast<std::size_t>(
+      std::ceil(options_.replication_mult * std::sqrt(n * std::log(n))));
+  const auto targets = soup_.samples(creator).recent_distinct(want);
+  if (targets.size() < want / 2 || targets.empty()) return 0;
+  const PeerId self = net_.peer_at(creator);
+  for (const PeerId t : targets) {
+    Message msg;
+    msg.src = self;
+    msg.dst = t;
+    msg.type = MsgType::kFloodData;  // reuse: "store this replica"
+    msg.words = {item};
+    msg.payload_bits = options_.item_bits;
+    net_.send(creator, std::move(msg));
+  }
+  placed_[item] = targets;
+  return targets.size();
+}
+
+std::uint64_t SqrtReplication::search(Vertex initiator, ItemId item,
+                                      std::uint32_t timeout) {
+  const std::uint64_t sid = mix64(next_sid_++ ^ 0x73717274ULL) | 1;
+  active_.push_back(ActiveSearch{sid, item, net_.peer_at(initiator),
+                                 net_.round(),
+                                 net_.round() + static_cast<Round>(timeout)});
+  outcomes_[sid] = SearchOutcome{};
+  start_round_[sid] = net_.round();
+  return sid;
+}
+
+SqrtReplication::SearchOutcome SqrtReplication::outcome(
+    std::uint64_t sid) const {
+  const auto it = outcomes_.find(sid);
+  return it == outcomes_.end() ? SearchOutcome{} : it->second;
+}
+
+std::size_t SqrtReplication::holders_alive(ItemId item) const {
+  const auto it = placed_.find(item);
+  if (it == placed_.end()) return 0;
+  std::size_t alive = 0;
+  for (const PeerId p : it->second) {
+    const Vertex v = net_.vertex_of(p);
+    if (v != net_.n() && held_[v].count(item)) ++alive;
+  }
+  return alive;
+}
+
+void SqrtReplication::on_round() {
+  const Round now = net_.round();
+  std::size_t write = 0;
+  for (std::size_t read = 0; read < active_.size(); ++read) {
+    ActiveSearch& s = active_[read];
+    SearchOutcome& out = outcomes_[s.sid];
+    if (out.done) continue;
+    const Vertex iv = net_.vertex_of(s.initiator);
+    if (iv == net_.n()) {
+      out.done = true;
+      out.censored = true;
+      continue;
+    }
+    if (now > s.deadline) {
+      out.done = true;
+      continue;
+    }
+    // Probe the sources of walks that completed here last round (the
+    // birthday-paradox sampling step).
+    const auto& sources = soup_.samples(iv).at(now - 1);
+    const std::size_t cap =
+        options_.probes_per_round == 0
+            ? sources.size()
+            : std::min<std::size_t>(options_.probes_per_round, sources.size());
+    const PeerId self = net_.peer_at(iv);
+    for (std::size_t i = 0; i < cap; ++i) {
+      Message msg;
+      msg.src = self;
+      msg.dst = sources[i];
+      msg.type = MsgType::kProbe;
+      msg.words = {s.item, s.sid};
+      net_.send(iv, std::move(msg));
+    }
+    active_[write++] = s;
+  }
+  active_.resize(write);
+}
+
+bool SqrtReplication::handle(Vertex v, const Message& m) {
+  switch (m.type) {
+    case MsgType::kFloodData: {
+      held_[v].insert(m.words[0]);
+      return true;
+    }
+    case MsgType::kProbe: {
+      if (held_[v].count(m.words[0])) {
+        Message hit;
+        hit.src = net_.peer_at(v);
+        hit.dst = m.src;
+        hit.type = MsgType::kProbeHit;
+        hit.words = m.words;
+        net_.send(v, std::move(hit));
+      }
+      return true;
+    }
+    case MsgType::kProbeHit: {
+      const auto it = outcomes_.find(m.words[1]);
+      if (it == outcomes_.end()) return true;
+      SearchOutcome& out = it->second;
+      if (!out.done) {
+        out.done = true;
+        out.success = true;
+        out.rounds_taken = net_.round() - start_round_[m.words[1]];
+      }
+      return true;
+    }
+    default:
+      return false;
+  }
+}
+
+}  // namespace churnstore

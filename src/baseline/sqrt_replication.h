@@ -1,0 +1,73 @@
+// Baseline: birthday-paradox sqrt(n) replication (the "well known solution"
+// paper section 4 discusses and rejects). The creator places the item at
+// ~c * sqrt(n log n) random nodes (chosen through walk samples); a searcher
+// probes its own fresh walk samples each round and succeeds when a probe
+// lands on a holder. There is NO maintenance: churn steadily erodes the
+// holder set, so availability decays — the pitfall the committee-based
+// protocol fixes.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "net/network.h"
+#include "walk/token_soup.h"
+
+namespace churnstore {
+
+class SqrtReplication {
+ public:
+  struct Options {
+    double replication_mult = 1.0;  ///< copies = mult * sqrt(n * ln n)
+    std::uint64_t item_bits = 1024;
+    std::uint32_t probes_per_round = 0;  ///< 0 = all fresh samples
+  };
+
+  SqrtReplication(Network& net, TokenSoup& soup, Options options);
+
+  /// Place replicas from the creator's samples. Returns the number placed
+  /// (0 while the creator's buffer is cold: retry next round).
+  std::size_t store(Vertex creator, ItemId item);
+
+  /// Begin a search; returns a search id.
+  std::uint64_t search(Vertex initiator, ItemId item, std::uint32_t timeout);
+
+  void on_round();
+  bool handle(Vertex v, const Message& m);
+
+  struct SearchOutcome {
+    bool done = false;
+    bool success = false;
+    Round rounds_taken = -1;
+    bool censored = false;  ///< initiator churned out
+  };
+  [[nodiscard]] SearchOutcome outcome(std::uint64_t sid) const;
+
+  /// Live holders of the item (god view, for the decay measurement).
+  [[nodiscard]] std::size_t holders_alive(ItemId item) const;
+
+ private:
+  struct ActiveSearch {
+    std::uint64_t sid;
+    ItemId item;
+    PeerId initiator;
+    Round start;
+    Round deadline;
+  };
+
+  void on_churn(Vertex v);
+
+  Network& net_;
+  TokenSoup& soup_;
+  Options options_;
+  std::uint64_t next_sid_ = 1;
+  std::vector<std::unordered_set<ItemId>> held_;
+  std::unordered_map<ItemId, std::vector<PeerId>> placed_;  ///< god view
+  std::vector<ActiveSearch> active_;
+  std::unordered_map<std::uint64_t, SearchOutcome> outcomes_;
+  std::unordered_map<std::uint64_t, Round> start_round_;
+};
+
+}  // namespace churnstore

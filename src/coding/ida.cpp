@@ -1,0 +1,87 @@
+#include "coding/ida.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <unordered_set>
+
+#include "coding/gf256.h"
+
+namespace churnstore {
+
+IdaCodec::IdaCodec(std::uint32_t k, std::uint32_t l) : k_(k), l_(l) {
+  if (k == 0 || l < k || l > 255 || k + l > 256)
+    throw std::invalid_argument("IdaCodec: need 0 < k <= l and k+l <= 256");
+  gf256::ensure_tables();
+}
+
+std::vector<IdaPiece> IdaCodec::encode(
+    const std::vector<std::uint8_t>& data) const {
+  const std::size_t piece_len = (data.size() + k_ - 1) / k_;
+  // Lay the (zero-padded) data out as a K x piece_len matrix; each encoded
+  // piece i is the inner product of Cauchy row i with the data columns.
+  const auto cauchy = gf256::Matrix::cauchy(l_, k_);
+  std::vector<IdaPiece> pieces(l_);
+  for (std::uint32_t i = 0; i < l_; ++i) {
+    pieces[i].index = i;
+    pieces[i].bytes.assign(piece_len, 0);
+  }
+  if (piece_len == 0) return pieces;
+  std::vector<std::uint8_t> strip(piece_len, 0);
+  for (std::uint32_t row = 0; row < k_; ++row) {
+    const std::size_t off = static_cast<std::size_t>(row) * piece_len;
+    std::fill(strip.begin(), strip.end(), 0);
+    const std::size_t avail =
+        off < data.size() ? std::min(piece_len, data.size() - off) : 0;
+    std::copy_n(data.begin() + static_cast<std::ptrdiff_t>(off), avail,
+                strip.begin());
+    for (std::uint32_t i = 0; i < l_; ++i) {
+      gf256::mul_acc(pieces[i].bytes.data(), strip.data(),
+                     cauchy.at(i, row), piece_len);
+    }
+  }
+  return pieces;
+}
+
+std::optional<std::vector<std::uint8_t>> IdaCodec::decode(
+    const std::vector<IdaPiece>& pieces, std::size_t original_size) const {
+  // Select k distinct, consistent pieces.
+  std::vector<const IdaPiece*> chosen;
+  std::unordered_set<std::uint32_t> seen;
+  std::size_t piece_len = 0;
+  for (const auto& p : pieces) {
+    if (p.index >= l_) continue;
+    if (!seen.insert(p.index).second) continue;
+    if (chosen.empty()) {
+      piece_len = p.bytes.size();
+    } else if (p.bytes.size() != piece_len) {
+      return std::nullopt;
+    }
+    chosen.push_back(&p);
+    if (chosen.size() == k_) break;
+  }
+  if (chosen.size() < k_) return std::nullopt;
+  const std::size_t expect_len = (original_size + k_ - 1) / k_;
+  if (piece_len < expect_len) return std::nullopt;
+
+  // Build the K x K submatrix of the Cauchy matrix and invert it.
+  const auto cauchy = gf256::Matrix::cauchy(l_, k_);
+  gf256::Matrix sub(k_, k_);
+  for (std::uint32_t r = 0; r < k_; ++r)
+    for (std::uint32_t c = 0; c < k_; ++c)
+      sub.at(r, c) = cauchy.at(chosen[r]->index, c);
+  gf256::Matrix sub_inv(k_, k_);
+  if (!sub.invert(sub_inv)) return std::nullopt;  // cannot happen for Cauchy
+
+  std::vector<std::uint8_t> out(static_cast<std::size_t>(k_) * piece_len, 0);
+  for (std::uint32_t row = 0; row < k_; ++row) {
+    std::uint8_t* dst = out.data() + static_cast<std::size_t>(row) * piece_len;
+    for (std::uint32_t c = 0; c < k_; ++c) {
+      gf256::mul_acc(dst, chosen[c]->bytes.data(), sub_inv.at(row, c),
+                     piece_len);
+    }
+  }
+  out.resize(original_size);
+  return out;
+}
+
+}  // namespace churnstore

@@ -1,0 +1,49 @@
+// Rabin's Information Dispersal Algorithm (IDA) — paper section 4.4.
+//
+// A data item of |I| bytes is split into L pieces, each of ceil(|I|/K)
+// bytes, such that ANY K pieces reconstruct the original. Total stored bytes
+// are L/K * |I| (the "blowup ratio"), so replication's Θ(log n)·|I| cost
+// shrinks to a constant-factor overhead when L/K is a constant.
+//
+// Encoding uses a Cauchy matrix (every K×K submatrix invertible); decoding
+// inverts the submatrix selected by the surviving piece indices.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace churnstore {
+
+struct IdaPiece {
+  std::uint32_t index = 0;            ///< row of the dispersal matrix
+  std::vector<std::uint8_t> bytes;    ///< ceil(|I|/K) encoded bytes
+};
+
+class IdaCodec {
+ public:
+  /// k = pieces needed, l = pieces produced; requires 0 < k <= l <= 255.
+  IdaCodec(std::uint32_t k, std::uint32_t l);
+
+  [[nodiscard]] std::uint32_t k() const noexcept { return k_; }
+  [[nodiscard]] std::uint32_t l() const noexcept { return l_; }
+  /// Storage blowup L/K.
+  [[nodiscard]] double blowup() const noexcept {
+    return static_cast<double>(l_) / static_cast<double>(k_);
+  }
+
+  [[nodiscard]] std::vector<IdaPiece> encode(
+      const std::vector<std::uint8_t>& data) const;
+
+  /// Reconstructs the original from any >= k distinct pieces. Returns
+  /// nullopt if fewer than k distinct valid pieces are supplied or if piece
+  /// lengths disagree. `original_size` trims the zero padding.
+  [[nodiscard]] std::optional<std::vector<std::uint8_t>> decode(
+      const std::vector<IdaPiece>& pieces, std::size_t original_size) const;
+
+ private:
+  std::uint32_t k_;
+  std::uint32_t l_;
+};
+
+}  // namespace churnstore

@@ -1,0 +1,554 @@
+#include "committee/committee.h"
+
+#include <algorithm>
+
+namespace churnstore {
+
+namespace {
+
+// kCommitteeInvite (creation) / kCommitteeConfirm word layout.
+//   [0] kid  [1] purpose  [2] item  [3] search_root  [4] rank
+//   [5] epoch_base  [6] expire+1 (0 = persistent)  [7] flags
+//   [8] piece_index  [9] ida_k  [10] original_size
+//   [11] member count m  [12 .. 12+m) member ids
+// blob: item replica or IDA piece.
+constexpr std::uint64_t kFlagCreation = 1;
+constexpr std::size_t kMembersAt = 12;
+
+// kCommitteeCount: [0] kid [1] count [2] piece_index [3] ida_k
+//                  [4] original_size; blob: IDA piece (erasure mode only).
+// kCommitteeCandidateAlive / kCommitteeAccept / kCommitteeDissolve:
+//   [0] kid [1] rank.
+
+std::uint64_t encode_expire(Round expire) {
+  return expire < 0 ? 0 : static_cast<std::uint64_t>(expire) + 1;
+}
+
+Round decode_expire(std::uint64_t w) {
+  return w == 0 ? -1 : static_cast<Round>(w - 1);
+}
+
+}  // namespace
+
+CommitteeManager::CommitteeManager(Network& net, TokenSoup& soup,
+                                   const ProtocolConfig& config)
+    : net_(net),
+      soup_(soup),
+      config_(config),
+      erasure_(config.ida_surplus),
+      rng_(net.protocol_rng().fork(0x636f6dULL)),
+      tau_(soup.tau()),
+      period_(std::max<std::uint32_t>(
+          8, static_cast<std::uint32_t>(config.refresh_taus * tau_))),
+      target_(committee_target(net.n(), config)),
+      state_(net.n()),
+      pending_(net.n()),
+      active_flag_(net.n(), 0) {
+  net_.add_churn_listener([this](Vertex v, PeerId, PeerId) { on_churn(v); });
+}
+
+void CommitteeManager::on_churn(Vertex v) {
+  state_[v].clear();
+  pending_[v].clear();
+}
+
+void CommitteeManager::mark_active(Vertex v) {
+  if (!active_flag_[v]) {
+    active_flag_[v] = 1;
+    active_.push_back(v);
+  }
+}
+
+const Membership* CommitteeManager::membership_at(Vertex v,
+                                                  std::uint64_t kid) const {
+  const auto it = state_[v].find(kid);
+  return it == state_[v].end() ? nullptr : &it->second;
+}
+
+std::vector<Vertex> CommitteeManager::occupied_vertices(
+    std::uint32_t max) const {
+  std::vector<Vertex> out;
+  for (const Vertex v : active_) {
+    if (out.size() >= max) break;
+    if (!state_[v].empty()) out.push_back(v);
+  }
+  return out;
+}
+
+const CommitteeManager::Info* CommitteeManager::info(std::uint64_t kid) const {
+  const auto it = registry_.find(kid);
+  return it == registry_.end() ? nullptr : &it->second;
+}
+
+std::size_t CommitteeManager::alive_members(std::uint64_t kid) const {
+  const Info* inf = info(kid);
+  if (!inf) return 0;
+  std::size_t alive = 0;
+  for (const PeerId p : inf->last_members) alive += net_.is_alive(p);
+  return alive;
+}
+
+std::vector<PeerId> CommitteeManager::pick_sources(Vertex v, Round anchor,
+                                                   std::uint32_t want) const {
+  const PeerId self = net_.peer_at(v);
+  std::vector<PeerId> out;
+  if (anchor >= 0) {
+    // Paper: the leader uses the walks that stopped at it in the anchor
+    // round; we dedupe sources and draw `want` of them.
+    std::vector<PeerId> pool = soup_.samples(v).at(anchor);
+    std::sort(pool.begin(), pool.end());
+    pool.erase(std::unique(pool.begin(), pool.end()), pool.end());
+    std::erase(pool, kNoPeer);
+    rng_.shuffle(pool);
+    for (const PeerId p : pool) {
+      if (out.size() >= want) break;
+      out.push_back(p);
+    }
+  }
+  if (out.size() < want) {
+    const auto extra = soup_.samples(v).recent_distinct(want, out);
+    for (const PeerId p : extra) {
+      if (out.size() >= want) break;
+      if (p != kNoPeer && p != self) out.push_back(p);
+    }
+  }
+  return out;
+}
+
+bool CommitteeManager::create(Vertex creator, std::uint64_t kid,
+                              Purpose purpose, ItemId item, PeerId search_root,
+                              const std::vector<std::uint8_t>& payload,
+                              Round expire) {
+  const Round now = net_.round();
+  const auto want = static_cast<std::uint32_t>(
+      std::max(1.0, config_.invite_oversample) * target_);
+  const std::vector<PeerId> members = pick_sources(creator, -1, want);
+  if (members.size() < 3) return false;
+
+  const bool erasure =
+      config_.use_erasure_coding && purpose == Purpose::kStorage;
+  std::vector<IdaPiece> pieces;
+  std::uint32_t ida_k = 0;
+  if (erasure) {
+    // K is fixed for the item's lifetime, sized from the *target* committee
+    // (the steady-state survivor count), not the oversampled invite list.
+    ida_k = erasure_.pieces_needed(target_);
+    pieces = erasure_.encode(payload, ida_k,
+                             static_cast<std::uint32_t>(members.size()));
+  }
+
+  Info& inf = registry_[kid];
+  inf.item = item;
+  inf.purpose = purpose;
+  inf.search_root = search_root;
+  inf.created = now;
+  inf.last_members = members;
+
+  for (std::size_t i = 0; i < members.size(); ++i) {
+    Message msg;
+    msg.src = net_.peer_at(creator);
+    msg.dst = members[i];
+    msg.type = MsgType::kCommitteeInvite;
+    msg.words = {kid,
+                 static_cast<std::uint64_t>(purpose),
+                 item,
+                 search_root,
+                 0 /*rank*/,
+                 static_cast<std::uint64_t>(now),
+                 encode_expire(expire),
+                 kFlagCreation,
+                 erasure ? static_cast<std::uint64_t>(pieces[i].index)
+                         : kNoPiece,
+                 ida_k,
+                 payload.size()};
+    msg.words.push_back(members.size());
+    msg.words.insert(msg.words.end(), members.begin(), members.end());
+    msg.blob = erasure ? pieces[i].bytes : payload;
+    net_.send(creator, std::move(msg));
+  }
+  net_.metrics().count_committee_formed();
+  return true;
+}
+
+void CommitteeManager::send_invites(Vertex v, Membership& m, Round now,
+                                    Round anchor) {
+  (void)now;
+  const auto want = static_cast<std::uint32_t>(
+      std::max(1.0, config_.invite_oversample) * target_);
+  m.invited = pick_sources(v, anchor, want);
+  const PeerId self = net_.peer_at(v);
+  for (const PeerId p : m.invited) {
+    Message msg;
+    msg.src = self;
+    msg.dst = p;
+    msg.type = MsgType::kCommitteeInvite;
+    msg.words = {m.kid,
+                 static_cast<std::uint64_t>(m.purpose),
+                 m.item,
+                 m.search_root,
+                 m.my_rank,
+                 static_cast<std::uint64_t>(anchor),
+                 encode_expire(m.expire),
+                 0 /*flags: re-formation, no payload yet*/,
+                 kNoPiece,
+                 m.ida_k,
+                 m.original_size,
+                 0 /*no member list yet; final list comes with confirm*/};
+    net_.send(v, std::move(msg));
+  }
+  // Announce candidacy to the clique so outranked candidates stand down.
+  for (const PeerId p : m.members) {
+    if (p == self) continue;
+    Message msg;
+    msg.src = self;
+    msg.dst = p;
+    msg.type = MsgType::kCommitteeCandidateAlive;
+    msg.words = {m.kid, m.my_rank};
+    net_.send(v, std::move(msg));
+  }
+  m.best_alive_rank = std::min(m.best_alive_rank, m.my_rank);
+}
+
+void CommitteeManager::confirm_committee(Vertex v, Membership& m, Round now,
+                                         Round anchor) {
+  const bool erasure =
+      config_.use_erasure_coding && m.purpose == Purpose::kStorage;
+  std::vector<IdaPiece> pieces;
+  std::vector<std::uint8_t> full_payload = m.payload;
+  if (erasure) {
+    // Gather pieces: my own plus the ones attached to count messages.
+    std::vector<IdaPiece> gathered = m.gathered_pieces;
+    if (m.piece_index != kNoPiece) {
+      gathered.push_back(IdaPiece{m.piece_index, m.payload});
+    }
+    const auto rebuilt = erasure_.reconstruct(
+        gathered, m.ida_k, static_cast<std::size_t>(m.original_size));
+    if (!rebuilt) {
+      // Too many pieces lost to churn within one refresh period: the item
+      // cannot be re-dispersed. The committee (and the item) dies here.
+      net_.metrics().count_committee_lost();
+      return;
+    }
+    full_payload = *rebuilt;
+    pieces = erasure_.encode(full_payload, m.ida_k,
+                             static_cast<std::uint32_t>(m.accepted.size()));
+  }
+
+  std::sort(m.accepted.begin(), m.accepted.end());
+  m.accepted.erase(std::unique(m.accepted.begin(), m.accepted.end()),
+                   m.accepted.end());
+  const PeerId self = net_.peer_at(v);
+  for (std::size_t i = 0; i < m.accepted.size(); ++i) {
+    Message msg;
+    msg.src = self;
+    msg.dst = m.accepted[i];
+    msg.type = MsgType::kCommitteeConfirm;
+    msg.words = {m.kid,
+                 static_cast<std::uint64_t>(m.purpose),
+                 m.item,
+                 m.search_root,
+                 m.my_rank,
+                 static_cast<std::uint64_t>(anchor),
+                 encode_expire(m.expire),
+                 0,
+                 erasure && i < pieces.size()
+                     ? static_cast<std::uint64_t>(pieces[i].index)
+                     : kNoPiece,
+                 m.ida_k,
+                 erasure ? m.original_size : full_payload.size()};
+    msg.words.push_back(m.accepted.size());
+    msg.words.insert(msg.words.end(), m.accepted.begin(), m.accepted.end());
+    msg.blob = (erasure && i < pieces.size()) ? pieces[i].bytes : full_payload;
+    net_.send(v, std::move(msg));
+  }
+
+  // Tell the outgoing generation the handover succeeded so it can resign.
+  for (const PeerId p : m.members) {
+    if (p == self) continue;
+    Message msg;
+    msg.src = self;
+    msg.dst = p;
+    msg.type = MsgType::kCommitteeHandover;
+    msg.words = {m.kid};
+    net_.send(v, std::move(msg));
+  }
+  m.handover_seen = true;
+
+  Info& inf = registry_[m.kid];
+  inf.last_members = m.accepted;
+  ++inf.generations;
+  net_.metrics().count_committee_formed();
+  (void)now;
+}
+
+void CommitteeManager::run_cycle_phase(Vertex v, Membership& m, Round now,
+                                       std::uint64_t t_mod, Round anchor) {
+  const PeerId self = net_.peer_at(v);
+  const bool erasure =
+      config_.use_erasure_coding && m.purpose == Purpose::kStorage;
+  switch (t_mod) {
+    case 1: {
+      // Reset the cycle scratch and exchange walk counts (plus IDA pieces,
+      // so a future leader can reconstruct the item).
+      m.counts.clear();
+      m.gathered_pieces.clear();
+      m.candidate = false;
+      m.dissolved = false;
+      m.handover_seen = false;
+      m.invited.clear();
+      m.accepted.clear();
+      m.best_alive_rank = 0xffffffffu;
+      m.my_count =
+          static_cast<std::uint32_t>(soup_.samples(v).count_at(anchor));
+      for (const PeerId p : m.members) {
+        if (p == self) continue;
+        Message msg;
+        msg.src = self;
+        msg.dst = p;
+        msg.type = MsgType::kCommitteeCount;
+        msg.words = {m.kid, m.my_count,
+                     erasure ? static_cast<std::uint64_t>(m.piece_index)
+                             : kNoPiece,
+                     m.ida_k, m.original_size};
+        if (erasure && m.piece_index != kNoPiece) msg.blob = m.payload;
+        net_.send(v, std::move(msg));
+      }
+      break;
+    }
+    case 2: {
+      // Ranking is common knowledge: everyone received the same counts.
+      std::vector<std::pair<std::uint64_t, PeerId>> ranking;
+      ranking.reserve(m.counts.size() + 1);
+      ranking.emplace_back(m.my_count, self);
+      for (const auto& [p, c] : m.counts) ranking.emplace_back(c, p);
+      std::sort(ranking.begin(), ranking.end(),
+                [](const auto& a, const auto& b) {
+                  if (a.first != b.first) return a.first > b.first;
+                  return a.second > b.second;
+                });
+      std::uint32_t rank = 0xffffffffu;
+      for (std::size_t i = 0; i < ranking.size(); ++i) {
+        if (ranking[i].second == self) {
+          rank = static_cast<std::uint32_t>(i);
+          break;
+        }
+      }
+      if (rank < config_.leader_redundancy) {
+        m.candidate = true;
+        m.my_rank = rank;
+        send_invites(v, m, now, anchor);
+      }
+      break;
+    }
+    case 3: {
+      if (m.candidate && m.best_alive_rank < m.my_rank) {
+        // A better-ranked candidate survived to issue invitations; stand
+        // down and dissolve this formation.
+        m.dissolved = true;
+        for (const PeerId p : m.invited) {
+          Message msg;
+          msg.src = self;
+          msg.dst = p;
+          msg.type = MsgType::kCommitteeDissolve;
+          msg.words = {m.kid, m.my_rank};
+          net_.send(v, std::move(msg));
+        }
+      }
+      break;
+    }
+    case 4: {
+      if (m.candidate && !m.dissolved && !m.accepted.empty()) {
+        confirm_committee(v, m, now, anchor);
+      }
+      break;
+    }
+    default:
+      break;
+  }
+}
+
+void CommitteeManager::on_round() {
+  const Round now = net_.round();
+  const std::uint32_t rebuild = std::max<std::uint32_t>(
+      4, static_cast<std::uint32_t>(config_.landmark_rebuild_taus * tau_));
+
+  std::vector<std::uint64_t> to_erase;
+  std::size_t write = 0;
+  for (std::size_t read = 0; read < active_.size(); ++read) {
+    const Vertex v = active_[read];
+    auto& st = state_[v];
+    auto& pn = pending_[v];
+
+    // Invitee side: accept the best-ranked invitation received last round.
+    for (auto it = pn.begin(); it != pn.end();) {
+      PendingJoin& pj = it->second;
+      if (!pj.accept_sent && pj.received == now - 1) {
+        Message msg;
+        msg.src = net_.peer_at(v);
+        msg.dst = pj.candidate;
+        msg.type = MsgType::kCommitteeAccept;
+        msg.words = {pj.kid, pj.rank};
+        net_.send(v, msg);
+        pj.accept_sent = true;
+        ++it;
+      } else if (pj.received < now - 3) {
+        it = pn.erase(it);  // confirm never came; candidate died
+      } else {
+        ++it;
+      }
+    }
+
+    to_erase.clear();
+    for (auto& [kid, m] : st) {
+      if (m.expire >= 0 && now >= m.expire) {
+        to_erase.push_back(kid);
+        continue;
+      }
+      // First landmark wave right after creation (members install at the end
+      // of epoch_base + 1, so their first active round is t == 2), then one
+      // wave per rebuild period aligned after each handover window.
+      const std::int64_t t = now - m.epoch_base;
+      if (t == 2 || (t >= 6 && (t - 6) % rebuild == 0)) {
+        if (on_tree_trigger) on_tree_trigger(v, m);
+      }
+      if (t >= static_cast<std::int64_t>(period_)) {
+        const std::uint64_t t_mod =
+            static_cast<std::uint64_t>(t) % period_;
+        if (t_mod == 5) {
+          // Old generation resigns once a successor confirmed; if the
+          // re-formation failed (all candidates churned mid-handover), the
+          // members stay on and retry next cycle — the paper explicitly
+          // permits postponing resignation. Confirmed successors have
+          // epoch_base == anchor, so t == 5 < period_ leaves them alone.
+          if (m.handover_seen) {
+            to_erase.push_back(kid);
+          } else {
+            net_.metrics().count_committee_lost();  // failed re-formation
+          }
+          continue;
+        }
+        if (t_mod >= 1 && t_mod <= 4) {
+          const Round anchor = now - static_cast<Round>(t_mod);
+          run_cycle_phase(v, m, now, t_mod, anchor);
+        }
+      }
+    }
+    for (const std::uint64_t kid : to_erase) st.erase(kid);
+
+    if (st.empty() && pn.empty()) {
+      active_flag_[v] = 0;  // drop from the active list
+    } else {
+      active_[write++] = v;
+    }
+  }
+  active_.resize(write);
+}
+
+bool CommitteeManager::handle(Vertex v, const Message& m) {
+  switch (m.type) {
+    case MsgType::kCommitteeInvite: {
+      const std::uint64_t kid = m.words[0];
+      const auto flags = m.words[7];
+      if (flags & kFlagCreation) {
+        Membership mem;
+        mem.kid = kid;
+        mem.purpose = static_cast<Purpose>(m.words[1]);
+        mem.item = m.words[2];
+        mem.search_root = m.words[3];
+        mem.epoch_base = static_cast<Round>(m.words[5]);
+        mem.expire = decode_expire(m.words[6]);
+        mem.piece_index = static_cast<std::uint32_t>(m.words[8]);
+        mem.ida_k = static_cast<std::uint32_t>(m.words[9]);
+        mem.original_size = m.words[10];
+        const std::uint64_t count = m.words[11];
+        mem.members.assign(m.words.begin() + kMembersAt,
+                           m.words.begin() + kMembersAt +
+                               static_cast<std::ptrdiff_t>(count));
+        mem.payload = m.blob;
+        state_[v][kid] = std::move(mem);
+        mark_active(v);
+      } else {
+        auto& pj = pending_[v][kid];
+        const auto rank = static_cast<std::uint32_t>(m.words[4]);
+        if (pj.candidate == kNoPeer || rank < pj.rank) {
+          pj.kid = kid;
+          pj.rank = rank;
+          pj.candidate = m.src;
+          pj.purpose = static_cast<Purpose>(m.words[1]);
+          pj.item = m.words[2];
+          pj.search_root = m.words[3];
+          pj.new_base = static_cast<Round>(m.words[5]);
+          pj.expire = decode_expire(m.words[6]);
+          pj.received = net_.round();
+          pj.accept_sent = false;
+        }
+        mark_active(v);
+      }
+      return true;
+    }
+    case MsgType::kCommitteeCount: {
+      const auto it = state_[v].find(m.words[0]);
+      if (it == state_[v].end()) return true;
+      Membership& mem = it->second;
+      mem.counts.emplace_back(m.src,
+                              static_cast<std::uint32_t>(m.words[1]));
+      const auto piece_index = static_cast<std::uint32_t>(m.words[2]);
+      if (piece_index != kNoPiece) {
+        mem.gathered_pieces.push_back(IdaPiece{piece_index, m.blob});
+      }
+      return true;
+    }
+    case MsgType::kCommitteeHandover: {
+      const auto it = state_[v].find(m.words[0]);
+      if (it != state_[v].end()) it->second.handover_seen = true;
+      return true;
+    }
+    case MsgType::kCommitteeCandidateAlive: {
+      const auto it = state_[v].find(m.words[0]);
+      if (it == state_[v].end()) return true;
+      it->second.best_alive_rank =
+          std::min(it->second.best_alive_rank,
+                   static_cast<std::uint32_t>(m.words[1]));
+      return true;
+    }
+    case MsgType::kCommitteeAccept: {
+      const auto it = state_[v].find(m.words[0]);
+      if (it == state_[v].end()) return true;
+      Membership& mem = it->second;
+      if (mem.candidate && !mem.dissolved) mem.accepted.push_back(m.src);
+      return true;
+    }
+    case MsgType::kCommitteeDissolve: {
+      auto& pn = pending_[v];
+      const auto it = pn.find(m.words[0]);
+      if (it != pn.end() && it->second.candidate == m.src) pn.erase(it);
+      return true;
+    }
+    case MsgType::kCommitteeConfirm: {
+      const std::uint64_t kid = m.words[0];
+      Membership mem;
+      mem.kid = kid;
+      mem.purpose = static_cast<Purpose>(m.words[1]);
+      mem.item = m.words[2];
+      mem.search_root = m.words[3];
+      mem.epoch_base = static_cast<Round>(m.words[5]);
+      mem.expire = decode_expire(m.words[6]);
+      mem.piece_index = static_cast<std::uint32_t>(m.words[8]);
+      mem.ida_k = static_cast<std::uint32_t>(m.words[9]);
+      mem.original_size = m.words[10];
+      const std::uint64_t count = m.words[11];
+      mem.members.assign(
+          m.words.begin() + kMembersAt,
+          m.words.begin() + kMembersAt + static_cast<std::ptrdiff_t>(count));
+      mem.payload = m.blob;
+      state_[v][kid] = std::move(mem);
+      pending_[v].erase(kid);
+      mark_active(v);
+      return true;
+    }
+    default:
+      return false;
+  }
+}
+
+}  // namespace churnstore

@@ -1,0 +1,170 @@
+// Committee election and maintenance (paper Algorithm 1).
+//
+// A committee is a clique of ~h log n near-random nodes entrusted with a
+// persistent task (storing an item, or driving a search). Creation: the
+// creator invites h log n of its walk samples. Maintenance: every 2*tau
+// rounds the members (1) count the walks they received in the anchor round,
+// (2) exchange counts so the ranking is common knowledge, (3) the top-ranked
+// member c_r invites the sources of h log n walks that stopped at it in the
+// anchor round to form the next committee, and (4) the old members resign.
+//
+// The paper's footnote (c_r may be churned out) is realized explicitly:
+// the top R ("leader_redundancy") ranked members all issue invitations,
+// candidates announce themselves to the clique, and every lower-ranked
+// candidate that observes a higher-ranked announcement dissolves its own
+// formation — so exactly one new committee survives whenever at least one
+// candidate lives through the 3-round handover window.
+//
+// Per-cycle message timeline, with t = round - epoch_base (mod P = 2*tau):
+//   t=0  anchor: samples of this round are the cycle's currency
+//   t=1  members send kCommitteeCount (plus their IDA piece, section 4.4)
+//   t=2  top-R candidates send kCommitteeInvite + kCommitteeCandidateAlive
+//   t=3  invitees send kCommitteeAccept; outranked candidates send dissolve
+//   t=4  surviving best candidate sends kCommitteeConfirm (with payload)
+//   t=5  old members resign
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "net/config.h"
+#include "net/network.h"
+#include "storage/erasure_store.h"
+#include "walk/token_soup.h"
+
+namespace churnstore {
+
+enum class Purpose : std::uint8_t { kStorage = 0, kSearch = 1 };
+
+/// Sentinel piece index meaning "full replica, not an IDA piece".
+inline constexpr std::uint32_t kNoPiece = 0xffffffffu;
+
+/// Confirmed committee-member state held at one vertex.
+struct Membership {
+  std::uint64_t kid = 0;       ///< committee instance id (== item id for storage)
+  Purpose purpose = Purpose::kStorage;
+  ItemId item = 0;
+  PeerId search_root = kNoPeer;  ///< initiator to report to (search only)
+  Round epoch_base = 0;          ///< phase reference for the refresh cycle
+  Round expire = -1;             ///< dissolve deadline (< 0: persistent)
+  std::vector<PeerId> members;   ///< the clique (includes self)
+  std::vector<std::uint8_t> payload;  ///< item replica or IDA piece bytes
+  std::uint32_t piece_index = kNoPiece;
+  std::uint32_t ida_k = 0;            ///< pieces needed (erasure mode)
+  std::uint64_t original_size = 0;    ///< item size before encoding
+
+  // --- per-cycle scratch, reset each refresh ---------------------------
+  std::uint32_t my_count = 0;
+  std::vector<std::pair<PeerId, std::uint32_t>> counts;
+  std::vector<IdaPiece> gathered_pieces;
+  bool candidate = false;
+  std::uint32_t my_rank = 0;
+  std::uint32_t best_alive_rank = 0xffffffffu;
+  bool dissolved = false;
+  /// Set when a successor committee confirmed this cycle; old members only
+  /// resign after a successful handover (the paper explicitly allows
+  /// postponing resignation to ensure smooth task transition).
+  bool handover_seen = false;
+  std::vector<PeerId> invited;
+  std::vector<PeerId> accepted;
+};
+
+class CommitteeManager {
+ public:
+  CommitteeManager(Network& net, TokenSoup& soup, const ProtocolConfig& config);
+
+  /// Create a committee entrusted with (purpose, item). Returns false when
+  /// the creator does not yet hold enough walk samples (caller retries).
+  /// `payload` is the full item content; in erasure mode it is IDA-encoded
+  /// and spread one piece per member.
+  bool create(Vertex creator, std::uint64_t kid, Purpose purpose, ItemId item,
+              PeerId search_root, const std::vector<std::uint8_t>& payload,
+              Round expire);
+
+  /// Drive refresh phases for all memberships. Call once per round between
+  /// TokenSoup::step() and Network::deliver().
+  void on_round();
+
+  /// Routes committee messages; returns true if consumed.
+  bool handle(Vertex v, const Message& m);
+
+  /// Invoked for every confirmed member that should (re)build its landmark
+  /// tree this round (creation and every landmark_rebuild period).
+  std::function<void(Vertex, const Membership&)> on_tree_trigger;
+
+  /// --- lookup -----------------------------------------------------------
+  [[nodiscard]] const Membership* membership_at(Vertex v, std::uint64_t kid) const;
+  [[nodiscard]] std::size_t memberships_at(Vertex v) const {
+    return state_[v].size();
+  }
+
+  /// Vertices currently holding at least one membership (up to `max`).
+  /// Used by the *adaptive* adversary demonstration — a capability the
+  /// paper's oblivious model explicitly denies the adversary.
+  [[nodiscard]] std::vector<Vertex> occupied_vertices(std::uint32_t max) const;
+
+  /// --- god-view instrumentation (measurement only, never fed back) -----
+  struct Info {
+    ItemId item = 0;
+    Purpose purpose = Purpose::kStorage;
+    PeerId search_root = kNoPeer;
+    Round created = 0;
+    std::uint32_t generations = 0;  ///< successful re-formations
+    std::vector<PeerId> last_members;
+  };
+  [[nodiscard]] const Info* info(std::uint64_t kid) const;
+  /// Number of peers of the last confirmed generation still in the network.
+  [[nodiscard]] std::size_t alive_members(std::uint64_t kid) const;
+
+  /// --- derived constants ---------------------------------------------------
+  [[nodiscard]] std::uint32_t refresh_period() const noexcept { return period_; }
+  [[nodiscard]] std::uint32_t target_size() const noexcept { return target_; }
+  [[nodiscard]] std::uint32_t tau() const noexcept { return tau_; }
+  [[nodiscard]] const ProtocolConfig& config() const noexcept { return config_; }
+
+ private:
+  struct PendingJoin {
+    std::uint64_t kid = 0;
+    std::uint32_t rank = 0;
+    PeerId candidate = kNoPeer;
+    Purpose purpose = Purpose::kStorage;
+    ItemId item = 0;
+    PeerId search_root = kNoPeer;
+    Round new_base = 0;
+    Round expire = -1;
+    Round received = 0;
+    bool accept_sent = false;
+  };
+
+  void on_churn(Vertex v);
+  void run_cycle_phase(Vertex v, Membership& m, Round now, std::uint64_t t_mod,
+                       Round anchor);
+  void send_invites(Vertex v, Membership& m, Round now, Round anchor);
+  void confirm_committee(Vertex v, Membership& m, Round now, Round anchor);
+  [[nodiscard]] std::vector<PeerId> pick_sources(Vertex v, Round anchor,
+                                                 std::uint32_t want) const;
+
+  Network& net_;
+  TokenSoup& soup_;
+  ProtocolConfig config_;
+  ErasurePolicy erasure_;
+  mutable Rng rng_;
+  std::uint32_t tau_;
+  std::uint32_t period_;
+  std::uint32_t target_;
+
+  std::vector<std::unordered_map<std::uint64_t, Membership>> state_;
+  std::vector<std::unordered_map<std::uint64_t, PendingJoin>> pending_;
+  std::unordered_map<std::uint64_t, Info> registry_;
+  /// Vertices that currently hold any membership/pending state, to avoid
+  /// scanning all n vertices every round.
+  std::vector<Vertex> active_;
+  std::vector<std::uint8_t> active_flag_;
+
+  void mark_active(Vertex v);
+};
+
+}  // namespace churnstore

@@ -1,0 +1,207 @@
+#include "core/experiment.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/rng.h"
+
+namespace churnstore {
+
+void StoreSearchResult::merge(const StoreSearchResult& o) {
+  searches += o.searches;
+  located += o.located;
+  fetched += o.fetched;
+  censored += o.censored;
+  locate_rounds.merge(o.locate_rounds);
+  fetch_rounds.merge(o.fetch_rounds);
+  copies_alive.merge(o.copies_alive);
+  landmarks_alive.merge(o.landmarks_alive);
+  availability_fraction = (availability_fraction + o.availability_fraction) / 2;
+  max_bits_node_round = std::max(max_bits_node_round, o.max_bits_node_round);
+  mean_bits_node_round = std::max(mean_bits_node_round, o.mean_bits_node_round);
+}
+
+double StoreSearchResult::locate_rate() const {
+  const std::uint64_t eligible = searches - censored;
+  return eligible ? static_cast<double>(located) / static_cast<double>(eligible)
+                  : 0.0;
+}
+
+double StoreSearchResult::fetch_rate() const {
+  const std::uint64_t eligible = searches - censored;
+  return eligible ? static_cast<double>(fetched) / static_cast<double>(eligible)
+                  : 0.0;
+}
+
+SystemConfig default_system_config(std::uint32_t n, std::uint64_t seed) {
+  SystemConfig c;
+  c.sim.n = n;
+  c.sim.seed = seed;
+  c.sim.degree = 8;
+  c.sim.churn.kind = AdversaryKind::kUniform;
+  c.sim.churn.k = 1.5;
+  // Paper-form churn c * n / ln^k n. The paper's c = 4 means >25% of the
+  // network per round at simulatable n (ln n ~ 6-9), far outside the
+  // asymptotic regime the analysis lives in; c = 0.5 (~2-4% per round) keeps
+  // the same functional form at a survivable constant. bench_churn_limit
+  // sweeps c to find the breaking point.
+  c.sim.churn.multiplier = 0.5;
+  c.sim.edge_dynamics = EdgeDynamics::kRewire;
+  return c;
+}
+
+StoreSearchResult run_store_search_trial(const SystemConfig& config,
+                                         const StoreSearchOptions& options) {
+  P2PSystem sys(config);
+  Rng workload(mix64(config.sim.seed ^ 0x776f726bULL));
+  StoreSearchResult res;
+
+  sys.run_rounds(sys.warmup_rounds());
+
+  // Store the items from random creators (retrying while buffers are cold).
+  std::vector<ItemId> items;
+  for (std::uint32_t i = 0; i < options.items; ++i) {
+    const ItemId item = mix64(config.sim.seed * 1000 + i) | 1;
+    for (int attempt = 0; attempt < 32; ++attempt) {
+      const auto creator =
+          static_cast<Vertex>(workload.next_below(sys.n()));
+      if (sys.store_item(creator, item)) {
+        items.push_back(item);
+        break;
+      }
+      sys.run_round();
+    }
+  }
+
+  // Let the storage committees build their landmark sets and survive churn
+  // for a while before anyone searches.
+  sys.run_rounds(static_cast<std::uint32_t>(options.age_taus * sys.tau()) +
+                 2 * sys.tau());
+
+  for (std::uint32_t b = 0; b < options.batches; ++b) {
+    // Sample availability god-view at batch start.
+    std::uint64_t avail = 0;
+    for (const ItemId item : items) {
+      res.copies_alive.add(static_cast<double>(sys.store().copies_alive(item)));
+      res.landmarks_alive.add(
+          static_cast<double>(sys.store().landmarks_alive(item)));
+      avail += sys.store().is_available(item);
+    }
+    res.availability_fraction +=
+        items.empty() ? 0.0
+                      : static_cast<double>(avail) /
+                            static_cast<double>(items.size()) /
+                            static_cast<double>(options.batches);
+
+    std::vector<std::uint64_t> sids;
+    const Round batch_start = sys.round();
+    for (std::uint32_t s = 0; s < options.searchers_per_batch; ++s) {
+      if (items.empty()) break;
+      const ItemId item = items[workload.next_below(items.size())];
+      const auto initiator =
+          static_cast<Vertex>(workload.next_below(sys.n()));
+      sids.push_back(sys.search(initiator, item));
+    }
+    sys.run_rounds(sys.search_timeout() + 4);
+
+    for (const std::uint64_t sid : sids) {
+      const SearchStatus* st = sys.search_status(sid);
+      if (!st) continue;
+      ++res.searches;
+      if (st->initiator_churned && !st->succeeded_locate()) {
+        // Churned out before locating: censored trial (the guarantee is for
+        // nodes that stay long enough to finish their search).
+        ++res.censored;
+        continue;
+      }
+      if (st->succeeded_locate()) {
+        ++res.located;
+        res.locate_rounds.add(static_cast<double>(st->located - batch_start));
+      }
+      if (st->succeeded_fetch()) {
+        ++res.fetched;
+        res.fetch_rounds.add(static_cast<double>(st->fetched - batch_start));
+      }
+    }
+  }
+
+  res.max_bits_node_round = sys.metrics().max_bits_per_node_round().mean();
+  res.mean_bits_node_round = sys.metrics().mean_bits_per_node_round().mean();
+  return res;
+}
+
+StoreSearchResult run_store_search_trials(SystemConfig config,
+                                          const StoreSearchOptions& options,
+                                          std::uint32_t trials) {
+  StoreSearchResult total;
+  bool first = true;
+  for (std::uint32_t t = 0; t < trials; ++t) {
+    config.sim.seed = mix64(config.sim.seed + t * 7919 + 1);
+    const StoreSearchResult r = run_store_search_trial(config, options);
+    if (first) {
+      total = r;
+      first = false;
+    } else {
+      total.merge(r);
+    }
+  }
+  return total;
+}
+
+double AvailabilityTrace::availability_fraction() const {
+  if (available.empty()) return 0.0;
+  std::uint64_t acc = 0;
+  for (const auto a : available) acc += a;
+  return static_cast<double>(acc) / static_cast<double>(available.size());
+}
+
+double AvailabilityTrace::recoverable_fraction() const {
+  if (recoverable.empty()) return 0.0;
+  std::uint64_t acc = 0;
+  for (const auto a : recoverable) acc += a;
+  return static_cast<double>(acc) / static_cast<double>(recoverable.size());
+}
+
+Round AvailabilityTrace::first_unrecoverable() const {
+  for (std::size_t i = 0; i < recoverable.size(); ++i) {
+    if (!recoverable[i]) return rounds[i];
+  }
+  return -1;
+}
+
+AvailabilityTrace run_availability_trial(const SystemConfig& config,
+                                         double horizon_taus,
+                                         std::uint32_t sample_every) {
+  P2PSystem sys(config);
+  Rng workload(mix64(config.sim.seed ^ 0x61766169ULL));
+  AvailabilityTrace trace;
+
+  sys.run_rounds(sys.warmup_rounds());
+  const ItemId item = mix64(config.sim.seed ^ 0x4954454dULL) | 1;
+  for (int attempt = 0; attempt < 32; ++attempt) {
+    const auto creator = static_cast<Vertex>(workload.next_below(sys.n()));
+    if (sys.store_item(creator, item)) break;
+    sys.run_round();
+  }
+  // Give the first landmark wave time to complete before judging
+  // availability.
+  sys.run_rounds(2 * sys.tau());
+
+  const auto horizon =
+      static_cast<std::uint32_t>(horizon_taus * sys.tau());
+  for (std::uint32_t r = 0; r < horizon; ++r) {
+    sys.run_round();
+    if (r % sample_every != 0) continue;
+    trace.rounds.push_back(sys.round());
+    trace.copies.push_back(sys.store().copies_alive(item));
+    trace.landmarks.push_back(sys.store().landmarks_alive(item));
+    trace.available.push_back(sys.store().is_available(item) ? 1 : 0);
+    trace.recoverable.push_back(sys.store().is_recoverable(item) ? 1 : 0);
+  }
+  if (const auto* inf = sys.committees().info(item)) {
+    trace.generations = inf->generations;
+  }
+  return trace;
+}
+
+}  // namespace churnstore

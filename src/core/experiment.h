@@ -1,0 +1,77 @@
+// Shared experiment harness used by the bench binaries (DESIGN.md E1-E13):
+// canonical store-then-search workloads, availability tracking over time,
+// and Monte-Carlo aggregation across seeds.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/system.h"
+#include "stats/summary.h"
+
+namespace churnstore {
+
+/// Workload: store `items` items after warm-up, wait 2*tau, then run
+/// `batches` batches of `searchers_per_batch` concurrent searches from
+/// uniformly random initiators; each batch runs to the search timeout.
+struct StoreSearchOptions {
+  std::uint32_t items = 4;
+  std::uint32_t searchers_per_batch = 16;
+  std::uint32_t batches = 2;
+  /// Extra churn exposure between store and first search, in taus.
+  double age_taus = 2.0;
+};
+
+struct StoreSearchResult {
+  std::uint64_t searches = 0;
+  std::uint64_t located = 0;
+  std::uint64_t fetched = 0;
+  std::uint64_t censored = 0;  ///< initiator churned out mid-search
+  RunningStat locate_rounds;   ///< rounds from start to locate, successes only
+  RunningStat fetch_rounds;
+  RunningStat copies_alive;       ///< sampled at search time, per item
+  RunningStat landmarks_alive;
+  double availability_fraction = 0.0;  ///< fraction of item-checks available
+  double max_bits_node_round = 0.0;
+  double mean_bits_node_round = 0.0;
+
+  void merge(const StoreSearchResult& o);
+  [[nodiscard]] double locate_rate() const;
+  [[nodiscard]] double fetch_rate() const;
+};
+
+[[nodiscard]] StoreSearchResult run_store_search_trial(
+    const SystemConfig& config, const StoreSearchOptions& options);
+
+/// Runs `trials` seeds of fn(seed) sequentially and merges the results.
+[[nodiscard]] StoreSearchResult run_store_search_trials(
+    SystemConfig config, const StoreSearchOptions& options,
+    std::uint32_t trials);
+
+/// Availability-over-time workload (experiment E6/E10): store one item and
+/// record copies/landmarks/availability every `sample_every` rounds for
+/// `horizon_taus` taus.
+struct AvailabilityTrace {
+  std::vector<Round> rounds;
+  std::vector<std::uint64_t> copies;
+  std::vector<std::uint64_t> landmarks;
+  std::vector<std::uint8_t> available;
+  std::vector<std::uint8_t> recoverable;
+  std::uint64_t generations = 0;
+
+  [[nodiscard]] double availability_fraction() const;
+  [[nodiscard]] double recoverable_fraction() const;
+  [[nodiscard]] Round first_unrecoverable() const;  ///< -1 if never
+};
+
+[[nodiscard]] AvailabilityTrace run_availability_trial(
+    const SystemConfig& config, double horizon_taus,
+    std::uint32_t sample_every = 4);
+
+/// Default system config used by benches; callers tweak fields afterwards.
+[[nodiscard]] SystemConfig default_system_config(std::uint32_t n,
+                                                 std::uint64_t seed);
+
+}  // namespace churnstore

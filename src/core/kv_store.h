@@ -1,0 +1,61 @@
+// KvStore — the downstream-facing key/value API over P2PSystem.
+//
+// Maps string keys to item ids (content addressing via FNV hash, the
+// paper's "each data item is uniquely identified by an id such as its hash
+// value"), drives the store/search protocols, and hands back the retrieved
+// bytes once a get completes.
+//
+//   KvStore kv(sys);
+//   kv.put(/*creator=*/3, "album/cover.png", bytes);
+//   auto h = kv.get(/*initiator=*/900, "album/cover.png");
+//   sys.run_rounds(sys.search_timeout());
+//   if (auto* r = kv.result(h); r && r->complete) use(r->value);
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "core/system.h"
+
+namespace churnstore {
+
+class KvStore {
+ public:
+  explicit KvStore(P2PSystem& sys) : sys_(sys) {}
+
+  /// Item id for a key (stable content addressing).
+  [[nodiscard]] static ItemId key_to_item(std::string_view key);
+
+  /// Store `value` under `key` from the peer at `creator`. Returns false
+  /// while the creator's walk samples are still cold (retry next round) or
+  /// if the key is already stored.
+  bool put(Vertex creator, std::string_view key,
+           std::vector<std::uint8_t> value);
+
+  /// Begin retrieving `key` from the peer at `initiator`; returns a handle.
+  [[nodiscard]] std::uint64_t get(Vertex initiator, std::string_view key);
+
+  struct GetResult {
+    bool complete = false;   ///< search finished (success or failure)
+    bool found = false;      ///< value retrieved and hash-verified
+    std::vector<std::uint8_t> value;
+    Round rounds_taken = -1;
+  };
+  /// Snapshot of a get's progress; nullopt for unknown handles.
+  [[nodiscard]] std::optional<GetResult> result(std::uint64_t handle) const;
+
+  /// Whether a previously put key is still recoverable in the network.
+  [[nodiscard]] bool contains(std::string_view key) const;
+
+  [[nodiscard]] std::size_t key_count() const noexcept { return keys_.size(); }
+
+ private:
+  P2PSystem& sys_;
+  std::unordered_map<std::string, ItemId> keys_;
+};
+
+}  // namespace churnstore

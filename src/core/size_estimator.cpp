@@ -1,0 +1,109 @@
+#include "core/size_estimator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace churnstore {
+
+SizeEstimator::SizeEstimator(Network& net, std::uint32_t k)
+    : net_(net),
+      k_(std::max(1u, k)),
+      rng_(net.protocol_rng().fork(0x73697a65ULL)),
+      mins_(static_cast<std::size_t>(net.n()) * k_),
+      last_(mins_.size()),
+      scratch_(mins_.size()) {
+  for (Vertex v = 0; v < net_.n(); ++v) fresh_draws(v);
+  std::copy(mins_.begin(), mins_.end(), last_.begin());
+  net_.add_churn_listener([this](Vertex v, PeerId, PeerId) { on_churn(v); });
+}
+
+void SizeEstimator::fresh_draws(Vertex v) {
+  double* row = mins_.data() + static_cast<std::size_t>(v) * k_;
+  for (std::uint32_t i = 0; i < k_; ++i) row[i] = rng_.exponential(1.0);
+}
+
+void SizeEstimator::on_churn(Vertex v) {
+  // The replacement peer contributes fresh draws to the RUNNING epoch only.
+  // Its completed-epoch view starts empty (infinity) and is filled by the
+  // neighbor flood within ~1 round — injecting its own draws there would
+  // pollute the already-finalized aggregate and ratchet the estimate up.
+  fresh_draws(v);
+  const std::size_t off = static_cast<std::size_t>(v) * k_;
+  std::fill(last_.begin() + static_cast<std::ptrdiff_t>(off),
+            last_.begin() + static_cast<std::ptrdiff_t>(off + k_),
+            std::numeric_limits<double>::infinity());
+}
+
+void SizeEstimator::flood_min(std::vector<double>& field) {
+  const RegularGraph& g = net_.graph();
+  const Vertex n = g.n();
+  const std::uint32_t d = g.degree();
+  std::copy(field.begin(), field.end(), scratch_.begin());
+  for (Vertex v = 0; v < n; ++v) {
+    double* dst = scratch_.data() + static_cast<std::size_t>(v) * k_;
+    for (std::uint32_t e = 0; e < d; ++e) {
+      const double* src =
+          field.data() + static_cast<std::size_t>(g.neighbor(v, e)) * k_;
+      for (std::uint32_t i = 0; i < k_; ++i) {
+        dst[i] = std::min(dst[i], src[i]);
+      }
+    }
+  }
+  field.swap(scratch_);
+}
+
+void SizeEstimator::step() {
+  // Epoch restart: without it, every churned-in peer adds fresh draws and
+  // the all-time minimum ratchets downward, inflating the estimate without
+  // bound. Each epoch aggregates only the draws of peers present during
+  // that epoch; reads are served from the last completed epoch.
+  const auto epoch_len = static_cast<Round>(epoch_rounds());
+  if (net_.round() % epoch_len == 0) {
+    last_.swap(mins_);
+    for (Vertex v = 0; v < net_.n(); ++v) fresh_draws(v);
+    ++epochs_completed_;
+  }
+  // Both fields keep flooding: the running epoch converges, the completed
+  // epoch's result reaches freshly churned-in peers.
+  flood_min(mins_);
+  flood_min(last_);
+  // Each node sends both k-vectors to each neighbor once per round.
+  const std::uint64_t bits =
+      static_cast<std::uint64_t>(net_.graph().degree()) * 2 * k_ * 64;
+  for (Vertex v = 0; v < net_.n(); ++v) net_.charge_processing(v, bits);
+}
+
+double SizeEstimator::estimate(Vertex v) const {
+  const std::vector<double>& field = epochs_completed_ > 0 ? last_ : mins_;
+  const double* row = field.data() + static_cast<std::size_t>(v) * k_;
+  double sum = 0.0;
+  for (std::uint32_t i = 0; i < k_; ++i) sum += row[i];
+  if (sum <= 0.0) return 0.0;
+  // MLE of n from k Exp(n) minima is k/sum; (k-1)/sum is unbiased.
+  const double numer = k_ > 1 ? static_cast<double>(k_ - 1)
+                              : static_cast<double>(k_);
+  return numer / sum;
+}
+
+double SizeEstimator::median_estimate() const {
+  std::vector<double> est(net_.n());
+  for (Vertex v = 0; v < net_.n(); ++v) est[v] = estimate(v);
+  std::nth_element(est.begin(), est.begin() + est.size() / 2, est.end());
+  return est[est.size() / 2];
+}
+
+std::uint32_t SizeEstimator::epoch_rounds() const {
+  // Just over the expander diameter (O(log n)) so each epoch's minima reach
+  // everyone; short epochs also bound the churn-draw inflation to
+  // ~(1 + churn * epoch / n).
+  return static_cast<std::uint32_t>(
+             std::ceil(std::log2(std::max(2u, net_.n())))) +
+         6;
+}
+
+std::uint32_t SizeEstimator::convergence_rounds() const {
+  return 2 * epoch_rounds() + 2;
+}
+
+}  // namespace churnstore

@@ -1,0 +1,63 @@
+// Distributed network-size estimation (the exponential-minimum technique
+// the paper sketches in section 4 for counting data nodes, following [2]).
+//
+// Every node draws k independent Exp(1) variates; each round, nodes
+// exchange component-wise minima with their current neighbors. After
+// O(diameter) = O(log n) rounds every (connected, surviving) node holds the
+// k global minima z_1..z_k; since min of n Exp(1) variables is Exp(n), the
+// unbiased estimator n_hat = (k-1) / sum(z_i) concentrates around n with
+// relative error O(1/sqrt(k)).
+//
+// Under churn a fresh node starts with its own draws and re-absorbs the
+// global minima from its neighbors within a round or two, so the estimate
+// self-heals. k = Theta(log n) keeps the per-round traffic polylog.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/network.h"
+#include "util/rng.h"
+
+namespace churnstore {
+
+class SizeEstimator {
+ public:
+  /// k: exponential variates per node (accuracy ~ 1/sqrt(k)).
+  SizeEstimator(Network& net, std::uint32_t k);
+
+  /// One round of neighbor min-exchange. Call between begin_round() and
+  /// deliver(); traffic is charged to the metrics (k * 64 bits per edge).
+  void step();
+
+  /// Current estimate at vertex v: (k-1) / sum of its minima.
+  [[nodiscard]] double estimate(Vertex v) const;
+
+  /// Median estimate across all nodes (robust summary for benches/tests).
+  [[nodiscard]] double median_estimate() const;
+
+  /// Rounds until the first completed epoch is readable (~2 epochs).
+  [[nodiscard]] std::uint32_t convergence_rounds() const;
+  /// Aggregation restarts every epoch (just over the diameter) so that
+  /// churned-in peers' fresh draws cannot ratchet the minimum downward.
+  [[nodiscard]] std::uint32_t epoch_rounds() const;
+
+  [[nodiscard]] std::uint32_t k() const noexcept { return k_; }
+
+ private:
+  void on_churn(Vertex v);
+  void fresh_draws(Vertex v);
+  void flood_min(std::vector<double>& field);
+
+  Network& net_;
+  std::uint32_t k_;
+  Rng rng_;
+  /// Row-major [vertex][i] minima of the running epoch.
+  std::vector<double> mins_;
+  /// Minima of the last completed epoch (what estimate() reads).
+  std::vector<double> last_;
+  std::vector<double> scratch_;
+  std::uint64_t epochs_completed_ = 0;
+};
+
+}  // namespace churnstore

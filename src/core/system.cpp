@@ -1,0 +1,69 @@
+#include "core/system.h"
+
+namespace churnstore {
+
+P2PSystem::P2PSystem(const SystemConfig& config) : config_(config) {
+  net_ = std::make_unique<Network>(config_.sim);
+  soup_ = std::make_unique<TokenSoup>(*net_, config_.walk);
+  committees_ =
+      std::make_unique<CommitteeManager>(*net_, *soup_, config_.protocol);
+  landmarks_ = std::make_unique<LandmarkManager>(*net_, *soup_, *committees_,
+                                                 config_.protocol);
+  store_ = std::make_unique<StoreManager>(*net_, *committees_, *landmarks_,
+                                          config_.protocol);
+  searches_ = std::make_unique<SearchManager>(
+      *net_, *soup_, *committees_, *landmarks_, *store_, config_.protocol);
+
+  // Committee members rebuild their landmark trees on creation and every
+  // rebuild period (Algorithm 2's "every tau rounds").
+  committees_->on_tree_trigger = [this](Vertex v, const Membership& m) {
+    landmarks_->start_tree(v, m);
+  };
+}
+
+void P2PSystem::enable_adaptive_adversary() {
+  net_->set_adaptive_targeter([this](std::uint32_t count) {
+    return committees_->occupied_vertices(count);
+  });
+}
+
+void P2PSystem::run_round() {
+  net_->begin_round();       // adversary: churn + edge dynamics
+  soup_->step();             // random walks advance along G^r
+  committees_->on_round();   // Algorithm 1 phases
+  landmarks_->on_round();    // Algorithm 2 tree growth
+  searches_->on_round();     // Algorithm 4 inquiries and fetches
+  net_->deliver();           // messages sent this round arrive
+  dispatch_inboxes();        // receivers process them
+}
+
+void P2PSystem::run_rounds(std::uint32_t k) {
+  for (std::uint32_t i = 0; i < k; ++i) run_round();
+}
+
+void P2PSystem::dispatch_inboxes() {
+  const Vertex n = net_->n();
+  for (Vertex v = 0; v < n; ++v) {
+    for (const Message& m : net_->inbox(v)) {
+      if (committees_->handle(v, m)) continue;
+      if (landmarks_->handle(v, m)) continue;
+      if (searches_->handle(v, m)) continue;
+    }
+  }
+}
+
+bool P2PSystem::store_item(Vertex creator, ItemId item) {
+  return store_item(creator, item,
+                    make_payload(item, config_.protocol.item_bits));
+}
+
+bool P2PSystem::store_item(Vertex creator, ItemId item,
+                           std::vector<std::uint8_t> payload) {
+  return store_->store(creator, item, std::move(payload));
+}
+
+std::uint64_t P2PSystem::search(Vertex initiator, ItemId item) {
+  return searches_->start_search(initiator, item);
+}
+
+}  // namespace churnstore

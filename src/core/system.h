@@ -1,0 +1,99 @@
+// churnstore::P2PSystem — the public API of the library.
+//
+// Wires together the dynamic network, the random-walk soup, and the
+// committee / landmark / storage / search protocols, and drives the paper's
+// synchronous round structure:
+//
+//   P2PSystem sys({.sim = {.n = 1024, .seed = 7}});
+//   sys.run_rounds(sys.warmup_rounds());              // fill sample buffers
+//   sys.store_item(/*creator=*/3, /*item=*/42);
+//   sys.run_rounds(2 * sys.tau());
+//   auto sid = sys.search(/*initiator=*/900, /*item=*/42);
+//   sys.run_rounds(sys.search_timeout());
+//   const SearchStatus* st = sys.search_status(sid);  // located? fetched?
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "committee/committee.h"
+#include "landmark/landmark.h"
+#include "net/config.h"
+#include "net/network.h"
+#include "storage/search_protocol.h"
+#include "storage/store_protocol.h"
+#include "walk/token_soup.h"
+
+namespace churnstore {
+
+struct SystemConfig {
+  SimConfig sim{};
+  WalkConfig walk{};
+  ProtocolConfig protocol{};
+};
+
+class P2PSystem {
+ public:
+  explicit P2PSystem(const SystemConfig& config);
+
+  /// --- round driver ---------------------------------------------------
+  /// Execute exactly one synchronous round (churn/edges, walks, protocols,
+  /// delivery, message dispatch).
+  void run_round();
+  void run_rounds(std::uint32_t k);
+
+  /// Rounds of warm-up needed before sample buffers are useful (~2 tau).
+  [[nodiscard]] std::uint32_t warmup_rounds() const noexcept {
+    return 2 * soup_->tau() + 2;
+  }
+
+  /// --- storage / search API ----------------------------------------------
+  /// Store an item with a deterministic pseudo-random payload of the
+  /// configured size. Returns false while the creator's samples are cold.
+  bool store_item(Vertex creator, ItemId item);
+  /// Store explicit content.
+  bool store_item(Vertex creator, ItemId item, std::vector<std::uint8_t> payload);
+
+  [[nodiscard]] std::uint64_t search(Vertex initiator, ItemId item);
+  [[nodiscard]] const SearchStatus* search_status(std::uint64_t sid) const {
+    return searches_->status(sid);
+  }
+
+  /// Demonstration hook: when sim.churn.kind == kAdaptive, the adversary
+  /// churns current committee members first — power the paper's oblivious
+  /// model denies it. Call once after construction (see bench_adversary).
+  void enable_adaptive_adversary();
+
+  /// --- component access ---------------------------------------------------
+  [[nodiscard]] Network& network() noexcept { return *net_; }
+  [[nodiscard]] const Network& network() const noexcept { return *net_; }
+  [[nodiscard]] TokenSoup& soup() noexcept { return *soup_; }
+  [[nodiscard]] CommitteeManager& committees() noexcept { return *committees_; }
+  [[nodiscard]] LandmarkManager& landmarks() noexcept { return *landmarks_; }
+  [[nodiscard]] StoreManager& store() noexcept { return *store_; }
+  [[nodiscard]] SearchManager& searches() noexcept { return *searches_; }
+  [[nodiscard]] const Metrics& metrics() const noexcept { return net_->metrics(); }
+
+  /// --- derived constants --------------------------------------------------
+  [[nodiscard]] std::uint32_t n() const noexcept { return net_->n(); }
+  [[nodiscard]] Round round() const noexcept { return net_->round(); }
+  [[nodiscard]] std::uint32_t tau() const noexcept { return soup_->tau(); }
+  [[nodiscard]] std::uint32_t search_timeout() const noexcept {
+    return searches_->timeout_rounds();
+  }
+  [[nodiscard]] const SystemConfig& config() const noexcept { return config_; }
+
+ private:
+  void dispatch_inboxes();
+
+  SystemConfig config_;
+  std::unique_ptr<Network> net_;
+  std::unique_ptr<TokenSoup> soup_;
+  std::unique_ptr<CommitteeManager> committees_;
+  std::unique_ptr<LandmarkManager> landmarks_;
+  std::unique_ptr<StoreManager> store_;
+  std::unique_ptr<SearchManager> searches_;
+};
+
+}  // namespace churnstore

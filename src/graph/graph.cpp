@@ -1,0 +1,76 @@
+#include "graph/graph.h"
+
+namespace churnstore {
+
+RegularGraph::RegularGraph(Vertex n, std::uint32_t d)
+    : n_(n),
+      d_(d),
+      nbr_(static_cast<std::size_t>(n) * d, 0),
+      mirror_(static_cast<std::size_t>(n) * d, 0) {}
+
+bool RegularGraph::has_edge(Vertex u, Vertex v) const noexcept {
+  const std::size_t base = static_cast<std::size_t>(u) * d_;
+  for (std::uint32_t i = 0; i < d_; ++i) {
+    if (nbr_[base + i] == v) return true;
+  }
+  return false;
+}
+
+void RegularGraph::set_edge(Vertex u, std::uint32_t iu, Vertex v,
+                            std::uint32_t iv) noexcept {
+  const std::size_t su = slot(u, iu);
+  const std::size_t sv = slot(v, iv);
+  nbr_[su] = v;
+  nbr_[sv] = u;
+  mirror_[su] = sv;
+  mirror_[sv] = su;
+}
+
+void RegularGraph::swap_edges(std::size_t s1, std::size_t s2) noexcept {
+  // s1: a -> b (mirror m1: b -> a); s2: c -> e (mirror m2: e -> c).
+  const std::size_t m1 = mirror_[s1];
+  const std::size_t m2 = mirror_[s2];
+  const Vertex a = slot_owner(s1);
+  const Vertex b = nbr_[s1];
+  const Vertex c = slot_owner(s2);
+  const Vertex e = nbr_[s2];
+  // New edges: {a, e} via (s1, m2) and {c, b} via (s2, m1).
+  nbr_[s1] = e;
+  nbr_[m2] = a;
+  mirror_[s1] = m2;
+  mirror_[m2] = s1;
+  nbr_[s2] = b;
+  nbr_[m1] = c;
+  mirror_[s2] = m1;
+  mirror_[m1] = s2;
+  (void)b;
+  (void)e;
+  (void)a;
+  (void)c;
+}
+
+bool RegularGraph::check_invariants() const noexcept {
+  const std::size_t total = static_cast<std::size_t>(n_) * d_;
+  if (nbr_.size() != total || mirror_.size() != total) return false;
+  for (std::size_t s = 0; s < total; ++s) {
+    if (nbr_[s] >= n_) return false;
+    const std::size_t m = mirror_[s];
+    if (m >= total) return false;
+    if (mirror_[m] != s) return false;
+    // Mirror must point back: slot s is (u -> v), mirror is (v -> u).
+    if (slot_owner(m) != nbr_[s]) return false;
+    if (nbr_[m] != slot_owner(s)) return false;
+    if (nbr_[s] == slot_owner(s)) return false;  // self-loop
+  }
+  // Simplicity: no vertex may list the same neighbor twice.
+  for (Vertex v = 0; v < n_; ++v) {
+    for (std::uint32_t i = 0; i < d_; ++i) {
+      for (std::uint32_t j = i + 1; j < d_; ++j) {
+        if (neighbor(v, i) == neighbor(v, j)) return false;
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace churnstore

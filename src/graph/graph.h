@@ -1,0 +1,61 @@
+// d-regular simple undirected graph with O(1) endpoint swaps.
+//
+// The paper's network model is a d-regular non-bipartite expander at every
+// round. We store the adjacency as n*d slots; slot (v, i) holds the i-th
+// neighbor of v plus the global index of the reciprocal slot, which makes
+// degree-preserving 2-swaps (the edge-dynamics primitive) constant time.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace churnstore {
+
+using Vertex = std::uint32_t;
+
+class RegularGraph {
+ public:
+  RegularGraph() = default;
+  RegularGraph(Vertex n, std::uint32_t d);
+
+  [[nodiscard]] Vertex n() const noexcept { return n_; }
+  [[nodiscard]] std::uint32_t degree() const noexcept { return d_; }
+  [[nodiscard]] std::size_t slot_count() const noexcept { return nbr_.size(); }
+
+  [[nodiscard]] Vertex neighbor(Vertex v, std::uint32_t i) const noexcept {
+    return nbr_[static_cast<std::size_t>(v) * d_ + i];
+  }
+
+  /// Global slot index helpers.
+  [[nodiscard]] std::size_t slot(Vertex v, std::uint32_t i) const noexcept {
+    return static_cast<std::size_t>(v) * d_ + i;
+  }
+  [[nodiscard]] Vertex slot_owner(std::size_t s) const noexcept {
+    return static_cast<Vertex>(s / d_);
+  }
+  [[nodiscard]] Vertex slot_target(std::size_t s) const noexcept { return nbr_[s]; }
+  [[nodiscard]] std::size_t mirror(std::size_t s) const noexcept { return mirror_[s]; }
+
+  /// True if u and v are adjacent (O(d) scan).
+  [[nodiscard]] bool has_edge(Vertex u, Vertex v) const noexcept;
+
+  /// Install the undirected edge (u, v) into slots (u, iu) and (v, iv).
+  /// Used by generators; does not check simplicity.
+  void set_edge(Vertex u, std::uint32_t iu, Vertex v, std::uint32_t iv) noexcept;
+
+  /// Double-edge swap: given slots s1 = (a->b) and s2 = (c->e), replace edges
+  /// {a,b},{c,e} by {a,e},{c,b}. Caller must have verified the swap keeps the
+  /// graph simple. O(1).
+  void swap_edges(std::size_t s1, std::size_t s2) noexcept;
+
+  /// Validates the mirror structure and regularity; used by tests.
+  [[nodiscard]] bool check_invariants() const noexcept;
+
+ private:
+  Vertex n_ = 0;
+  std::uint32_t d_ = 0;
+  std::vector<Vertex> nbr_;
+  std::vector<std::size_t> mirror_;
+};
+
+}  // namespace churnstore

@@ -1,0 +1,90 @@
+#include "graph/properties.h"
+
+#include <algorithm>
+#include <queue>
+#include <vector>
+
+namespace churnstore {
+
+namespace {
+
+/// BFS filling dist with levels; returns number of reached vertices and the
+/// farthest vertex found.
+struct BfsResult {
+  std::uint32_t reached = 0;
+  Vertex farthest = 0;
+  std::uint32_t depth = 0;
+};
+
+BfsResult bfs(const RegularGraph& g, Vertex from, std::vector<std::int32_t>& dist) {
+  dist.assign(g.n(), -1);
+  std::queue<Vertex> q;
+  dist[from] = 0;
+  q.push(from);
+  BfsResult res;
+  res.reached = 1;
+  res.farthest = from;
+  while (!q.empty()) {
+    const Vertex v = q.front();
+    q.pop();
+    for (std::uint32_t i = 0; i < g.degree(); ++i) {
+      const Vertex u = g.neighbor(v, i);
+      if (dist[u] >= 0) continue;
+      dist[u] = dist[v] + 1;
+      ++res.reached;
+      if (static_cast<std::uint32_t>(dist[u]) > res.depth) {
+        res.depth = static_cast<std::uint32_t>(dist[u]);
+        res.farthest = u;
+      }
+      q.push(u);
+    }
+  }
+  return res;
+}
+
+}  // namespace
+
+bool is_connected(const RegularGraph& g) {
+  if (g.n() == 0) return true;
+  std::vector<std::int32_t> dist;
+  return bfs(g, 0, dist).reached == g.n();
+}
+
+bool is_bipartite(const RegularGraph& g) {
+  std::vector<std::int8_t> color(g.n(), -1);
+  std::queue<Vertex> q;
+  for (Vertex start = 0; start < g.n(); ++start) {
+    if (color[start] >= 0) continue;
+    color[start] = 0;
+    q.push(start);
+    while (!q.empty()) {
+      const Vertex v = q.front();
+      q.pop();
+      for (std::uint32_t i = 0; i < g.degree(); ++i) {
+        const Vertex u = g.neighbor(v, i);
+        if (color[u] < 0) {
+          color[u] = static_cast<std::int8_t>(1 - color[v]);
+          q.push(u);
+        } else if (color[u] == color[v]) {
+          return false;
+        }
+      }
+    }
+  }
+  return true;
+}
+
+std::uint32_t eccentricity(const RegularGraph& g, Vertex from) {
+  std::vector<std::int32_t> dist;
+  return bfs(g, from, dist).depth;
+}
+
+std::uint32_t diameter_lower_bound(const RegularGraph& g) {
+  if (g.n() == 0) return 0;
+  std::vector<std::int32_t> dist;
+  const BfsResult first = bfs(g, 0, dist);
+  const BfsResult second = bfs(g, first.farthest, dist);
+  return second.depth;
+}
+
+}  // namespace churnstore

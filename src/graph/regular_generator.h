@@ -1,0 +1,31 @@
+// Random d-regular simple graph generation (pairing/configuration model with
+// conflict repair), plus a guarantee loop that rejects disconnected or
+// bipartite outcomes so every generated graph satisfies the paper's
+// topology assumptions (random d-regular graphs are expanders w.h.p.).
+#pragma once
+
+#include <cstdint>
+
+#include "graph/graph.h"
+#include "util/rng.h"
+
+namespace churnstore {
+
+struct RegularGraphOptions {
+  /// Require connectivity (always sensible for the P2P model).
+  bool require_connected = true;
+  /// Require non-bipartiteness (paper assumption; needed for mixing).
+  bool require_non_bipartite = true;
+  /// Safety valve on the repair/regenerate loop.
+  int max_attempts = 64;
+};
+
+/// Generates a uniform-ish random d-regular simple graph on n vertices.
+/// Requires n >= d + 1 and n * d even. Throws std::runtime_error if no valid
+/// graph is produced within max_attempts (practically unreachable for
+/// d >= 3 and n >= 8).
+[[nodiscard]] RegularGraph random_regular_graph(
+    Vertex n, std::uint32_t d, Rng& rng,
+    const RegularGraphOptions& opts = RegularGraphOptions{});
+
+}  // namespace churnstore

@@ -1,0 +1,44 @@
+// Edge dynamics: the adversary may change edges arbitrarily each round as
+// long as the graph stays a d-regular non-bipartite expander. We realize
+// this with random degree-preserving double-edge swaps (the standard Markov
+// chain on d-regular simple graphs, whose stationary distribution is uniform
+// — so sustained rewiring keeps the graph a uniform random d-regular graph,
+// i.e. an expander w.h.p.). A connectivity guard re-checks periodically and
+// rolls forward with extra swaps in the (rare) disconnected case.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/graph.h"
+#include "util/rng.h"
+
+namespace churnstore {
+
+class Rewirer {
+ public:
+  struct Options {
+    /// Swaps attempted per apply() call; 0 disables edge dynamics.
+    std::uint32_t swaps_per_round = 0;
+    /// Re-check connectivity every this many apply() calls (0 = never).
+    std::uint32_t connectivity_check_period = 64;
+  };
+
+  Rewirer(Options opts, Rng rng) : opts_(opts), rng_(rng) {}
+
+  /// Applies one round of edge dynamics to g. Returns swaps performed.
+  std::uint32_t apply(RegularGraph& g);
+
+  [[nodiscard]] std::uint64_t total_swaps() const noexcept { return total_swaps_; }
+  [[nodiscard]] std::uint64_t repairs() const noexcept { return repairs_; }
+
+ private:
+  std::uint32_t do_swaps(RegularGraph& g, std::uint32_t count);
+
+  Options opts_;
+  Rng rng_;
+  std::uint64_t total_swaps_ = 0;
+  std::uint64_t repairs_ = 0;
+  std::uint32_t rounds_since_check_ = 0;
+};
+
+}  // namespace churnstore

@@ -1,0 +1,50 @@
+#include "graph/spectral.h"
+
+#include <cmath>
+#include <vector>
+
+namespace churnstore {
+
+double second_eigenvalue_estimate(const RegularGraph& g, Rng& rng,
+                                  const SpectralOptions& opts) {
+  const Vertex n = g.n();
+  if (n < 2) return 0.0;
+  const double inv_d = 1.0 / static_cast<double>(g.degree());
+
+  std::vector<double> x(n), y(n);
+  for (Vertex v = 0; v < n; ++v) x[v] = rng.uniform(-1.0, 1.0);
+
+  auto deflate_and_normalize = [&](std::vector<double>& vec) -> double {
+    // Remove the component along the all-ones principal eigenvector.
+    double mean = 0.0;
+    for (const double t : vec) mean += t;
+    mean /= static_cast<double>(n);
+    double norm2 = 0.0;
+    for (double& t : vec) {
+      t -= mean;
+      norm2 += t * t;
+    }
+    const double norm = std::sqrt(norm2);
+    if (norm > 0) {
+      for (double& t : vec) t /= norm;
+    }
+    return norm;
+  };
+
+  deflate_and_normalize(x);
+  double lambda = 0.0;
+  for (int it = 0; it < opts.iterations; ++it) {
+    // y = P x
+    for (Vertex v = 0; v < n; ++v) {
+      double acc = 0.0;
+      for (std::uint32_t i = 0; i < g.degree(); ++i) acc += x[g.neighbor(v, i)];
+      y[v] = acc * inv_d;
+    }
+    lambda = deflate_and_normalize(y);
+    x.swap(y);
+    if (lambda == 0.0) break;  // start vector was in the principal eigenspace
+  }
+  return lambda;
+}
+
+}  // namespace churnstore

@@ -1,0 +1,154 @@
+#include "landmark/landmark.h"
+
+#include <algorithm>
+
+namespace churnstore {
+
+namespace {
+// kLandmarkGrow word layout:
+//   [0] kid [1] item [2] purpose [3] search_root [4] depth [5] wave
+//   [6] committee count m  [7 .. 7+m) committee member ids
+constexpr std::size_t kCommitteeAt = 7;
+}  // namespace
+
+LandmarkManager::LandmarkManager(Network& net, TokenSoup& soup,
+                                 CommitteeManager& committees,
+                                 const ProtocolConfig& config)
+    : net_(net),
+      soup_(soup),
+      committees_(committees),
+      config_(config),
+      depth_(landmark_tree_depth(net.n(), net.config().churn.k, config.delta,
+                                 committees.target_size())),
+      ttl_(std::max<std::uint32_t>(
+          4, static_cast<std::uint32_t>(config.landmark_ttl_taus *
+                                        committees.tau()))),
+      state_(net.n()) {
+  net_.add_churn_listener([this](Vertex v, PeerId, PeerId) { on_churn(v); });
+}
+
+void LandmarkManager::on_churn(Vertex v) { state_[v].clear(); }
+
+const LandmarkState* LandmarkManager::state_at(Vertex v,
+                                               std::uint64_t kid) const {
+  const auto it = state_[v].find(kid);
+  if (it == state_[v].end()) return nullptr;
+  if (it->second.expiry < net_.round()) return nullptr;
+  return &it->second;
+}
+
+std::size_t LandmarkManager::live_count(std::uint64_t kid) const {
+  const auto it = index_.find(kid);
+  if (it == index_.end()) return 0;
+  const Round now = net_.round();
+  std::size_t alive = 0;
+  for (const Vertex v : it->second) {
+    const auto sit = state_[v].find(kid);
+    if (sit != state_[v].end() && sit->second.expiry >= now) ++alive;
+  }
+  return alive;
+}
+
+void LandmarkManager::grow_children(Vertex v, LandmarkState& st) {
+  const PeerId self = net_.peer_at(v);
+  const auto children = soup_.samples(v).recent_distinct(
+      config_.tree_fanout, {self});
+  for (const PeerId child : children) {
+    Message msg;
+    msg.src = self;
+    msg.dst = child;
+    msg.type = MsgType::kLandmarkGrow;
+    msg.words = {st.kid,
+                 st.item,
+                 static_cast<std::uint64_t>(st.purpose),
+                 st.search_root,
+                 st.pending_depth,
+                 st.wave,
+                 st.committee.size()};
+    msg.words.insert(msg.words.end(), st.committee.begin(),
+                     st.committee.end());
+    net_.send(v, std::move(msg));
+  }
+  st.pending_depth = 0;
+}
+
+void LandmarkManager::start_tree(Vertex v, const Membership& m) {
+  // The member acts as the tree root: it is not itself a landmark (it is
+  // better — it holds the item), it just recruits the first level.
+  LandmarkState root;
+  root.kid = m.kid;
+  root.item = m.item;
+  root.purpose = m.purpose;
+  root.search_root = m.search_root;
+  root.committee = m.members;
+  root.wave = static_cast<std::uint64_t>(net_.round());
+  root.pending_depth = depth_;
+  grow_children(v, root);
+}
+
+void LandmarkManager::on_round() {
+  // Grow one tree level: every vertex with pending depth recruits children.
+  std::vector<Vertex> queue;
+  queue.swap(grow_queue_);
+  for (const Vertex v : queue) {
+    for (auto& [kid, st] : state_[v]) {
+      if (st.pending_depth > 0) grow_children(v, st);
+    }
+  }
+
+  // Periodic garbage collection of expired landmark state ("discards any
+  // information about I" after the TTL, per Algorithm 2 step 4).
+  const Round now = net_.round();
+  if (now % ttl_ == 0) {
+    for (auto& st_map : state_) {
+      for (auto it = st_map.begin(); it != st_map.end();) {
+        it = (it->second.expiry < now) ? st_map.erase(it) : std::next(it);
+      }
+    }
+    for (auto it = index_.begin(); it != index_.end();) {
+      auto& verts = it->second;
+      std::size_t write = 0;
+      for (const Vertex v : verts) {
+        if (state_[v].count(it->first)) verts[write++] = v;
+      }
+      verts.resize(write);
+      it = verts.empty() ? index_.erase(it) : std::next(it);
+    }
+  }
+}
+
+bool LandmarkManager::handle(Vertex v, const Message& m) {
+  if (m.type != MsgType::kLandmarkGrow) return false;
+  const std::uint64_t kid = m.words[0];
+  const std::uint64_t wave = m.words[5];
+  auto& st_map = state_[v];
+  const auto it = st_map.find(kid);
+  if (it != st_map.end() && it->second.wave == wave &&
+      it->second.expiry >= net_.round()) {
+    // Already recruited into this wave's tree ("unused" check of the paper,
+    // resolved at the child): the branch dies here.
+    net_.metrics().count_landmark_collision();
+    return true;
+  }
+  LandmarkState st;
+  st.kid = kid;
+  st.item = m.words[1];
+  st.purpose = static_cast<Purpose>(m.words[2]);
+  st.search_root = m.words[3];
+  const auto depth = static_cast<std::uint32_t>(m.words[4]);
+  st.wave = wave;
+  const std::uint64_t count = m.words[6];
+  st.committee.assign(
+      m.words.begin() + kCommitteeAt,
+      m.words.begin() + kCommitteeAt + static_cast<std::ptrdiff_t>(count));
+  st.expiry = net_.round() + ttl_;
+  st.pending_depth = depth > 1 ? depth - 1 : 0;
+  const bool was_absent = (it == st_map.end());
+  st_map[kid] = std::move(st);
+  if (st_map[kid].pending_depth > 0) grow_queue_.push_back(v);
+  if (was_absent) index_[kid].push_back(v);
+  net_.metrics().count_landmark_created();
+  return true;
+}
+
+}  // namespace churnstore

@@ -1,0 +1,94 @@
+// Landmark tree construction (paper Algorithm 2).
+//
+// Every committee member periodically grows a tree of "landmark" nodes:
+// it picks `fanout` of its walk samples as children and sends them a grow
+// message carrying the committee's member ids; each child becomes a
+// landmark for the committee (it can point searchers at the members),
+// then recruits `fanout` children of its own, one tree level per round, up
+// to depth mu (paper equation 4). Landmarks expire after 2*tau rounds; the
+// committee rebuilds the trees every tau rounds, so the live landmark set
+// stays Omega(sqrt(n)) and near-uniformly distributed over the Core.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "committee/committee.h"
+#include "net/config.h"
+#include "net/network.h"
+#include "walk/token_soup.h"
+
+namespace churnstore {
+
+struct LandmarkState {
+  std::uint64_t kid = 0;
+  ItemId item = 0;
+  Purpose purpose = Purpose::kStorage;
+  PeerId search_root = kNoPeer;
+  std::vector<PeerId> committee;  ///< the members this landmark points to
+  Round expiry = 0;
+  std::uint64_t wave = 0;          ///< rebuild wave id (creation round)
+  std::uint32_t pending_depth = 0; ///< levels still to grow below this node
+};
+
+class LandmarkManager {
+ public:
+  LandmarkManager(Network& net, TokenSoup& soup, CommitteeManager& committees,
+                  const ProtocolConfig& config);
+
+  /// Committee-member hook: start a new tree rooted at member `v`.
+  void start_tree(Vertex v, const Membership& m);
+
+  /// Grow pending tree levels and sweep expired landmarks.
+  void on_round();
+
+  /// Routes kLandmarkGrow; returns true if consumed.
+  bool handle(Vertex v, const Message& m);
+
+  /// Landmark state at vertex v for committee kid (nullptr if none/expired).
+  [[nodiscard]] const LandmarkState* state_at(Vertex v, std::uint64_t kid) const;
+
+  /// Visit every live landmark of committee `kid`: fn(vertex, state).
+  template <typename Fn>
+  void for_each_landmark(std::uint64_t kid, Fn&& fn) {
+    const auto it = index_.find(kid);
+    if (it == index_.end()) return;
+    const Round now = net_.round();
+    auto& verts = it->second;
+    std::size_t write = 0;
+    for (std::size_t read = 0; read < verts.size(); ++read) {
+      const Vertex v = verts[read];
+      const auto sit = state_[v].find(kid);
+      if (sit == state_[v].end() || sit->second.expiry < now) continue;
+      fn(v, sit->second);
+      verts[write++] = v;
+    }
+    verts.resize(write);
+  }
+
+  /// Number of currently live landmarks for committee kid (exact count).
+  [[nodiscard]] std::size_t live_count(std::uint64_t kid) const;
+
+  [[nodiscard]] std::uint32_t tree_depth() const noexcept { return depth_; }
+  [[nodiscard]] std::uint32_t ttl() const noexcept { return ttl_; }
+
+ private:
+  void on_churn(Vertex v);
+  void grow_children(Vertex v, LandmarkState& st);
+
+  Network& net_;
+  TokenSoup& soup_;
+  CommitteeManager& committees_;
+  ProtocolConfig config_;
+  std::uint32_t depth_;
+  std::uint32_t ttl_;
+
+  std::vector<std::unordered_map<std::uint64_t, LandmarkState>> state_;
+  /// kid -> vertices that (may) hold a landmark for it; validated lazily.
+  std::unordered_map<std::uint64_t, std::vector<Vertex>> index_;
+  /// Vertices with pending growth this round.
+  std::vector<Vertex> grow_queue_;
+};
+
+}  // namespace churnstore

@@ -1,0 +1,78 @@
+#include "net/adversary.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace churnstore {
+
+Adversary::Adversary(AdversaryKind kind, std::uint32_t n, Rng rng)
+    : kind_(kind), n_(n), rng_(rng) {
+  if (kind_ == AdversaryKind::kBlockSweep) {
+    sweep_pos_ = static_cast<Vertex>(rng_.next_below(n_));
+  }
+}
+
+std::vector<Vertex> Adversary::select(Round /*r*/, std::uint32_t count,
+                                      const std::vector<Round>& birth_round) {
+  count = std::min(count, n_);
+  std::vector<Vertex> out;
+  if (count == 0) return out;
+  out.reserve(count);
+
+  switch (kind_) {
+    case AdversaryKind::kNone:
+    case AdversaryKind::kAdaptive:  // handled by Network's targeter path
+      break;
+
+    case AdversaryKind::kUniform: {
+      const auto picks = rng_.sample_without_replacement(n_, count);
+      out.assign(picks.begin(), picks.end());
+      break;
+    }
+
+    case AdversaryKind::kBlockSweep: {
+      // Replace a contiguous block and advance the cursor, wiping whole
+      // neighborhoods of the id space round after round.
+      for (std::uint32_t i = 0; i < count; ++i) {
+        out.push_back(sweep_pos_);
+        sweep_pos_ = (sweep_pos_ + 1) % n_;
+      }
+      break;
+    }
+
+    case AdversaryKind::kRegionRepeat: {
+      // Hammer a fixed region of 2*count vertices, randomly chosen once:
+      // peers there are replaced every other round, so anything the
+      // protocol places in the region keeps dying.
+      const std::uint32_t want = std::min(2 * count, n_);
+      if (region_.size() != want) {
+        const auto picks = rng_.sample_without_replacement(n_, want);
+        region_.assign(picks.begin(), picks.end());
+      }
+      const auto idx = rng_.sample_without_replacement(
+          static_cast<std::uint32_t>(region_.size()), count);
+      for (const auto i : idx) out.push_back(region_[i]);
+      break;
+    }
+
+    case AdversaryKind::kOldestFirst:
+    case AdversaryKind::kYoungestFirst: {
+      std::vector<Vertex> order(n_);
+      std::iota(order.begin(), order.end(), 0u);
+      const bool oldest = kind_ == AdversaryKind::kOldestFirst;
+      std::nth_element(order.begin(), order.begin() + count, order.end(),
+                       [&](Vertex a, Vertex b) {
+                         if (birth_round[a] != birth_round[b]) {
+                           return oldest ? birth_round[a] < birth_round[b]
+                                         : birth_round[a] > birth_round[b];
+                         }
+                         return a < b;
+                       });
+      out.assign(order.begin(), order.begin() + count);
+      break;
+    }
+  }
+  return out;
+}
+
+}  // namespace churnstore

@@ -1,0 +1,41 @@
+// Oblivious churn adversaries.
+//
+// The paper's adversary commits to the entire sequence of graphs (which
+// peers join/leave when, and how edges change) before round 0, with no
+// access to the algorithm's random choices. We realize obliviousness by
+// giving the adversary its own RNG stream with no feedback path from any
+// protocol state: every strategy below is a function of (round, vertex
+// birth schedule, adversary coins) only — quantities the adversary itself
+// determines — so generating choices lazily is equivalent to pre-commitment.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/config.h"
+#include "net/types.h"
+#include "util/rng.h"
+
+namespace churnstore {
+
+class Adversary {
+ public:
+  Adversary(AdversaryKind kind, std::uint32_t n, Rng rng);
+
+  /// Vertices to replace at the start of round `r` (count entries, distinct).
+  /// `birth_round[v]` is the round the current occupant of v joined — a
+  /// schedule the adversary itself produced, hence oblivious-safe input.
+  [[nodiscard]] std::vector<Vertex> select(Round r, std::uint32_t count,
+                                           const std::vector<Round>& birth_round);
+
+  [[nodiscard]] AdversaryKind kind() const noexcept { return kind_; }
+
+ private:
+  AdversaryKind kind_;
+  std::uint32_t n_;
+  Rng rng_;
+  Vertex sweep_pos_ = 0;        ///< cursor for kBlockSweep
+  std::vector<Vertex> region_;  ///< fixed victim region for kRegionRepeat
+};
+
+}  // namespace churnstore

@@ -1,0 +1,60 @@
+// Wire messages. All non-walk protocol traffic in the paper is point-to-
+// point by peer id (invitations, clique exchanges, landmark growth,
+// inquiries, reports), so the Message is a typed word vector addressed to a
+// PeerId; delivery fails silently when the target has been churned out.
+//
+// Size accounting: a message is charged header (src + dst + type) plus 64
+// bits per payload word plus any opaque payload bits (used for data-item
+// bytes, so the scalability measurements include item transfer costs).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/types.h"
+
+namespace churnstore {
+
+enum class MsgType : std::uint32_t {
+  kNone = 0,
+  // Committee protocol (Algorithm 1).
+  kCommitteeInvite,    ///< creator/candidate -> future member
+  kCommitteeCount,     ///< member -> member: walk count of record round
+  kCommitteeCandidateAlive,  ///< candidate -> all members: "my invites went out"
+  kCommitteeAccept,    ///< invitee -> candidate
+  kCommitteeConfirm,   ///< candidate -> accepted member: committee final
+  kCommitteeHandover,  ///< candidate -> old members: successor confirmed, resign
+  kCommitteeDissolve,  ///< outranked candidate -> its invitees
+  // Landmark protocol (Algorithm 2).
+  kLandmarkGrow,       ///< parent -> child: join tree, grow further
+  // Storage / retrieval protocols (Algorithms 3 & 4).
+  kInquiry,            ///< search landmark -> sampled node: "do you know I?"
+  kInquiryHit,         ///< storage landmark/member -> search landmark
+  kReport,             ///< search landmark -> search initiator
+  kFetchRequest,       ///< initiator -> holder
+  kFetchReply,         ///< holder -> initiator (carries item payload bits)
+  // Baseline protocols.
+  kFloodData,
+  kProbe,
+  kProbeHit,
+};
+
+struct Message {
+  PeerId src = kNoPeer;
+  PeerId dst = kNoPeer;
+  MsgType type = MsgType::kNone;
+  /// Protocol-defined scalar fields (ids, rounds, ranks, list payloads).
+  std::vector<std::uint64_t> words;
+  /// Data bytes carried by the message (item payloads, IDA pieces). Carried
+  /// for real so end-to-end integrity is testable, and charged bit-exactly.
+  std::vector<std::uint8_t> blob;
+  /// Additional opaque bits charged but not materialized.
+  std::uint64_t payload_bits = 0;
+
+  [[nodiscard]] std::uint64_t size_bits() const noexcept {
+    return 3 * 64 + 64 * static_cast<std::uint64_t>(words.size()) +
+           8 * static_cast<std::uint64_t>(blob.size()) + payload_bits;
+  }
+};
+
+}  // namespace churnstore

@@ -1,0 +1,128 @@
+#include "net/network.h"
+
+#include "graph/regular_generator.h"
+
+namespace churnstore {
+
+namespace {
+
+Rewirer::Options rewire_options(const SimConfig& c) {
+  Rewirer::Options o;
+  if (c.edge_dynamics == EdgeDynamics::kRewire) {
+    o.swaps_per_round = c.rewire_swaps != 0 ? c.rewire_swaps : c.n / 8;
+  } else {
+    o.swaps_per_round = 0;
+  }
+  return o;
+}
+
+}  // namespace
+
+Network::Network(const SimConfig& config)
+    : config_(config),
+      topology_rng_(mix64(config.seed ^ 0x746f706fULL)),
+      churn_rng_(mix64(config.seed ^ 0x63687572ULL)),
+      protocol_rng_(mix64(config.seed ^ 0x70726f74ULL)),
+      graph_(random_regular_graph(config.n, config.degree, topology_rng_)),
+      rewirer_(rewire_options(config), topology_rng_.fork(0x7265)),
+      adversary_(config.churn.kind, config.n, churn_rng_.fork(0x6164)),
+      peer_at_(config.n, kNoPeer),
+      birth_(config.n, 0),
+      inbox_(config.n),
+      metrics_(config.n) {
+  vertex_of_.reserve(config.n * 2);
+  for (Vertex v = 0; v < config_.n; ++v) {
+    peer_at_[v] = next_peer_++;
+    vertex_of_[peer_at_[v]] = v;
+  }
+}
+
+Vertex Network::vertex_of(PeerId p) const noexcept {
+  const auto it = vertex_of_.find(p);
+  return it == vertex_of_.end() ? n() : it->second;
+}
+
+void Network::churn_vertex(Vertex v) {
+  const PeerId old_peer = peer_at_[v];
+  vertex_of_.erase(old_peer);
+  const PeerId fresh = next_peer_++;
+  peer_at_[v] = fresh;
+  vertex_of_[fresh] = v;
+  birth_[v] = round_;
+  ++churn_events_;
+  for (const auto& fn : churn_listeners_) fn(v, old_peer, fresh);
+}
+
+const std::vector<Vertex>& Network::begin_round() {
+  ++round_;
+
+  // (1) Adversarial churn: replace up to C peers.
+  const std::uint32_t c = config_.churn.per_round(config_.n);
+  if (config_.churn.kind == AdversaryKind::kAdaptive) {
+    // Non-oblivious: take protocol-state-informed victims first, pad the
+    // quota with uniform picks.
+    last_churned_.clear();
+    std::vector<std::uint8_t> taken(config_.n, 0);
+    if (adaptive_targeter_) {
+      for (const Vertex v : adaptive_targeter_(c)) {
+        if (last_churned_.size() >= c) break;
+        if (v < config_.n && !taken[v]) {
+          taken[v] = 1;
+          last_churned_.push_back(v);
+        }
+      }
+    }
+    while (config_.churn.adaptive_pad_uniform && last_churned_.size() < c) {
+      const auto v = static_cast<Vertex>(churn_rng_.next_below(config_.n));
+      if (!taken[v]) {
+        taken[v] = 1;
+        last_churned_.push_back(v);
+      }
+    }
+  } else {
+    last_churned_ = adversary_.select(round_, c, birth_);
+  }
+  for (const Vertex v : last_churned_) churn_vertex(v);
+
+  // (2) Adversarial edge dynamics.
+  switch (config_.edge_dynamics) {
+    case EdgeDynamics::kStatic:
+      break;
+    case EdgeDynamics::kRewire:
+      rewirer_.apply(graph_);
+      break;
+    case EdgeDynamics::kRegenerate:
+      graph_ = random_regular_graph(config_.n, config_.degree, topology_rng_);
+      break;
+  }
+
+  // (3) Fresh inboxes for the new round.
+  for (auto& box : inbox_) box.clear();
+  return last_churned_;
+}
+
+void Network::send(Vertex from, const Message& m) { send(from, Message(m)); }
+
+void Network::send(Vertex from, Message&& m) {
+  metrics_.charge_bits(from, m.size_bits());
+  metrics_.count_message();
+  outbox_.push_back(std::move(m));
+}
+
+void Network::deliver() {
+  for (auto& m : outbox_) {
+    const Vertex v = vertex_of(m.dst);
+    if (v == n()) {
+      metrics_.count_dropped();
+      continue;
+    }
+    // Receiving also costs processing; charge the receiver symmetrically so
+    // the per-node bound covers both directions.
+    metrics_.charge_bits(v, m.size_bits());
+    inbox_[v].push_back(std::move(m));
+  }
+  outbox_.clear();
+  metrics_.end_round();
+}
+
+}  // namespace churnstore

@@ -1,0 +1,128 @@
+// The synchronous dynamic network with churn (paper section 2.1).
+//
+// Vertex-slot model: the topology is a d-regular expander on n vertex
+// slots; each slot is occupied by one peer. Churn replaces the peer at a
+// slot with a fresh peer (all protocol state at the slot is lost via churn
+// listeners); edge dynamics rewire the graph. This realizes the paper's
+// model exactly: |V^r| = n at all times, up to C vertices replaced per
+// round, every G^r a d-regular non-bipartite expander, and the adversary's
+// choices independent of protocol randomness.
+//
+// Round structure (paper section 2.1):
+//   1. begin_round(): adversary applies churn + edge changes; G^r is fixed;
+//      nodes learn their current neighbors.
+//   2. Protocols run: random-walk tokens advance along neighbor edges
+//      (TokenSoup), and nodes send() direct messages to known peer ids.
+//   3. deliver(): messages sent this round reach live targets by the end of
+//      the round; messages to churned-out peers vanish.
+#pragma once
+
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/graph.h"
+#include "graph/rewirer.h"
+#include "net/adversary.h"
+#include "net/config.h"
+#include "net/message.h"
+#include "net/metrics.h"
+#include "net/types.h"
+#include "util/rng.h"
+
+namespace churnstore {
+
+class Network {
+ public:
+  explicit Network(const SimConfig& config);
+
+  /// --- topology / population ------------------------------------------
+  [[nodiscard]] std::uint32_t n() const noexcept { return config_.n; }
+  [[nodiscard]] std::uint32_t degree() const noexcept { return config_.degree; }
+  [[nodiscard]] Round round() const noexcept { return round_; }
+  [[nodiscard]] const RegularGraph& graph() const noexcept { return graph_; }
+  [[nodiscard]] const SimConfig& config() const noexcept { return config_; }
+
+  [[nodiscard]] PeerId peer_at(Vertex v) const noexcept { return peer_at_[v]; }
+  [[nodiscard]] Round birth_round(Vertex v) const noexcept { return birth_[v]; }
+  /// Vertex currently hosting `p`, or nullopt-like n() if p left the network.
+  [[nodiscard]] Vertex vertex_of(PeerId p) const noexcept;
+  [[nodiscard]] bool is_alive(PeerId p) const noexcept {
+    return vertex_of(p) != n();
+  }
+
+  /// --- round driver -----------------------------------------------------
+  /// Advances to the next round: adversary churn + edge dynamics. Returns
+  /// the churned vertex set (fresh peers already installed).
+  const std::vector<Vertex>& begin_round();
+
+  /// Queue a direct message from the peer at vertex `from` (charged to it).
+  void send(Vertex from, const Message& m);
+  void send(Vertex from, Message&& m);
+
+  /// Deliver all queued messages into per-vertex inboxes; drops messages
+  /// whose destination peer is gone. Ends per-round metric accounting.
+  void deliver();
+
+  [[nodiscard]] const std::vector<Message>& inbox(Vertex v) const noexcept {
+    return inbox_[v];
+  }
+
+  /// Charge non-message processing work (e.g. token forwarding) to a node.
+  void charge_processing(Vertex v, std::uint64_t bits) noexcept {
+    metrics_.charge_bits(v, bits);
+  }
+
+  /// --- hooks --------------------------------------------------------------
+  /// Registered callbacks run when a vertex is churned (old peer replaced by
+  /// a fresh one) so protocol modules can drop the lost peer's state.
+  using ChurnListener = std::function<void(Vertex, PeerId old_peer, PeerId new_peer)>;
+  void add_churn_listener(ChurnListener fn) { churn_listeners_.push_back(std::move(fn)); }
+
+  /// For AdversaryKind::kAdaptive only: callback returning up to `count`
+  /// protocol-chosen victims (e.g. current committee members). Remaining
+  /// quota is filled uniformly. Installing this makes the adversary
+  /// NON-oblivious — it exists to demonstrate the model assumption.
+  using AdaptiveTargeter = std::function<std::vector<Vertex>(std::uint32_t count)>;
+  void set_adaptive_targeter(AdaptiveTargeter fn) {
+    adaptive_targeter_ = std::move(fn);
+  }
+
+  [[nodiscard]] Metrics& metrics() noexcept { return metrics_; }
+  [[nodiscard]] const Metrics& metrics() const noexcept { return metrics_; }
+
+  /// Protocol-facing RNG (separate fork from the adversary's stream).
+  [[nodiscard]] Rng& protocol_rng() noexcept { return protocol_rng_; }
+
+  /// Total churn events so far.
+  [[nodiscard]] std::uint64_t churn_events() const noexcept { return churn_events_; }
+
+ private:
+  void churn_vertex(Vertex v);
+
+  SimConfig config_;
+  Rng topology_rng_;   ///< adversary-side: graph generation + rewiring
+  Rng churn_rng_;      ///< adversary-side: victim selection
+  Rng protocol_rng_;   ///< algorithm-side: walks, sampling, protocol coins
+
+  RegularGraph graph_;
+  Rewirer rewirer_;
+  Adversary adversary_;
+
+  std::vector<PeerId> peer_at_;
+  std::vector<Round> birth_;
+  std::unordered_map<PeerId, Vertex> vertex_of_;
+  PeerId next_peer_ = 1;
+
+  Round round_ = 0;
+  std::vector<Vertex> last_churned_;
+  std::vector<ChurnListener> churn_listeners_;
+  AdaptiveTargeter adaptive_targeter_;
+
+  std::vector<Message> outbox_;
+  std::vector<std::vector<Message>> inbox_;
+  Metrics metrics_;
+  std::uint64_t churn_events_ = 0;
+};
+
+}  // namespace churnstore

@@ -1,0 +1,62 @@
+#include "stats/divergence.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace churnstore {
+
+double tvd_from_uniform(const std::vector<std::uint64_t>& counts) {
+  if (counts.empty()) return 0.0;
+  std::uint64_t total = 0;
+  for (const auto c : counts) total += c;
+  if (total == 0) return 1.0;
+  const double u = 1.0 / static_cast<double>(counts.size());
+  double acc = 0.0;
+  for (const auto c : counts) {
+    const double p = static_cast<double>(c) / static_cast<double>(total);
+    acc += std::abs(p - u);
+  }
+  return acc / 2.0;
+}
+
+double chi_square_uniform(const std::vector<std::uint64_t>& counts) {
+  if (counts.empty()) return 0.0;
+  std::uint64_t total = 0;
+  for (const auto c : counts) total += c;
+  if (total == 0) return 0.0;
+  const double expected =
+      static_cast<double>(total) / static_cast<double>(counts.size());
+  double acc = 0.0;
+  for (const auto c : counts) {
+    const double d = static_cast<double>(c) - expected;
+    acc += d * d / expected;
+  }
+  return acc;
+}
+
+UniformityReport uniformity_report(const std::vector<std::uint64_t>& counts) {
+  UniformityReport rep;
+  if (counts.empty()) return rep;
+  std::uint64_t total = 0;
+  std::uint64_t zeros = 0;
+  std::uint64_t mn = counts[0];
+  std::uint64_t mx = counts[0];
+  for (const auto c : counts) {
+    total += c;
+    zeros += (c == 0);
+    mn = std::min(mn, c);
+    mx = std::max(mx, c);
+  }
+  rep.total = total;
+  rep.zero_fraction =
+      static_cast<double>(zeros) / static_cast<double>(counts.size());
+  if (total == 0) return rep;
+  const double n = static_cast<double>(counts.size());
+  rep.min_prob_times_n = static_cast<double>(mn) / static_cast<double>(total) * n;
+  rep.max_prob_times_n = static_cast<double>(mx) / static_cast<double>(total) * n;
+  rep.tvd = tvd_from_uniform(counts);
+  rep.chi_square = chi_square_uniform(counts);
+  return rep;
+}
+
+}  // namespace churnstore

@@ -1,0 +1,34 @@
+// Distribution-distance measures used to verify the Soup Theorem's
+// near-uniformity claims: total variation distance against uniform,
+// chi-square statistic, and min/max probability scaled by n.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace churnstore {
+
+/// Total variation distance between the empirical distribution induced by
+/// `counts` and the uniform distribution over counts.size() outcomes.
+[[nodiscard]] double tvd_from_uniform(const std::vector<std::uint64_t>& counts);
+
+/// Chi-square statistic of counts against the uniform expectation.
+[[nodiscard]] double chi_square_uniform(const std::vector<std::uint64_t>& counts);
+
+struct UniformityReport {
+  double tvd = 0.0;
+  double chi_square = 0.0;
+  /// min/max empirical probability multiplied by the number of outcomes
+  /// (so ideal uniform gives both == 1.0). The Soup Theorem's claim is that
+  /// these stay within constant factors: [1/17, 3/2] in the paper.
+  double min_prob_times_n = 0.0;
+  double max_prob_times_n = 0.0;
+  std::uint64_t total = 0;
+  /// Fraction of outcomes with zero observations.
+  double zero_fraction = 0.0;
+};
+
+[[nodiscard]] UniformityReport uniformity_report(
+    const std::vector<std::uint64_t>& counts);
+
+}  // namespace churnstore

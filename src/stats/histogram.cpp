@@ -1,0 +1,69 @@
+#include "stats/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+namespace churnstore {
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), counts_(bins, 0) {
+  if (bins == 0) throw std::invalid_argument("Histogram: bins must be > 0");
+  if (!(hi > lo)) throw std::invalid_argument("Histogram: hi must exceed lo");
+}
+
+void Histogram::add(double x) noexcept {
+  const double t = (x - lo_) / (hi_ - lo_);
+  auto bin = static_cast<std::int64_t>(std::floor(t * static_cast<double>(counts_.size())));
+  bin = std::clamp<std::int64_t>(bin, 0, static_cast<std::int64_t>(counts_.size()) - 1);
+  ++counts_[static_cast<std::size_t>(bin)];
+  ++total_;
+}
+
+void Histogram::merge(const Histogram& other) {
+  if (other.counts_.size() != counts_.size() || other.lo_ != lo_ || other.hi_ != hi_)
+    throw std::invalid_argument("Histogram::merge: incompatible layout");
+  for (std::size_t i = 0; i < counts_.size(); ++i) counts_[i] += other.counts_[i];
+  total_ += other.total_;
+}
+
+double Histogram::bin_lo(std::size_t bin) const noexcept {
+  return lo_ + (hi_ - lo_) * static_cast<double>(bin) / static_cast<double>(counts_.size());
+}
+
+double Histogram::bin_hi(std::size_t bin) const noexcept {
+  return bin_lo(bin + 1);
+}
+
+double Histogram::quantile(double q) const noexcept {
+  if (total_ == 0) return lo_;
+  const auto target = static_cast<std::uint64_t>(
+      q * static_cast<double>(total_));
+  std::uint64_t acc = 0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    acc += counts_[i];
+    if (acc > target) return (bin_lo(i) + bin_hi(i)) / 2.0;
+  }
+  return hi_;
+}
+
+std::string Histogram::render(std::size_t max_width) const {
+  std::uint64_t peak = 0;
+  for (const auto c : counts_) peak = std::max(peak, c);
+  std::ostringstream os;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    if (counts_[i] == 0) continue;
+    const auto bar = peak ? static_cast<std::size_t>(
+                                static_cast<double>(counts_[i]) /
+                                static_cast<double>(peak) *
+                                static_cast<double>(max_width))
+                          : 0;
+    os << "[" << bin_lo(i) << ", " << bin_hi(i) << ") "
+       << std::string(std::max<std::size_t>(bar, 1), '#') << " " << counts_[i]
+       << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace churnstore

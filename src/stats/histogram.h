@@ -1,0 +1,38 @@
+// Fixed-bin histogram for rounds-to-success distributions and token loads.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace churnstore {
+
+class Histogram {
+ public:
+  /// Uniform bins over [lo, hi); values outside are clamped to edge bins.
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x) noexcept;
+  void merge(const Histogram& other);
+
+  [[nodiscard]] std::size_t bins() const noexcept { return counts_.size(); }
+  [[nodiscard]] std::uint64_t count(std::size_t bin) const { return counts_.at(bin); }
+  [[nodiscard]] std::uint64_t total() const noexcept { return total_; }
+  [[nodiscard]] double bin_lo(std::size_t bin) const noexcept;
+  [[nodiscard]] double bin_hi(std::size_t bin) const noexcept;
+
+  /// Value v such that fraction q of the mass lies below v (bin midpoint).
+  [[nodiscard]] double quantile(double q) const noexcept;
+
+  /// Compact ASCII rendering (one line per non-empty bin).
+  [[nodiscard]] std::string render(std::size_t max_width = 50) const;
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace churnstore

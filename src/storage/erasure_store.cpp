@@ -1,0 +1,32 @@
+#include "storage/erasure_store.h"
+
+#include <algorithm>
+
+namespace churnstore {
+
+std::vector<IdaPiece> ErasurePolicy::encode(const std::vector<std::uint8_t>& data,
+                                            std::uint32_t k,
+                                            std::uint32_t count) const {
+  // The Cauchy row of piece i depends only on (i, k), not on the total piece
+  // count, so producing `count` pieces with a codec sized for the largest
+  // index keeps pieces from different generations mutually compatible.
+  const std::uint32_t l = std::max(count, k);
+  IdaCodec codec(k, std::min<std::uint32_t>(l, 255));
+  auto pieces = codec.encode(data);
+  pieces.resize(std::min<std::size_t>(pieces.size(), count));
+  return pieces;
+}
+
+std::optional<std::vector<std::uint8_t>> ErasurePolicy::reconstruct(
+    const std::vector<IdaPiece>& pieces, std::uint32_t k,
+    std::size_t original_size) const {
+  std::uint32_t max_index = 0;
+  for (const auto& p : pieces) max_index = std::max(max_index, p.index);
+  const std::uint32_t l =
+      std::min<std::uint32_t>(std::max(max_index + 1, k), 255);
+  if (k > l) return std::nullopt;
+  IdaCodec codec(k, l);
+  return codec.decode(pieces, original_size);
+}
+
+}  // namespace churnstore

@@ -1,0 +1,43 @@
+// Erasure-coded storage policy (paper section 4.4).
+//
+// Bridges the IDA codec into the committee protocol: when enabled, each
+// committee member stores one IDA piece of the item instead of a full
+// replica, and on every committee re-formation the leader gathers pieces,
+// reconstructs the item, re-encodes for the incoming member set, and hands
+// each new member a fresh piece. K (pieces needed) is fixed at store time;
+// L tracks the current committee size, so the blowup stays ~L/K = h/(h-2).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "coding/ida.h"
+
+namespace churnstore {
+
+class ErasurePolicy {
+ public:
+  /// surplus: K = committee_size - surplus (clamped to >= 1).
+  explicit ErasurePolicy(std::uint32_t surplus) : surplus_(surplus) {}
+
+  [[nodiscard]] std::uint32_t pieces_needed(std::uint32_t committee_size) const {
+    if (committee_size <= surplus_ + 1) return 1;
+    return committee_size - surplus_;
+  }
+
+  /// Encode `data` into `count` pieces, any `k` of which reconstruct.
+  [[nodiscard]] std::vector<IdaPiece> encode(const std::vector<std::uint8_t>& data,
+                                             std::uint32_t k,
+                                             std::uint32_t count) const;
+
+  /// Reconstruct from gathered pieces; nullopt if < k distinct pieces.
+  [[nodiscard]] std::optional<std::vector<std::uint8_t>> reconstruct(
+      const std::vector<IdaPiece>& pieces, std::uint32_t k,
+      std::size_t original_size) const;
+
+ private:
+  std::uint32_t surplus_;
+};
+
+}  // namespace churnstore

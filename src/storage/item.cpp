@@ -1,0 +1,22 @@
+#include "storage/item.h"
+
+namespace churnstore {
+
+std::uint64_t content_hash(const std::vector<std::uint8_t>& data) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const std::uint8_t b : data) {
+    h ^= b;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+std::vector<std::uint8_t> make_payload(ItemId id, std::uint64_t bits) {
+  const std::size_t bytes = static_cast<std::size_t>((bits + 7) / 8);
+  std::vector<std::uint8_t> out(bytes);
+  Rng rng(mix64(id ^ 0x6974656dULL));
+  for (auto& b : out) b = static_cast<std::uint8_t>(rng.next());
+  return out;
+}
+
+}  // namespace churnstore

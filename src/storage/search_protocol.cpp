@@ -1,0 +1,276 @@
+#include "storage/search_protocol.h"
+
+#include <algorithm>
+
+namespace churnstore {
+
+namespace {
+// kInquiry:       [0] item [1] sid
+// kInquiryHit /
+// kReport:        [0] item [1] sid [2] holder count m [3 .. 3+m) holder ids
+// kFetchRequest:  [0] item [1] sid
+// kFetchReply:    [0] item [1] sid [2] piece_index [3] ida_k
+//                 [4] original_size [5] member count m [6 .. 6+m) member ids
+//                 blob: replica or IDA piece
+constexpr std::size_t kHoldersAt = 3;
+constexpr std::size_t kReplyMembersAt = 6;
+constexpr std::size_t kFetchParallelism = 2;
+}  // namespace
+
+SearchManager::SearchManager(Network& net, TokenSoup& soup,
+                             CommitteeManager& committees,
+                             LandmarkManager& landmarks, StoreManager& store,
+                             const ProtocolConfig& config)
+    : net_(net),
+      soup_(soup),
+      committees_(committees),
+      landmarks_(landmarks),
+      store_(store),
+      config_(config),
+      rng_(net.protocol_rng().fork(0x73656172ULL)),
+      timeout_(std::max<std::uint32_t>(
+          8, static_cast<std::uint32_t>(config.search_timeout_taus *
+                                        committees.tau()))),
+      initiator_(net.n()) {
+  net_.add_churn_listener([this](Vertex v, PeerId, PeerId) { on_churn(v); });
+}
+
+void SearchManager::on_churn(Vertex v) { initiator_[v].clear(); }
+
+const SearchStatus* SearchManager::status(std::uint64_t sid) const {
+  const auto it = status_.find(sid);
+  return it == status_.end() ? nullptr : &it->second;
+}
+
+std::uint64_t SearchManager::start_search(Vertex initiator, ItemId item) {
+  const std::uint64_t sid = mix64(next_sid_++ ^ 0x73696400ULL) | 1;
+  SearchStatus st;
+  st.sid = sid;
+  st.item = item;
+  st.initiator = net_.peer_at(initiator);
+  st.start = net_.round();
+  st.deadline = st.start + timeout_;
+  status_[sid] = st;
+  active_.push_back(sid);
+
+  InitiatorState is;
+  is.sid = sid;
+  is.item = item;
+  initiator_[initiator][sid] = std::move(is);
+  return sid;
+}
+
+void SearchManager::finish(std::uint64_t sid) {
+  auto& st = status_[sid];
+  st.finished = true;
+  const Vertex v = net_.vertex_of(st.initiator);
+  if (v != net_.n()) initiator_[v].erase(sid);
+}
+
+void SearchManager::reply_if_holder(Vertex v, ItemId item, std::uint64_t sid,
+                                    PeerId to) {
+  const std::vector<PeerId>* holders = nullptr;
+  if (const Membership* mem = committees_.membership_at(v, item);
+      mem && mem->purpose == Purpose::kStorage) {
+    holders = &mem->members;
+  } else if (const LandmarkState* lm = landmarks_.state_at(v, item);
+             lm && lm->purpose == Purpose::kStorage) {
+    holders = &lm->committee;
+  }
+  if (!holders || holders->empty()) return;
+  Message msg;
+  msg.src = net_.peer_at(v);
+  msg.dst = to;
+  msg.type = MsgType::kInquiryHit;
+  msg.words = {item, sid, holders->size()};
+  msg.words.insert(msg.words.end(), holders->begin(), holders->end());
+  net_.send(v, std::move(msg));
+}
+
+void SearchManager::issue_fetches(Vertex v, InitiatorState& st) {
+  if (st.holders.empty()) return;
+  const PeerId self = net_.peer_at(v);
+  for (std::size_t i = 0; i < kFetchParallelism; ++i) {
+    const PeerId holder = st.holders[st.next_fetch % st.holders.size()];
+    ++st.next_fetch;
+    Message msg;
+    msg.src = self;
+    msg.dst = holder;
+    msg.type = MsgType::kFetchRequest;
+    msg.words = {st.item, st.sid};
+    net_.send(v, std::move(msg));
+  }
+}
+
+void SearchManager::on_round() {
+  const Round now = net_.round();
+  std::size_t write = 0;
+  for (std::size_t read = 0; read < active_.size(); ++read) {
+    const std::uint64_t sid = active_[read];
+    SearchStatus& st = status_[sid];
+    if (st.finished) continue;
+
+    const Vertex iv = net_.vertex_of(st.initiator);
+    if (iv == net_.n()) {
+      // The searcher itself was churned out; the paper's guarantee is for
+      // nodes that stay long enough, so this is a censored trial.
+      st.initiator_churned = true;
+      st.finished = true;
+      continue;
+    }
+    if (now > st.deadline) {
+      finish(sid);
+      continue;
+    }
+    if (st.fetch_ok) {
+      finish(sid);
+      continue;
+    }
+
+    // Create the search committee (retrying until the initiator's sample
+    // buffer is warm enough).
+    if (st.committee_created < 0) {
+      if (committees_.create(iv, sid, Purpose::kSearch, st.item, st.initiator,
+                             {}, st.deadline + 2)) {
+        st.committee_created = now;
+      }
+    }
+
+    // Drive search landmarks: each contacts the sources of the walks it
+    // received last round and inquires about the item (Algorithm 4 step 2).
+    landmarks_.for_each_landmark(sid, [&](Vertex w, LandmarkState& lm) {
+      // A search landmark that itself knows the item reports immediately.
+      reply_if_holder(w, lm.item, sid, lm.search_root);
+      const auto& sources = soup_.samples(w).at(now - 1);
+      const std::size_t cap = config_.inquiry_cap == 0
+                                  ? sources.size()
+                                  : std::min<std::size_t>(config_.inquiry_cap,
+                                                          sources.size());
+      const PeerId self = net_.peer_at(w);
+      for (std::size_t i = 0; i < cap; ++i) {
+        Message msg;
+        msg.src = self;
+        msg.dst = sources[i];
+        msg.type = MsgType::kInquiry;
+        msg.words = {lm.item, sid};
+        net_.send(w, std::move(msg));
+      }
+    });
+
+    // Fetch from reported holders once located.
+    if (st.located >= 0 && st.fetched < 0) {
+      const auto it = initiator_[iv].find(sid);
+      if (it != initiator_[iv].end()) issue_fetches(iv, it->second);
+    }
+
+    active_[write++] = sid;
+  }
+  active_.resize(write);
+}
+
+bool SearchManager::handle(Vertex v, const Message& m) {
+  switch (m.type) {
+    case MsgType::kInquiry: {
+      reply_if_holder(v, m.words[0], m.words[1], m.src);
+      return true;
+    }
+    case MsgType::kInquiryHit: {
+      // Forward to the search initiator recorded in our landmark state.
+      const std::uint64_t sid = m.words[1];
+      const LandmarkState* lm = landmarks_.state_at(v, sid);
+      if (!lm || lm->search_root == kNoPeer) return true;
+      Message fwd;
+      fwd.src = net_.peer_at(v);
+      fwd.dst = lm->search_root;
+      fwd.type = MsgType::kReport;
+      fwd.words = m.words;
+      net_.send(v, std::move(fwd));
+      return true;
+    }
+    case MsgType::kReport: {
+      const std::uint64_t sid = m.words[1];
+      const auto sit = initiator_[v].find(sid);
+      if (sit == initiator_[v].end()) return true;
+      InitiatorState& st = sit->second;
+      SearchStatus& status = status_[sid];
+      const std::uint64_t count = m.words[2];
+      for (std::uint64_t i = 0; i < count; ++i) {
+        const PeerId h = m.words[kHoldersAt + i];
+        if (h != kNoPeer && st.holder_set.insert(h).second) {
+          st.holders.push_back(h);
+        }
+      }
+      if (status.located < 0 && !st.holders.empty()) {
+        status.located = net_.round();
+      }
+      return true;
+    }
+    case MsgType::kFetchRequest: {
+      const ItemId item = m.words[0];
+      const Membership* mem = committees_.membership_at(v, item);
+      if (!mem || mem->purpose != Purpose::kStorage || mem->payload.empty()) {
+        return true;
+      }
+      Message reply;
+      reply.src = net_.peer_at(v);
+      reply.dst = m.src;
+      reply.type = MsgType::kFetchReply;
+      reply.words = {item,
+                     m.words[1],
+                     mem->piece_index,
+                     mem->ida_k,
+                     mem->original_size,
+                     mem->members.size()};
+      reply.words.insert(reply.words.end(), mem->members.begin(),
+                         mem->members.end());
+      reply.blob = mem->payload;
+      net_.send(v, std::move(reply));
+      return true;
+    }
+    case MsgType::kFetchReply: {
+      const std::uint64_t sid = m.words[1];
+      const auto sit = initiator_[v].find(sid);
+      if (sit == initiator_[v].end()) return true;
+      InitiatorState& st = sit->second;
+      SearchStatus& status = status_[sid];
+      if (status.fetched >= 0) return true;
+
+      const auto piece_index = static_cast<std::uint32_t>(m.words[2]);
+      const ItemRecord* rec = store_.record(st.item);
+      if (piece_index == kNoPiece) {
+        status.fetched = net_.round();
+        status.fetch_ok = rec && content_hash(m.blob) == rec->hash;
+        status.fetched_data = m.blob;
+        return true;
+      }
+      // Erasure mode: gather distinct pieces; holders list in the reply
+      // extends the fetch candidates.
+      const std::uint64_t count = m.words[5];
+      for (std::uint64_t i = 0; i < count; ++i) {
+        const PeerId h = m.words[kReplyMembersAt + i];
+        if (h != kNoPeer && st.holder_set.insert(h).second) {
+          st.holders.push_back(h);
+        }
+      }
+      if (st.piece_indices.insert(piece_index).second) {
+        st.pieces.push_back(IdaPiece{piece_index, m.blob});
+      }
+      const auto ida_k = static_cast<std::uint32_t>(m.words[3]);
+      const auto original_size = static_cast<std::size_t>(m.words[4]);
+      if (ida_k > 0 && st.pieces.size() >= ida_k) {
+        const ErasurePolicy policy(config_.ida_surplus);
+        const auto data = policy.reconstruct(st.pieces, ida_k, original_size);
+        if (data) {
+          status.fetched = net_.round();
+          status.fetch_ok = rec && content_hash(*data) == rec->hash;
+          status.fetched_data = *data;
+        }
+      }
+      return true;
+    }
+    default:
+      return false;
+  }
+}
+
+}  // namespace churnstore

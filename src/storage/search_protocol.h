@@ -1,0 +1,105 @@
+// Data retrieval (paper Algorithm 4).
+//
+// A node u searching for item I elects a *search committee* (with a
+// dissolve deadline), which builds Omega(sqrt(n)) *search landmarks*. Every
+// search landmark, each round, contacts the sources of the walk samples it
+// just received and inquires about I; a contacted node that is a storage
+// landmark or a storage-committee member for I replies with the storage
+// member ids, the search landmark reports them to u, and u fetches the item
+// (one replica, or K IDA pieces in erasure mode). Searches also succeed
+// trivially when a search landmark itself already knows about I.
+//
+// The manager keeps a god-view SearchStatus per search for the benches:
+// locate round (u learns a holder id — the paper's success criterion),
+// fetch round (payload reconstructed and integrity-checked), or failure
+// (deadline passed / initiator churned out).
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "committee/committee.h"
+#include "landmark/landmark.h"
+#include "net/network.h"
+#include "storage/item.h"
+#include "storage/store_protocol.h"
+#include "walk/token_soup.h"
+
+namespace churnstore {
+
+struct SearchStatus {
+  std::uint64_t sid = 0;
+  ItemId item = 0;
+  PeerId initiator = kNoPeer;
+  Round start = 0;
+  Round deadline = 0;
+  Round committee_created = -1;
+  Round located = -1;   ///< u first learned a live holder id
+  Round fetched = -1;   ///< payload reconstructed at u
+  bool fetch_ok = false;  ///< reconstructed content matched the stored hash
+  std::vector<std::uint8_t> fetched_data;  ///< the retrieved item content
+  bool initiator_churned = false;
+  bool finished = false;
+
+  [[nodiscard]] bool succeeded_locate() const noexcept { return located >= 0; }
+  [[nodiscard]] bool succeeded_fetch() const noexcept { return fetch_ok; }
+};
+
+class SearchManager {
+ public:
+  SearchManager(Network& net, TokenSoup& soup, CommitteeManager& committees,
+                LandmarkManager& landmarks, StoreManager& store,
+                const ProtocolConfig& config);
+
+  /// Start a search for `item` from the peer at `initiator`. Returns the
+  /// search id (always succeeds; committee creation retries internally).
+  std::uint64_t start_search(Vertex initiator, ItemId item);
+
+  /// Drive all active searches. Call once per round after
+  /// CommitteeManager::on_round().
+  void on_round();
+
+  /// Routes kInquiry / kInquiryHit / kReport / kFetch*; true if consumed.
+  bool handle(Vertex v, const Message& m);
+
+  [[nodiscard]] const SearchStatus* status(std::uint64_t sid) const;
+  [[nodiscard]] std::size_t active_searches() const noexcept {
+    return active_.size();
+  }
+  [[nodiscard]] std::uint32_t timeout_rounds() const noexcept { return timeout_; }
+
+ private:
+  struct InitiatorState {
+    std::uint64_t sid = 0;
+    ItemId item = 0;
+    std::vector<PeerId> holders;           ///< reported, in arrival order
+    std::unordered_set<PeerId> holder_set;
+    std::size_t next_fetch = 0;            ///< round-robin fetch cursor
+    std::vector<IdaPiece> pieces;          ///< gathered pieces (erasure)
+    std::unordered_set<std::uint32_t> piece_indices;
+  };
+
+  void on_churn(Vertex v);
+  void finish(std::uint64_t sid);
+  void reply_if_holder(Vertex v, ItemId item, std::uint64_t sid, PeerId to);
+  void issue_fetches(Vertex v, InitiatorState& st);
+
+  Network& net_;
+  TokenSoup& soup_;
+  CommitteeManager& committees_;
+  LandmarkManager& landmarks_;
+  StoreManager& store_;
+  ProtocolConfig config_;
+  Rng rng_;
+  std::uint32_t timeout_;
+  std::uint64_t next_sid_ = 1;
+
+  std::unordered_map<std::uint64_t, SearchStatus> status_;
+  std::vector<std::uint64_t> active_;
+  /// Initiator-side state, held at the initiator's vertex.
+  std::vector<std::unordered_map<std::uint64_t, InitiatorState>> initiator_;
+};
+
+}  // namespace churnstore

@@ -1,0 +1,89 @@
+#include "util/cli.h"
+
+#include <cstdlib>
+#include <sstream>
+#include <stdexcept>
+
+namespace churnstore {
+
+Cli::Cli(int argc, const char* const* argv) {
+  std::vector<std::string> tokens;
+  tokens.reserve(static_cast<std::size_t>(argc > 0 ? argc - 1 : 0));
+  for (int i = 1; i < argc; ++i) tokens.emplace_back(argv[i]);
+  parse(tokens);
+}
+
+Cli::Cli(std::vector<std::string> tokens) { parse(tokens); }
+
+void Cli::parse(const std::vector<std::string>& tokens) {
+  for (std::size_t i = 0; i < tokens.size(); ++i) {
+    const std::string& tok = tokens[i];
+    if (tok.rfind("--", 0) != 0) {
+      positional_.push_back(tok);
+      continue;
+    }
+    std::string body = tok.substr(2);
+    const auto eq = body.find('=');
+    if (eq != std::string::npos) {
+      values_[body.substr(0, eq)] = body.substr(eq + 1);
+    } else if (i + 1 < tokens.size() && tokens[i + 1].rfind("--", 0) != 0) {
+      values_[body] = tokens[++i];
+    } else {
+      values_[body] = "true";
+    }
+  }
+}
+
+const std::string* Cli::lookup(const std::string& name) const {
+  if (const auto it = values_.find(name); it != values_.end()) return &it->second;
+  if (const auto it = env_cache_.find(name); it != env_cache_.end())
+    return &it->second;
+  std::string env_name = "CHURNSTORE_";
+  for (const char c : name)
+    env_name += (c == '-') ? '_' : static_cast<char>(std::toupper(c));
+  if (const char* v = std::getenv(env_name.c_str())) {
+    env_cache_[name] = v;
+    return &env_cache_[name];
+  }
+  return nullptr;
+}
+
+bool Cli::has(const std::string& name) const { return lookup(name) != nullptr; }
+
+std::string Cli::get(const std::string& name, const std::string& fallback) const {
+  const std::string* v = lookup(name);
+  return v ? *v : fallback;
+}
+
+std::int64_t Cli::get_int(const std::string& name, std::int64_t fallback) const {
+  const std::string* v = lookup(name);
+  if (!v) return fallback;
+  return std::stoll(*v);
+}
+
+double Cli::get_double(const std::string& name, double fallback) const {
+  const std::string* v = lookup(name);
+  if (!v) return fallback;
+  return std::stod(*v);
+}
+
+bool Cli::get_bool(const std::string& name, bool fallback) const {
+  const std::string* v = lookup(name);
+  if (!v) return fallback;
+  return *v == "true" || *v == "1" || *v == "yes" || *v == "on";
+}
+
+std::vector<std::int64_t> Cli::get_int_list(
+    const std::string& name, std::vector<std::int64_t> fallback) const {
+  const std::string* v = lookup(name);
+  if (!v) return fallback;
+  std::vector<std::int64_t> out;
+  std::stringstream ss(*v);
+  std::string part;
+  while (std::getline(ss, part, ',')) {
+    if (!part.empty()) out.push_back(std::stoll(part));
+  }
+  return out.empty() ? fallback : out;
+}
+
+}  // namespace churnstore

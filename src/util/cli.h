@@ -1,0 +1,55 @@
+// Minimal command-line flag parser used by benches and examples.
+//
+// Flags take the form --name=value or --name value; bare --name sets a bool.
+// Unknown flags are collected and can be rejected by the caller. Environment
+// variables CHURNSTORE_<NAME> (uppercased, '-'→'_') act as defaults so the
+// whole bench suite can be scaled down/up without editing command lines.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace churnstore {
+
+class Cli {
+ public:
+  Cli(int argc, const char* const* argv);
+
+  /// Construct from pre-split tokens (used by tests).
+  explicit Cli(std::vector<std::string> tokens);
+
+  [[nodiscard]] bool has(const std::string& name) const;
+  [[nodiscard]] std::string get(const std::string& name,
+                                const std::string& fallback) const;
+  [[nodiscard]] std::int64_t get_int(const std::string& name,
+                                     std::int64_t fallback) const;
+  [[nodiscard]] double get_double(const std::string& name,
+                                  double fallback) const;
+  [[nodiscard]] bool get_bool(const std::string& name, bool fallback) const;
+
+  /// Comma-separated integer list, e.g. --n=256,512,1024.
+  [[nodiscard]] std::vector<std::int64_t> get_int_list(
+      const std::string& name, std::vector<std::int64_t> fallback) const;
+
+  /// Positional (non-flag) arguments in order.
+  [[nodiscard]] const std::vector<std::string>& positional() const {
+    return positional_;
+  }
+
+  [[nodiscard]] const std::map<std::string, std::string>& flags() const {
+    return values_;
+  }
+
+ private:
+  void parse(const std::vector<std::string>& tokens);
+  /// Looks up flag value, falling back to CHURNSTORE_<NAME> env var.
+  [[nodiscard]] const std::string* lookup(const std::string& name) const;
+
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+  mutable std::map<std::string, std::string> env_cache_;
+};
+
+}  // namespace churnstore

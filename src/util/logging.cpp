@@ -1,0 +1,24 @@
+#include "util/logging.h"
+
+#include <cstdio>
+#include <mutex>
+
+namespace churnstore {
+
+std::atomic<int> Logger::level_{static_cast<int>(LogLevel::kWarn)};
+
+void Logger::emit(LogLevel lv, const std::string& msg) {
+  static std::mutex mu;
+  const char* tag = "?";
+  switch (lv) {
+    case LogLevel::kDebug: tag = "DEBUG"; break;
+    case LogLevel::kInfo: tag = "INFO"; break;
+    case LogLevel::kWarn: tag = "WARN"; break;
+    case LogLevel::kError: tag = "ERROR"; break;
+    case LogLevel::kOff: tag = "OFF"; break;
+  }
+  std::lock_guard<std::mutex> lock(mu);
+  std::fprintf(stderr, "[%s] %s\n", tag, msg.c_str());
+}
+
+}  // namespace churnstore

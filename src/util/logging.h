@@ -1,0 +1,44 @@
+// Tiny leveled logger. Simulations at scale must not pay for logging in hot
+// paths, so the macros compile down to a level check on an atomic.
+#pragma once
+
+#include <atomic>
+#include <sstream>
+#include <string>
+
+namespace churnstore {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+class Logger {
+ public:
+  static LogLevel level() noexcept {
+    return static_cast<LogLevel>(level_.load(std::memory_order_relaxed));
+  }
+  static void set_level(LogLevel lv) noexcept {
+    level_.store(static_cast<int>(lv), std::memory_order_relaxed);
+  }
+  static bool enabled(LogLevel lv) noexcept { return lv >= level(); }
+
+  /// Thread-safe single-line emission to stderr.
+  static void emit(LogLevel lv, const std::string& msg);
+
+ private:
+  static std::atomic<int> level_;
+};
+
+#define CHURNSTORE_LOG(lv, expr)                                       \
+  do {                                                                 \
+    if (::churnstore::Logger::enabled(lv)) {                           \
+      std::ostringstream churnstore_log_ss_;                           \
+      churnstore_log_ss_ << expr;                                      \
+      ::churnstore::Logger::emit(lv, churnstore_log_ss_.str());        \
+    }                                                                  \
+  } while (0)
+
+#define LOG_DEBUG(expr) CHURNSTORE_LOG(::churnstore::LogLevel::kDebug, expr)
+#define LOG_INFO(expr) CHURNSTORE_LOG(::churnstore::LogLevel::kInfo, expr)
+#define LOG_WARN(expr) CHURNSTORE_LOG(::churnstore::LogLevel::kWarn, expr)
+#define LOG_ERROR(expr) CHURNSTORE_LOG(::churnstore::LogLevel::kError, expr)
+
+}  // namespace churnstore

@@ -1,0 +1,133 @@
+#include "util/rng.h"
+
+#include <cmath>
+#include <unordered_set>
+
+namespace churnstore {
+
+std::uint64_t splitmix64(std::uint64_t& state) noexcept {
+  state += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t mix64(std::uint64_t x) noexcept {
+  std::uint64_t s = x;
+  return splitmix64(s);
+}
+
+namespace {
+inline std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+  return (x << k) | (x >> (64 - k));
+}
+}  // namespace
+
+void Rng::reseed(std::uint64_t seed) noexcept {
+  std::uint64_t sm = seed;
+  for (auto& w : s_) w = splitmix64(sm);
+  // xoshiro must not start in the all-zero state.
+  if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0) s_[0] = 1;
+}
+
+std::uint64_t Rng::next() noexcept {
+  const std::uint64_t result = rotl(s_[0] + s_[3], 23) + s_[0];
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+std::uint64_t Rng::next_below(std::uint64_t bound) noexcept {
+  // Lemire's method: multiply-shift with rejection in the biased zone.
+  std::uint64_t x = next();
+  __uint128_t m = static_cast<__uint128_t>(x) * bound;
+  std::uint64_t l = static_cast<std::uint64_t>(m);
+  if (l < bound) {
+    const std::uint64_t threshold = (0 - bound) % bound;
+    while (l < threshold) {
+      x = next();
+      m = static_cast<__uint128_t>(x) * bound;
+      l = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) noexcept {
+  const std::uint64_t span = static_cast<std::uint64_t>(hi - lo) + 1;
+  return lo + static_cast<std::int64_t>(next_below(span));
+}
+
+double Rng::uniform01() noexcept {
+  return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) noexcept {
+  return lo + (hi - lo) * uniform01();
+}
+
+bool Rng::bernoulli(double p) noexcept { return uniform01() < p; }
+
+double Rng::exponential(double lambda) noexcept {
+  double u = uniform01();
+  // Avoid log(0).
+  if (u <= 0.0) u = 0x1.0p-53;
+  return -std::log(u) / lambda;
+}
+
+double Rng::normal() noexcept {
+  double u1 = uniform01();
+  if (u1 <= 0.0) u1 = 0x1.0p-53;
+  const double u2 = uniform01();
+  return std::sqrt(-2.0 * std::log(u1)) * std::cos(6.28318530717958647692 * u2);
+}
+
+std::uint64_t Rng::geometric(double p) noexcept {
+  double u = uniform01();
+  if (u <= 0.0) u = 0x1.0p-53;
+  if (p >= 1.0) return 0;
+  return static_cast<std::uint64_t>(std::floor(std::log(u) / std::log(1.0 - p)));
+}
+
+Rng Rng::fork(std::uint64_t salt) noexcept {
+  return Rng(mix64(next() ^ mix64(salt)));
+}
+
+std::vector<std::uint32_t> Rng::sample_without_replacement(
+    std::uint32_t pool, std::uint32_t k) noexcept {
+  if (k >= pool) {
+    std::vector<std::uint32_t> all(pool);
+    for (std::uint32_t i = 0; i < pool; ++i) all[i] = i;
+    shuffle(all);
+    return all;
+  }
+  std::vector<std::uint32_t> out;
+  out.reserve(k);
+  if (k * 3ULL >= pool) {
+    // Dense case: partial Fisher-Yates over an index array.
+    std::vector<std::uint32_t> all(pool);
+    for (std::uint32_t i = 0; i < pool; ++i) all[i] = i;
+    for (std::uint32_t i = 0; i < k; ++i) {
+      const std::uint32_t j =
+          i + static_cast<std::uint32_t>(next_below(pool - i));
+      std::swap(all[i], all[j]);
+      out.push_back(all[i]);
+    }
+    return out;
+  }
+  std::unordered_set<std::uint32_t> seen;
+  seen.reserve(k * 2);
+  while (out.size() < k) {
+    const auto c = static_cast<std::uint32_t>(next_below(pool));
+    if (seen.insert(c).second) out.push_back(c);
+  }
+  return out;
+}
+
+}  // namespace churnstore

@@ -1,0 +1,94 @@
+// Deterministic pseudo-random number generation for the simulator.
+//
+// Every stochastic component of the system (adversary, protocol, workload)
+// draws from its own Rng stream derived from a master seed, so that runs are
+// exactly reproducible and the adversary's randomness is provably
+// independent of the protocol's randomness (the paper's oblivious-adversary
+// model requires the adversary to commit to its choices before observing any
+// protocol coin flips; separate streams with no feedback path realize this).
+//
+// The generator is xoshiro256++ seeded via splitmix64, which is
+// statistically strong, tiny, and far faster than std::mt19937_64.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace churnstore {
+
+/// splitmix64 step; used for seeding and for cheap hash mixing.
+[[nodiscard]] std::uint64_t splitmix64(std::uint64_t& state) noexcept;
+
+/// Stateless mix of a 64-bit value (one splitmix64 round on a copy).
+[[nodiscard]] std::uint64_t mix64(std::uint64_t x) noexcept;
+
+/// xoshiro256++ generator. Satisfies UniformRandomBitGenerator so it can be
+/// plugged into <random> distributions, though the member helpers below are
+/// preferred in hot paths.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0xdeadbeefcafef00dULL) noexcept { reseed(seed); }
+
+  void reseed(std::uint64_t seed) noexcept;
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  result_type operator()() noexcept { return next(); }
+
+  std::uint64_t next() noexcept;
+
+  /// Uniform integer in [0, bound). bound must be > 0. Uses Lemire's
+  /// multiply-shift rejection method (unbiased).
+  std::uint64_t next_below(std::uint64_t bound) noexcept;
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) noexcept;
+
+  /// Uniform double in [0, 1).
+  double uniform01() noexcept;
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) noexcept;
+
+  /// Bernoulli trial with success probability p.
+  bool bernoulli(double p) noexcept;
+
+  /// Exponential variate with rate lambda (> 0).
+  double exponential(double lambda) noexcept;
+
+  /// Standard normal variate (Box-Muller, no caching).
+  double normal() noexcept;
+
+  /// Geometric: number of failures before first success, p in (0, 1].
+  std::uint64_t geometric(double p) noexcept;
+
+  /// Derive an independent child stream; deterministic in (this state, salt).
+  [[nodiscard]] Rng fork(std::uint64_t salt) noexcept;
+
+  /// Fisher-Yates shuffle of a vector.
+  template <typename T>
+  void shuffle(std::vector<T>& v) noexcept {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      const std::size_t j = static_cast<std::size_t>(next_below(i));
+      using std::swap;
+      swap(v[i - 1], v[j]);
+    }
+  }
+
+  /// Sample k distinct indices from [0, pool) without replacement.
+  /// Complexity O(k) expected when k << pool (hash-based rejection),
+  /// O(pool) otherwise.
+  [[nodiscard]] std::vector<std::uint32_t> sample_without_replacement(
+      std::uint32_t pool, std::uint32_t k) noexcept;
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace churnstore

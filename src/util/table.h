@@ -1,0 +1,42 @@
+// Aligned text-table and CSV emitter for bench output.
+//
+// Every bench binary prints the rows of the table/figure it regenerates via
+// this class, so EXPERIMENTS.md entries can be produced by copy-paste.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace churnstore {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  Table& add_row(std::vector<std::string> cells);
+
+  /// Row-building helpers: begin_row() then cell(...) in column order.
+  Table& begin_row();
+  Table& cell(const std::string& v);
+  Table& cell(std::int64_t v);
+  Table& cell(std::uint64_t v);
+  Table& cell(double v, int precision = 4);
+
+  void print(std::ostream& os) const;
+  void print_csv(std::ostream& os) const;
+
+  [[nodiscard]] std::size_t rows() const { return rows_.size(); }
+  [[nodiscard]] const std::vector<std::vector<std::string>>& data() const {
+    return rows_;
+  }
+
+  static std::string fmt(double v, int precision = 4);
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace churnstore

@@ -1,0 +1,55 @@
+#include "walk/sampler.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace churnstore {
+
+namespace {
+const std::vector<PeerId> kEmpty;
+}
+
+void SampleBuffer::add(Round r, PeerId source) {
+  if (groups_.empty() || groups_.back().round != r) {
+    groups_.push_back(Group{r, {}});
+  }
+  groups_.back().sources.push_back(source);
+}
+
+void SampleBuffer::prune(Round keep_from) {
+  while (!groups_.empty() && groups_.front().round < keep_from) {
+    groups_.pop_front();
+  }
+}
+
+const std::vector<PeerId>& SampleBuffer::at(Round r) const {
+  // Groups are few (one per retained round); linear scan from the back is
+  // cheap and the common query is the most recent round.
+  for (auto it = groups_.rbegin(); it != groups_.rend(); ++it) {
+    if (it->round == r) return it->sources;
+    if (it->round < r) break;
+  }
+  return kEmpty;
+}
+
+std::vector<PeerId> SampleBuffer::recent_distinct(
+    std::size_t k, const std::vector<PeerId>& exclude) const {
+  std::vector<PeerId> out;
+  std::unordered_set<PeerId> seen(exclude.begin(), exclude.end());
+  for (auto it = groups_.rbegin(); it != groups_.rend(); ++it) {
+    for (const PeerId s : it->sources) {
+      if (!seen.insert(s).second) continue;
+      out.push_back(s);
+      if (k != 0 && out.size() >= k) return out;
+    }
+  }
+  return out;
+}
+
+std::size_t SampleBuffer::total() const noexcept {
+  std::size_t acc = 0;
+  for (const auto& g : groups_) acc += g.sources.size();
+  return acc;
+}
+
+}  // namespace churnstore

@@ -1,0 +1,49 @@
+// Per-node buffer of random-walk samples.
+//
+// When a walk completes its T steps at a node, the node records the walk's
+// source id: by the Soup Theorem these sources are near-uniform samples of
+// the network, and every protocol building block (committee creation,
+// leader re-formation, landmark child selection, search inquiries) draws
+// from this buffer. Samples are grouped by arrival round because Algorithm 1
+// counts and consumes "the random walks received in round r" specifically.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "net/types.h"
+
+namespace churnstore {
+
+class SampleBuffer {
+ public:
+  void add(Round r, PeerId source);
+
+  /// Drop groups with round < keep_from.
+  void prune(Round keep_from);
+
+  void clear() noexcept { groups_.clear(); }
+
+  /// Sources of walks that completed exactly in round r (empty if none).
+  [[nodiscard]] const std::vector<PeerId>& at(Round r) const;
+
+  [[nodiscard]] std::size_t count_at(Round r) const { return at(r).size(); }
+
+  /// Up to `k` distinct most-recent sources (newest rounds first), skipping
+  /// ids in `exclude`. Pass k = 0 for "all distinct".
+  [[nodiscard]] std::vector<PeerId> recent_distinct(
+      std::size_t k, const std::vector<PeerId>& exclude = {}) const;
+
+  [[nodiscard]] std::size_t total() const noexcept;
+  [[nodiscard]] bool empty() const noexcept { return groups_.empty(); }
+
+ private:
+  struct Group {
+    Round round;
+    std::vector<PeerId> sources;
+  };
+  std::deque<Group> groups_;  ///< ascending by round
+};
+
+}  // namespace churnstore

@@ -1,0 +1,104 @@
+#include "walk/token_soup.h"
+
+#include <algorithm>
+
+namespace churnstore {
+
+namespace {
+/// Bits a node processes to forward one token: source id + hop counter.
+constexpr std::uint64_t kTokenBits = 64 + 16;
+}  // namespace
+
+TokenSoup::TokenSoup(Network& net, const WalkConfig& config)
+    : net_(net),
+      config_(config),
+      rng_(net.protocol_rng().fork(0x736f7570ULL)),
+      walks_(churnstore::walks_per_round(net.n(), config)),
+      length_(churnstore::walk_length(net.n(), config)),
+      cap_(churnstore::forward_cap(net.n(), config)),
+      tau_(churnstore::tau_rounds(net.n(), config)),
+      window_(static_cast<Round>(config.window_mult * tau_) + 2),
+      cur_(net.n()),
+      next_(net.n()),
+      samples_(net.n()) {
+  net_.add_churn_listener(
+      [this](Vertex v, PeerId, PeerId) { on_churn(v); });
+}
+
+void TokenSoup::on_churn(Vertex v) {
+  // The peer at v is gone: its queued tokens and its learned samples die
+  // with it (the fresh peer starts with empty state).
+  net_.metrics().count_tokens_lost(cur_[v].size());
+  cur_[v].clear();
+  samples_[v].clear();
+}
+
+void TokenSoup::inject_probe(Vertex v, std::uint64_t tag, std::uint32_t steps) {
+  cur_[v].push_back(Token{tag, static_cast<std::uint16_t>(steps), 1});
+}
+
+std::size_t TokenSoup::tokens_alive() const noexcept {
+  std::size_t acc = 0;
+  for (const auto& q : cur_) acc += q.size();
+  return acc;
+}
+
+void TokenSoup::step() {
+  const Round r = net_.round();
+  const RegularGraph& g = net_.graph();
+  const std::uint32_t d = g.degree();
+  const Vertex n = g.n();
+
+  // Spawn this round's fresh walks (paper: every node initiates alpha log n
+  // walks every round). Spawned tokens join the back of the queue, so
+  // older (possibly cap-delayed) tokens are forwarded first.
+  if (spawning_) {
+    for (Vertex v = 0; v < n; ++v) {
+      const PeerId self = net_.peer_at(v);
+      for (std::uint32_t i = 0; i < walks_; ++i) {
+        cur_[v].push_back(
+            Token{self, static_cast<std::uint16_t>(length_), 0});
+      }
+    }
+    net_.metrics().count_tokens_spawned(static_cast<std::uint64_t>(n) * walks_);
+  }
+
+  // Advance: each node forwards up to cap_ tokens to uniform random current
+  // neighbors; the remainder wait (and may be destroyed by churn first).
+  std::uint64_t completed = 0;
+  std::uint64_t queued = 0;
+  for (Vertex v = 0; v < n; ++v) {
+    auto& q = cur_[v];
+    const std::size_t fwd = std::min<std::size_t>(q.size(), cap_);
+    for (std::size_t j = 0; j < fwd; ++j) {
+      Token t = q[j];
+      const Vertex u = g.neighbor(v, static_cast<std::uint32_t>(rng_.next_below(d)));
+      --t.steps_left;
+      if (t.steps_left == 0) {
+        ++completed;
+        if (t.probe) {
+          if (probe_hook_) probe_hook_(t.src_or_tag, u, r);
+        } else {
+          samples_[u].add(r, t.src_or_tag);
+        }
+      } else {
+        next_[u].push_back(t);
+      }
+    }
+    if (fwd < q.size()) {
+      queued += q.size() - fwd;
+      for (std::size_t j = fwd; j < q.size(); ++j) next_[v].push_back(q[j]);
+    }
+    if (fwd > 0) net_.charge_processing(v, fwd * kTokenBits);
+    q.clear();
+  }
+  cur_.swap(next_);
+  net_.metrics().count_tokens_completed(completed);
+  net_.metrics().count_tokens_queued(queued);
+
+  // Retire samples that have aged out of the retention window.
+  const Round keep_from = r - window_;
+  for (Vertex v = 0; v < n; ++v) samples_[v].prune(keep_from);
+}
+
+}  // namespace churnstore

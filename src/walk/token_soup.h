@@ -1,0 +1,86 @@
+// The "soup of random walks" (paper section 3).
+//
+// Every node starts walks_per_round fresh walk tokens each round (the
+// paper's alpha log n walks) and forwards up to forward_cap tokens per round
+// (the paper's 2h log n cap); excess tokens queue at the node. A token moves
+// to a uniformly random current neighbor each round; after T steps it is
+// delivered to the node it landed on, which records the token's source id in
+// its SampleBuffer. Tokens sitting at a churned-out node are destroyed —
+// exactly the loss/bias mechanism the Soup Theorem bounds.
+//
+// Besides the steady-state soup, the class supports tagged probe walks whose
+// completions are reported through a hook instead of sample buffers; the
+// Soup-Theorem and mixing benches (E1-E3) use probes to measure the
+// source->destination distribution directly.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "net/config.h"
+#include "net/network.h"
+#include "util/rng.h"
+#include "walk/sampler.h"
+
+namespace churnstore {
+
+class TokenSoup {
+ public:
+  TokenSoup(Network& net, const WalkConfig& config);
+
+  /// Advance one round: spawn new walks, move tokens, deliver completions.
+  /// Call once per round after Network::begin_round().
+  void step();
+
+  /// Turn automatic per-round spawning on/off (benches that only study
+  /// probes disable the soup to isolate the measurement).
+  void set_spawning(bool on) noexcept { spawning_ = on; }
+
+  [[nodiscard]] const SampleBuffer& samples(Vertex v) const noexcept {
+    return samples_[v];
+  }
+
+  /// --- probe interface ---------------------------------------------------
+  /// Injects a tagged walk of `steps` steps starting at `v` (start counts as
+  /// position before the first step). Completion calls the probe hook.
+  void inject_probe(Vertex v, std::uint64_t tag, std::uint32_t steps);
+
+  /// hook(tag, destination_vertex, completion_round)
+  using ProbeHook = std::function<void(std::uint64_t, Vertex, Round)>;
+  void set_probe_hook(ProbeHook hook) { probe_hook_ = std::move(hook); }
+
+  /// --- introspection -------------------------------------------------------
+  [[nodiscard]] std::size_t tokens_alive() const noexcept;
+  [[nodiscard]] std::uint32_t walks_per_round() const noexcept { return walks_; }
+  [[nodiscard]] std::uint32_t walk_length() const noexcept { return length_; }
+  [[nodiscard]] std::uint32_t cap() const noexcept { return cap_; }
+  [[nodiscard]] std::uint32_t tau() const noexcept { return tau_; }
+  [[nodiscard]] const WalkConfig& config() const noexcept { return config_; }
+
+ private:
+  struct Token {
+    std::uint64_t src_or_tag;  ///< source PeerId, or tag for probes
+    std::uint16_t steps_left;
+    std::uint16_t probe;  ///< 1 if probe token
+  };
+
+  void on_churn(Vertex v);
+
+  Network& net_;
+  WalkConfig config_;
+  Rng rng_;
+  std::uint32_t walks_;
+  std::uint32_t length_;
+  std::uint32_t cap_;
+  std::uint32_t tau_;
+  Round window_;
+  bool spawning_ = true;
+
+  std::vector<std::vector<Token>> cur_;
+  std::vector<std::vector<Token>> next_;
+  std::vector<SampleBuffer> samples_;
+  ProbeHook probe_hook_;
+};
+
+}  // namespace churnstore

@@ -1,0 +1,159 @@
+#include <gtest/gtest.h>
+
+#include "baseline/flooding.h"
+#include "baseline/kwalker.h"
+#include "baseline/sqrt_replication.h"
+#include "net/network.h"
+#include "walk/token_soup.h"
+
+namespace churnstore {
+namespace {
+
+SimConfig net_config(std::uint32_t n, std::int64_t churn_abs) {
+  SimConfig c;
+  c.n = n;
+  c.degree = 8;
+  c.seed = 13;
+  c.churn.kind = churn_abs > 0 ? AdversaryKind::kUniform : AdversaryKind::kNone;
+  c.churn.absolute = churn_abs;
+  return c;
+}
+
+void run_round(Network& net, TokenSoup* soup,
+               const std::function<void()>& protos,
+               const std::function<bool(Vertex, const Message&)>& handler) {
+  net.begin_round();
+  if (soup) soup->step();
+  protos();
+  net.deliver();
+  for (Vertex v = 0; v < net.n(); ++v) {
+    for (const Message& m : net.inbox(v)) handler(v, m);
+  }
+}
+
+TEST(Flooding, FullCoverageInLogRounds) {
+  Network net(net_config(256, 0));
+  FloodingStore flood(net, FloodingStore::Options{});
+  flood.store(0, 42);
+  for (int r = 0; r < 16; ++r) {
+    run_round(net, nullptr, [&] { flood.on_round(); },
+              [&](Vertex v, const Message& m) { return flood.handle(v, m); });
+  }
+  EXPECT_DOUBLE_EQ(flood.coverage(42), 1.0);
+  EXPECT_TRUE(flood.has_item(200, 42));
+}
+
+TEST(Flooding, CoverageDecaysUnderChurnWithoutRefresh) {
+  Network net(net_config(256, 16));
+  FloodingStore flood(net, FloodingStore::Options{.refresh_period = 0});
+  flood.store(0, 42);
+  for (int r = 0; r < 12; ++r) {
+    run_round(net, nullptr, [&] { flood.on_round(); },
+              [&](Vertex v, const Message& m) { return flood.handle(v, m); });
+  }
+  const double full = flood.coverage(42);
+  for (int r = 0; r < 60; ++r) {
+    run_round(net, nullptr, [&] { flood.on_round(); },
+              [&](Vertex v, const Message& m) { return flood.handle(v, m); });
+  }
+  EXPECT_LT(flood.coverage(42), full);
+}
+
+TEST(Flooding, RefreshRestoresCoverage) {
+  Network net(net_config(256, 8));
+  FloodingStore flood(net, FloodingStore::Options{.refresh_period = 8});
+  flood.store(0, 42);
+  for (int r = 0; r < 80; ++r) {
+    run_round(net, nullptr, [&] { flood.on_round(); },
+              [&](Vertex v, const Message& m) { return flood.handle(v, m); });
+  }
+  EXPECT_GT(flood.coverage(42), 0.85);
+  // The price: enormous per-node traffic.
+  EXPECT_GT(net.metrics().max_bits_per_node_round().mean(), 8 * 1024.0);
+}
+
+TEST(SqrtReplication, StoreAndFindWithoutChurn) {
+  Network net(net_config(256, 0));
+  TokenSoup soup(net, WalkConfig{});
+  SqrtReplication repl(net, soup, SqrtReplication::Options{});
+  auto handler = [&](Vertex v, const Message& m) { return repl.handle(v, m); };
+  // Warm the soup so the creator has samples.
+  for (std::uint32_t r = 0; r < 2 * soup.tau(); ++r) {
+    run_round(net, &soup, [] {}, handler);
+  }
+  const std::size_t placed = repl.store(0, 42);
+  EXPECT_GT(placed, 16u);  // ~ sqrt(256 * ln 256) ~ 38
+  run_round(net, &soup, [] {}, handler);  // replicas delivered
+  EXPECT_GT(repl.holders_alive(42), placed / 2);
+
+  const auto sid = repl.search(100, 42, /*timeout=*/3 * soup.tau());
+  for (std::uint32_t r = 0; r < 3 * soup.tau(); ++r) {
+    run_round(net, &soup, [&] { repl.on_round(); }, handler);
+    if (repl.outcome(sid).done) break;
+  }
+  const auto out = repl.outcome(sid);
+  EXPECT_TRUE(out.done);
+  EXPECT_TRUE(out.success);
+  EXPECT_GE(out.rounds_taken, 0);
+}
+
+TEST(SqrtReplication, HoldersDecayUnderChurn) {
+  Network net(net_config(256, 12));
+  TokenSoup soup(net, WalkConfig{});
+  SqrtReplication repl(net, soup, SqrtReplication::Options{});
+  auto handler = [&](Vertex v, const Message& m) { return repl.handle(v, m); };
+  for (std::uint32_t r = 0; r < 2 * soup.tau(); ++r) {
+    run_round(net, &soup, [] {}, handler);
+  }
+  std::size_t placed = 0;
+  for (int attempt = 0; attempt < 10 && placed == 0; ++attempt) {
+    placed = repl.store(0, 42);
+    if (placed == 0) run_round(net, &soup, [] {}, handler);
+  }
+  ASSERT_GT(placed, 0u);
+  run_round(net, &soup, [] {}, handler);
+  const std::size_t initial = repl.holders_alive(42);
+  for (std::uint32_t r = 0; r < 4 * soup.tau(); ++r) {
+    run_round(net, &soup, [] {}, handler);
+  }
+  // No maintenance: the holder set must strictly decay under churn.
+  EXPECT_LT(repl.holders_alive(42), initial);
+}
+
+TEST(KWalker, FindsItemWithoutChurn) {
+  Network net(net_config(256, 0));
+  TokenSoup soup(net, WalkConfig{});
+  KWalkerSearch kw(net, soup, KWalkerSearch::Options{.walkers = 32});
+  auto handler = [&](Vertex, const Message&) { return true; };
+  for (std::uint32_t r = 0; r < 2 * soup.tau(); ++r) {
+    run_round(net, &soup, [] {}, handler);
+  }
+  ASSERT_GT(kw.store(0, 42), 0u);
+  const auto sid = kw.search(128, 42, /*ttl=*/8 * soup.tau());
+  for (std::uint32_t r = 0; r < 8 * soup.tau(); ++r) {
+    run_round(net, &soup, [&] { kw.on_round(); }, handler);
+    if (kw.outcome(sid).done) break;
+  }
+  EXPECT_TRUE(kw.outcome(sid).success);
+}
+
+TEST(KWalker, WalkersDieWithChurnedCarriers) {
+  Network net(net_config(128, 16));
+  TokenSoup soup(net, WalkConfig{});
+  KWalkerSearch kw(net, soup, KWalkerSearch::Options{.walkers = 64});
+  auto handler = [&](Vertex, const Message&) { return true; };
+  for (std::uint32_t r = 0; r < 2 * soup.tau(); ++r) {
+    run_round(net, &soup, [] {}, handler);
+  }
+  // Search for an item that does not exist so walkers run out their TTL.
+  const auto sid = kw.search(0, 0xDEAD, /*ttl=*/64);
+  for (int r = 0; r < 64; ++r) {
+    run_round(net, &soup, [&] { kw.on_round(); }, handler);
+  }
+  const auto out = kw.outcome(sid);
+  EXPECT_FALSE(out.success);
+  EXPECT_GT(out.walkers_lost, 0u) << "heavy churn must kill some walkers";
+}
+
+}  // namespace
+}  // namespace churnstore

@@ -1,0 +1,91 @@
+#include "baseline/chord.h"
+
+#include <gtest/gtest.h>
+
+namespace churnstore {
+namespace {
+
+TEST(Chord, RingSizeIsStableUnderChurn) {
+  ChordSim sim(ChordSim::Options{.n = 512, .churn_per_round = 16, .seed = 1});
+  for (int r = 0; r < 100; ++r) sim.run_round();
+  EXPECT_EQ(sim.ring_size(), 512u);
+}
+
+TEST(Chord, StorePlacesReplicationCopies) {
+  ChordSim sim(ChordSim::Options{
+      .n = 256, .replication = 6, .churn_per_round = 0, .seed = 2});
+  sim.store(12345);
+  EXPECT_EQ(sim.replicas_alive(12345), 6u);
+}
+
+TEST(Chord, LookupSucceedsWithoutChurn) {
+  ChordSim sim(ChordSim::Options{
+      .n = 256, .replication = 4, .churn_per_round = 0, .seed = 3});
+  sim.store(999);
+  const auto res = sim.lookup(999);
+  EXPECT_TRUE(res.success);
+  EXPECT_EQ(res.hops, 8u);  // ceil(log2 256)
+}
+
+TEST(Chord, DataDiesWithoutStabilization) {
+  ChordSim sim(ChordSim::Options{.n = 256,
+                                 .replication = 4,
+                                 .stabilize_period = 0,  // never repair
+                                 .churn_per_round = 16,
+                                 .seed = 4});
+  sim.store(999);
+  sim.run_rounds(400);
+  EXPECT_TRUE(sim.item_lost(999));
+}
+
+TEST(Chord, FrequentStabilizationKeepsDataAtModerateChurn) {
+  ChordSim sim(ChordSim::Options{.n = 1024,
+                                 .replication = 8,
+                                 .stabilize_period = 2,
+                                 .churn_per_round = 8,
+                                 .seed = 5});
+  sim.store(999);
+  sim.run_rounds(300);
+  EXPECT_FALSE(sim.item_lost(999));
+  EXPECT_GT(sim.stabilize_messages(), 0u);
+}
+
+TEST(Chord, HighChurnBeatsPeriodicStabilization) {
+  // At paper-level churn (~ n / log^{1.5} n per round: here ~115 of 1024),
+  // all r replicas die within a single stabilization period w.h.p. and the
+  // item is lost even though repair runs regularly.
+  ChordSim sim(ChordSim::Options{.n = 1024,
+                                 .replication = 8,
+                                 .stabilize_period = 16,
+                                 .churn_per_round = 115,
+                                 .seed = 6});
+  for (int i = 0; i < 8; ++i) sim.store(1000 + static_cast<std::uint64_t>(i));
+  sim.run_rounds(600);
+  int lost = 0;
+  for (int i = 0; i < 8; ++i)
+    lost += sim.item_lost(1000 + static_cast<std::uint64_t>(i));
+  EXPECT_GT(lost, 0) << "structured DHT should lose data at this churn";
+}
+
+TEST(Chord, StabilizationCostGrowsWithFrequency) {
+  ChordSim fast(ChordSim::Options{.n = 512,
+                                  .replication = 6,
+                                  .stabilize_period = 2,
+                                  .churn_per_round = 8,
+                                  .seed = 7});
+  ChordSim slow(ChordSim::Options{.n = 512,
+                                  .replication = 6,
+                                  .stabilize_period = 32,
+                                  .churn_per_round = 8,
+                                  .seed = 7});
+  for (int i = 0; i < 8; ++i) {
+    fast.store(static_cast<std::uint64_t>(i) * 7777);
+    slow.store(static_cast<std::uint64_t>(i) * 7777);
+  }
+  fast.run_rounds(200);
+  slow.run_rounds(200);
+  EXPECT_GT(fast.stabilize_messages(), slow.stabilize_messages());
+}
+
+}  // namespace
+}  // namespace churnstore

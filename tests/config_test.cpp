@@ -1,0 +1,82 @@
+#include "net/config.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace churnstore {
+namespace {
+
+TEST(Config, WalkConstantsGrowLogarithmically) {
+  WalkConfig wc;
+  const double ratio =
+      static_cast<double>(walk_length(1u << 20, wc)) /
+      static_cast<double>(walk_length(1u << 10, wc));
+  // T = t_mult * ln n: doubling the exponent doubles T.
+  EXPECT_NEAR(ratio, 2.0, 0.1);
+}
+
+TEST(Config, CommitteeTargetMatchesHLogN) {
+  ProtocolConfig pc;
+  pc.h = 1.0;
+  EXPECT_EQ(committee_target(1024, pc),
+            static_cast<std::uint32_t>(std::lround(std::log(1024.0))));
+  pc.h = 2.0;
+  EXPECT_EQ(committee_target(1024, pc),
+            static_cast<std::uint32_t>(std::lround(2.0 * std::log(1024.0))));
+  // Floor of 3 for tiny networks.
+  pc.h = 0.1;
+  EXPECT_EQ(committee_target(8, pc), 3u);
+}
+
+TEST(Config, TreeDepthReachesSqrtNLandmarks) {
+  for (std::uint32_t n : {256u, 1024u, 4096u, 16384u}) {
+    ProtocolConfig pc;
+    const std::uint32_t committee = committee_target(n, pc);
+    const std::uint32_t mu = landmark_tree_depth(n, 1.5, pc.delta, committee);
+    // committee * 2^mu must reach sqrt(n) ...
+    EXPECT_GE(static_cast<double>(committee) * std::pow(2.0, mu),
+              std::sqrt(static_cast<double>(n)))
+        << "n=" << n;
+    // ... and stay within the paper's O(n^{0.5+delta}) budget per tree path:
+    // mu <= (0.5 + delta) log2 n (eq. 4's cap).
+    EXPECT_LE(mu, std::ceil((0.5 + pc.delta) * std::log2(n))) << "n=" << n;
+  }
+}
+
+TEST(Config, TreeDepthMonotoneInN) {
+  ProtocolConfig pc;
+  std::uint32_t prev = 0;
+  for (std::uint32_t n : {64u, 256u, 1024u, 4096u, 16384u, 65536u}) {
+    const std::uint32_t mu =
+        landmark_tree_depth(n, 1.5, pc.delta, committee_target(n, pc));
+    EXPECT_GE(mu + 1, prev) << "n=" << n;  // allow plateaus, not collapses
+    prev = mu;
+  }
+}
+
+TEST(Config, ChurnRateMatchesPaperFormula) {
+  ChurnSpec spec;
+  spec.kind = AdversaryKind::kUniform;
+  spec.k = 1.0 + 0.5;
+  spec.multiplier = 4.0;
+  for (std::uint32_t n : {512u, 4096u, 32768u}) {
+    const double ln_n = std::log(static_cast<double>(n));
+    const auto expected = static_cast<std::uint32_t>(
+        std::floor(4.0 * n / std::pow(ln_n, 1.5)));
+    EXPECT_EQ(spec.per_round(n), std::min(expected, n / 4)) << "n=" << n;
+  }
+}
+
+TEST(Config, ChurnFractionShrinksWithN) {
+  ChurnSpec spec;
+  spec.kind = AdversaryKind::kUniform;
+  const double f1 =
+      static_cast<double>(spec.per_round(1024)) / 1024.0;
+  const double f2 =
+      static_cast<double>(spec.per_round(65536)) / 65536.0;
+  EXPECT_GT(f1, f2);  // churn is n / polylog n: the fraction decays
+}
+
+}  // namespace
+}  // namespace churnstore

@@ -1,0 +1,150 @@
+#include "coding/ida.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace churnstore {
+namespace {
+
+std::vector<std::uint8_t> random_bytes(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::uint8_t> out(n);
+  for (auto& b : out) b = static_cast<std::uint8_t>(rng.next());
+  return out;
+}
+
+TEST(Ida, ConstructorValidation) {
+  EXPECT_THROW(IdaCodec(0, 4), std::invalid_argument);
+  EXPECT_THROW(IdaCodec(5, 4), std::invalid_argument);
+  EXPECT_THROW(IdaCodec(200, 200), std::invalid_argument);  // k + l > 256
+  EXPECT_NO_THROW(IdaCodec(4, 4));
+  EXPECT_NO_THROW(IdaCodec(100, 156));
+}
+
+TEST(Ida, BlowupRatio) {
+  IdaCodec codec(4, 6);
+  EXPECT_DOUBLE_EQ(codec.blowup(), 1.5);
+}
+
+TEST(Ida, RoundTripAllPieces) {
+  const auto data = random_bytes(1000, 1);
+  IdaCodec codec(5, 9);
+  const auto pieces = codec.encode(data);
+  ASSERT_EQ(pieces.size(), 9u);
+  for (const auto& p : pieces) EXPECT_EQ(p.bytes.size(), 200u);
+  const auto back = codec.decode(pieces, data.size());
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, data);
+}
+
+TEST(Ida, DecodeFromExactlyKPieces) {
+  const auto data = random_bytes(333, 2);  // non-divisible length (padding)
+  IdaCodec codec(4, 10);
+  auto pieces = codec.encode(data);
+  // Keep an arbitrary subset of exactly k pieces.
+  std::vector<IdaPiece> subset{pieces[9], pieces[0], pieces[5], pieces[2]};
+  const auto back = codec.decode(subset, data.size());
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, data);
+}
+
+TEST(Ida, FailsBelowK) {
+  const auto data = random_bytes(100, 3);
+  IdaCodec codec(4, 8);
+  auto pieces = codec.encode(data);
+  pieces.resize(3);
+  EXPECT_FALSE(codec.decode(pieces, data.size()).has_value());
+}
+
+TEST(Ida, DuplicatePiecesDoNotCount) {
+  const auto data = random_bytes(100, 4);
+  IdaCodec codec(3, 6);
+  const auto pieces = codec.encode(data);
+  // Three entries but only two distinct indices: must fail.
+  std::vector<IdaPiece> dups{pieces[0], pieces[0], pieces[1]};
+  EXPECT_FALSE(codec.decode(dups, data.size()).has_value());
+  // Adding one more distinct index makes it work, duplicates ignored.
+  dups.push_back(pieces[4]);
+  const auto back = codec.decode(dups, data.size());
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, data);
+}
+
+TEST(Ida, MismatchedPieceLengthsRejected) {
+  const auto data = random_bytes(90, 5);
+  IdaCodec codec(3, 5);
+  auto pieces = codec.encode(data);
+  pieces[1].bytes.pop_back();
+  std::vector<IdaPiece> subset{pieces[0], pieces[1], pieces[2]};
+  EXPECT_FALSE(codec.decode(subset, data.size()).has_value());
+}
+
+TEST(Ida, EmptyInput) {
+  IdaCodec codec(3, 5);
+  const std::vector<std::uint8_t> empty;
+  const auto pieces = codec.encode(empty);
+  ASSERT_EQ(pieces.size(), 5u);
+  const auto back = codec.decode(pieces, 0);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_TRUE(back->empty());
+}
+
+TEST(Ida, SingleByteAndKEqualsOne) {
+  const std::vector<std::uint8_t> data{0xAB};
+  IdaCodec codec(1, 4);
+  const auto pieces = codec.encode(data);
+  for (const auto& p : pieces) {
+    const auto back = codec.decode({p}, 1);
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(*back, data);  // every single piece suffices when k = 1
+  }
+}
+
+TEST(Ida, KEqualsLNoRedundancy) {
+  const auto data = random_bytes(64, 6);
+  IdaCodec codec(8, 8);
+  auto pieces = codec.encode(data);
+  const auto back = codec.decode(pieces, data.size());
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, data);
+  pieces.pop_back();
+  EXPECT_FALSE(codec.decode(pieces, data.size()).has_value());
+}
+
+// Property sweep: random (k, l), random data sizes, random surviving subset.
+class IdaProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(IdaProperty, RandomSubsetsAlwaysReconstruct) {
+  Rng rng(GetParam());
+  for (int trial = 0; trial < 25; ++trial) {
+    const auto k = static_cast<std::uint32_t>(1 + rng.next_below(12));
+    const auto l = static_cast<std::uint32_t>(k + rng.next_below(12));
+    const auto size = static_cast<std::size_t>(rng.next_below(600));
+    const auto data = random_bytes(size, rng.next());
+    IdaCodec codec(k, l);
+    const auto pieces = codec.encode(data);
+    const auto keep = rng.sample_without_replacement(l, k);
+    std::vector<IdaPiece> subset;
+    for (const auto i : keep) subset.push_back(pieces[i]);
+    const auto back = codec.decode(subset, size);
+    ASSERT_TRUE(back.has_value()) << "k=" << k << " l=" << l << " size=" << size;
+    EXPECT_EQ(*back, data);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IdaProperty, ::testing::Values(11, 22, 33, 44));
+
+TEST(Ida, StorageOverheadIsBlowupNotReplication) {
+  const auto data = random_bytes(1024, 7);
+  IdaCodec codec(8, 10);
+  const auto pieces = codec.encode(data);
+  std::size_t total = 0;
+  for (const auto& p : pieces) total += p.bytes.size();
+  // Total stored = l * ceil(|I| / k) = 10 * 128 = 1280 bytes: a 1.25x
+  // overhead versus 10x for 10 full replicas.
+  EXPECT_EQ(total, 1280u);
+}
+
+}  // namespace
+}  // namespace churnstore

@@ -1,0 +1,131 @@
+#include "core/kv_store.h"
+
+#include <gtest/gtest.h>
+
+namespace churnstore {
+namespace {
+
+SystemConfig make_config(std::uint32_t n, std::int64_t churn_abs) {
+  SystemConfig c;
+  c.sim.n = n;
+  c.sim.degree = 8;
+  c.sim.seed = 33;
+  c.sim.churn.kind =
+      churn_abs > 0 ? AdversaryKind::kUniform : AdversaryKind::kNone;
+  c.sim.churn.absolute = churn_abs;
+  return c;
+}
+
+std::vector<std::uint8_t> bytes_of(std::string_view s) {
+  return {s.begin(), s.end()};
+}
+
+TEST(KvStore, KeyHashingIsStableAndDistinct) {
+  EXPECT_EQ(KvStore::key_to_item("a"), KvStore::key_to_item("a"));
+  EXPECT_NE(KvStore::key_to_item("a"), KvStore::key_to_item("b"));
+  EXPECT_NE(KvStore::key_to_item(""), 0u);
+}
+
+TEST(KvStore, PutGetRoundTrip) {
+  P2PSystem sys(make_config(256, 0));
+  KvStore kv(sys);
+  sys.run_rounds(sys.warmup_rounds());
+  const auto value = bytes_of("the quick brown fox");
+  for (int i = 0; i < 20 && !kv.put(3, "docs/readme", value); ++i)
+    sys.run_round();
+  ASSERT_EQ(kv.key_count(), 1u);
+  sys.run_rounds(2 * sys.tau());
+
+  const auto h = kv.get(200, "docs/readme");
+  sys.run_rounds(sys.search_timeout() + 2);
+  const auto r = kv.result(h);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_TRUE(r->complete);
+  ASSERT_TRUE(r->found);
+  EXPECT_EQ(r->value, value);
+  EXPECT_GT(r->rounds_taken, 0);
+}
+
+TEST(KvStore, DuplicatePutRejected) {
+  P2PSystem sys(make_config(128, 0));
+  KvStore kv(sys);
+  sys.run_rounds(sys.warmup_rounds());
+  for (int i = 0; i < 20 && !kv.put(3, "k", bytes_of("v1")); ++i)
+    sys.run_round();
+  EXPECT_FALSE(kv.put(4, "k", bytes_of("v2")));
+  EXPECT_EQ(kv.key_count(), 1u);
+}
+
+TEST(KvStore, GetMissingKeyCompletesUnfound) {
+  P2PSystem sys(make_config(128, 0));
+  KvStore kv(sys);
+  sys.run_rounds(sys.warmup_rounds());
+  const auto h = kv.get(5, "never/stored");
+  sys.run_rounds(sys.search_timeout() + 4);
+  const auto r = kv.result(h);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_TRUE(r->complete);
+  EXPECT_FALSE(r->found);
+  EXPECT_FALSE(kv.result(0xdeadbeef).has_value());
+}
+
+TEST(KvStore, ContainsTracksRecoverability) {
+  P2PSystem sys(make_config(256, 0));
+  KvStore kv(sys);
+  sys.run_rounds(sys.warmup_rounds());
+  EXPECT_FALSE(kv.contains("x"));
+  for (int i = 0; i < 20 && !kv.put(3, "x", bytes_of("payload")); ++i)
+    sys.run_round();
+  sys.run_round();
+  EXPECT_TRUE(kv.contains("x"));
+}
+
+TEST(KvStore, RoundTripUnderChurnAndErasure) {
+  SystemConfig cfg = make_config(256, 6);
+  cfg.protocol.use_erasure_coding = true;
+  P2PSystem sys(cfg);
+  KvStore kv(sys);
+  sys.run_rounds(sys.warmup_rounds());
+  const auto value = bytes_of(std::string(300, 'z') + "tail");
+  for (int i = 0; i < 20 && !kv.put(3, "big", value); ++i) sys.run_round();
+  sys.run_rounds(2 * sys.tau());
+  // A couple of attempts tolerate searcher churn.
+  for (int attempt = 0; attempt < 3; ++attempt) {
+    const auto h = kv.get(static_cast<Vertex>(40 + 61 * attempt), "big");
+    sys.run_rounds(sys.search_timeout() + 4);
+    const auto r = kv.result(h);
+    ASSERT_TRUE(r.has_value());
+    if (r->found) {
+      EXPECT_EQ(r->value, value);
+      return;
+    }
+  }
+  FAIL() << "no retrieval attempt succeeded under churn";
+}
+
+TEST(KvStore, ManyKeys) {
+  P2PSystem sys(make_config(256, 0));
+  KvStore kv(sys);
+  sys.run_rounds(sys.warmup_rounds());
+  for (int i = 0; i < 5; ++i) {
+    const std::string key = "key/" + std::to_string(i);
+    const auto value = bytes_of("value-" + std::to_string(i));
+    for (int a = 0; a < 20 && !kv.put(static_cast<Vertex>(10 * i), key, value);
+         ++a)
+      sys.run_round();
+  }
+  EXPECT_EQ(kv.key_count(), 5u);
+  sys.run_rounds(2 * sys.tau());
+  for (int i = 0; i < 5; ++i) {
+    const std::string key = "key/" + std::to_string(i);
+    const auto h = kv.get(static_cast<Vertex>(200 + i), key);
+    sys.run_rounds(sys.search_timeout() + 2);
+    const auto r = kv.result(h);
+    ASSERT_TRUE(r.has_value());
+    EXPECT_TRUE(r->found) << key;
+    EXPECT_EQ(r->value, bytes_of("value-" + std::to_string(i))) << key;
+  }
+}
+
+}  // namespace
+}  // namespace churnstore

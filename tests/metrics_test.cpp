@@ -1,0 +1,59 @@
+#include "net/metrics.h"
+
+#include <gtest/gtest.h>
+
+namespace churnstore {
+namespace {
+
+TEST(Metrics, PerRoundMaxAndMean) {
+  Metrics m(4);
+  m.charge_bits(0, 100);
+  m.charge_bits(1, 300);
+  m.end_round();
+  m.charge_bits(2, 60);
+  m.end_round();
+  EXPECT_EQ(m.rounds(), 2u);
+  EXPECT_EQ(m.total_bits(), 460u);
+  // Round maxima: 300, 60 -> mean 180.
+  EXPECT_DOUBLE_EQ(m.max_bits_per_node_round().mean(), 180.0);
+  // Round means: 100, 15 -> mean 57.5.
+  EXPECT_DOUBLE_EQ(m.mean_bits_per_node_round().mean(), 57.5);
+  EXPECT_DOUBLE_EQ(m.max_bits_per_node_round().max(), 300.0);
+}
+
+TEST(Metrics, CountersAccumulate) {
+  Metrics m(2);
+  m.count_message();
+  m.count_message();
+  m.count_dropped();
+  m.count_tokens_spawned(10);
+  m.count_tokens_lost(3);
+  m.count_tokens_completed(5);
+  m.count_tokens_queued(2);
+  m.count_committee_formed();
+  m.count_committee_lost();
+  m.count_landmark_created();
+  m.count_landmark_collision();
+  EXPECT_EQ(m.total_messages(), 2u);
+  EXPECT_EQ(m.dropped_messages(), 1u);
+  EXPECT_EQ(m.tokens_spawned(), 10u);
+  EXPECT_EQ(m.tokens_lost(), 3u);
+  EXPECT_EQ(m.tokens_completed(), 5u);
+  EXPECT_EQ(m.tokens_queued(), 2u);
+  EXPECT_EQ(m.committees_formed(), 1u);
+  EXPECT_EQ(m.committees_lost(), 1u);
+  EXPECT_EQ(m.landmarks_created(), 1u);
+  EXPECT_EQ(m.landmark_collisions(), 1u);
+}
+
+TEST(Metrics, RoundBucketsResetAfterEndRound) {
+  Metrics m(2);
+  m.charge_bits(0, 50);
+  m.end_round();
+  m.end_round();  // empty round
+  EXPECT_DOUBLE_EQ(m.max_bits_per_node_round().min(), 0.0);
+  EXPECT_DOUBLE_EQ(m.max_bits_per_node_round().max(), 50.0);
+}
+
+}  // namespace
+}  // namespace churnstore

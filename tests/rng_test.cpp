@@ -1,0 +1,163 @@
+#include "util/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+namespace churnstore {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 1000; ++i) equal += (a.next() == b.next());
+  EXPECT_LT(equal, 5);
+}
+
+TEST(Rng, NextBelowRespectsBound) {
+  Rng r(7);
+  for (std::uint64_t bound : {1ull, 2ull, 3ull, 10ull, 1000ull, 1ull << 40}) {
+    for (int i = 0; i < 200; ++i) EXPECT_LT(r.next_below(bound), bound);
+  }
+}
+
+TEST(Rng, NextBelowOneAlwaysZero) {
+  Rng r(9);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(r.next_below(1), 0u);
+}
+
+TEST(Rng, UniformIntInclusiveRange) {
+  Rng r(11);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = r.uniform_int(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= (v == -3);
+    saw_hi |= (v == 3);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, Uniform01InUnitInterval) {
+  Rng r(13);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double u = r.uniform01();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(Rng, BernoulliMatchesProbability) {
+  Rng r(17);
+  int hits = 0;
+  const int trials = 20000;
+  for (int i = 0; i < trials; ++i) hits += r.bernoulli(0.3);
+  EXPECT_NEAR(static_cast<double>(hits) / trials, 0.3, 0.02);
+}
+
+TEST(Rng, ExponentialMeanMatchesRate) {
+  Rng r(19);
+  double sum = 0;
+  const int trials = 20000;
+  for (int i = 0; i < trials; ++i) sum += r.exponential(2.0);
+  EXPECT_NEAR(sum / trials, 0.5, 0.03);
+}
+
+TEST(Rng, NormalMeanAndVariance) {
+  Rng r(23);
+  double sum = 0, sum2 = 0;
+  const int trials = 40000;
+  for (int i = 0; i < trials; ++i) {
+    const double x = r.normal();
+    sum += x;
+    sum2 += x * x;
+  }
+  EXPECT_NEAR(sum / trials, 0.0, 0.03);
+  EXPECT_NEAR(sum2 / trials, 1.0, 0.05);
+}
+
+TEST(Rng, GeometricMean) {
+  Rng r(29);
+  double sum = 0;
+  const int trials = 20000;
+  for (int i = 0; i < trials; ++i)
+    sum += static_cast<double>(r.geometric(0.25));
+  // Mean of failures-before-success geometric is (1-p)/p = 3.
+  EXPECT_NEAR(sum / trials, 3.0, 0.15);
+}
+
+TEST(Rng, ShuffleIsPermutation) {
+  Rng r(31);
+  std::vector<int> v(100);
+  for (int i = 0; i < 100; ++i) v[static_cast<std::size_t>(i)] = i;
+  auto w = v;
+  r.shuffle(w);
+  std::sort(w.begin(), w.end());
+  EXPECT_EQ(v, w);
+}
+
+TEST(Rng, SampleWithoutReplacementDistinct) {
+  Rng r(37);
+  for (std::uint32_t pool : {10u, 100u, 10000u}) {
+    for (std::uint32_t k : {1u, 5u, pool / 2, pool}) {
+      const auto s = r.sample_without_replacement(pool, k);
+      EXPECT_EQ(s.size(), std::min(k, pool));
+      std::set<std::uint32_t> dedup(s.begin(), s.end());
+      EXPECT_EQ(dedup.size(), s.size());
+      for (const auto x : s) EXPECT_LT(x, pool);
+    }
+  }
+}
+
+TEST(Rng, ForkStreamsAreIndependent) {
+  Rng parent(41);
+  Rng c1 = parent.fork(1);
+  Rng c2 = parent.fork(2);
+  int equal = 0;
+  for (int i = 0; i < 1000; ++i) equal += (c1.next() == c2.next());
+  EXPECT_LT(equal, 5);
+}
+
+TEST(Mix64, IsDeterministicAndSpreads) {
+  EXPECT_EQ(mix64(12345), mix64(12345));
+  EXPECT_NE(mix64(1), mix64(2));
+  EXPECT_NE(mix64(0), 0u);
+}
+
+// Property sweep: uniformity of next_below over several (seed, bound) pairs
+// via a loose chi-square bound.
+class RngUniformity : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RngUniformity, ChiSquareWithinBounds) {
+  Rng r(GetParam());
+  const std::uint64_t bins = 16;
+  const int trials = 32000;
+  std::vector<int> counts(bins, 0);
+  for (int i = 0; i < trials; ++i) ++counts[r.next_below(bins)];
+  const double expected = static_cast<double>(trials) / bins;
+  double chi2 = 0;
+  for (const int c : counts) {
+    const double d = c - expected;
+    chi2 += d * d / expected;
+  }
+  // 15 dof: the 0.001 quantile is ~37.7; allow generous slack.
+  EXPECT_LT(chi2, 45.0) << "seed=" << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RngUniformity,
+                         ::testing::Values(1, 2, 3, 99, 12345, 0xdeadbeef));
+
+}  // namespace
+}  // namespace churnstore

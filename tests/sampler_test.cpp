@@ -1,0 +1,73 @@
+#include "walk/sampler.h"
+
+#include <gtest/gtest.h>
+
+namespace churnstore {
+namespace {
+
+TEST(SampleBuffer, GroupsByRound) {
+  SampleBuffer buf;
+  buf.add(1, 100);
+  buf.add(1, 101);
+  buf.add(3, 102);
+  EXPECT_EQ(buf.count_at(1), 2u);
+  EXPECT_EQ(buf.count_at(2), 0u);
+  EXPECT_EQ(buf.count_at(3), 1u);
+  EXPECT_EQ(buf.total(), 3u);
+  EXPECT_EQ(buf.at(1)[0], 100u);
+  EXPECT_EQ(buf.at(3)[0], 102u);
+}
+
+TEST(SampleBuffer, PruneDropsOldGroups) {
+  SampleBuffer buf;
+  for (Round r = 1; r <= 10; ++r) buf.add(r, static_cast<PeerId>(r));
+  buf.prune(6);
+  EXPECT_EQ(buf.count_at(5), 0u);
+  EXPECT_EQ(buf.count_at(6), 1u);
+  EXPECT_EQ(buf.total(), 5u);
+}
+
+TEST(SampleBuffer, RecentDistinctNewestFirst) {
+  SampleBuffer buf;
+  buf.add(1, 10);
+  buf.add(2, 20);
+  buf.add(3, 30);
+  const auto got = buf.recent_distinct(2);
+  ASSERT_EQ(got.size(), 2u);
+  EXPECT_EQ(got[0], 30u);
+  EXPECT_EQ(got[1], 20u);
+}
+
+TEST(SampleBuffer, RecentDistinctDeduplicates) {
+  SampleBuffer buf;
+  buf.add(1, 7);
+  buf.add(2, 7);
+  buf.add(2, 8);
+  buf.add(3, 7);
+  const auto got = buf.recent_distinct(0);  // 0 = all
+  ASSERT_EQ(got.size(), 2u);
+  EXPECT_EQ(got[0], 7u);
+  EXPECT_EQ(got[1], 8u);
+}
+
+TEST(SampleBuffer, RecentDistinctHonorsExclusions) {
+  SampleBuffer buf;
+  buf.add(1, 1);
+  buf.add(1, 2);
+  buf.add(1, 3);
+  const auto got = buf.recent_distinct(0, {2});
+  ASSERT_EQ(got.size(), 2u);
+  for (const auto p : got) EXPECT_NE(p, 2u);
+}
+
+TEST(SampleBuffer, ClearEmpties) {
+  SampleBuffer buf;
+  buf.add(1, 1);
+  buf.clear();
+  EXPECT_TRUE(buf.empty());
+  EXPECT_EQ(buf.total(), 0u);
+  EXPECT_TRUE(buf.recent_distinct(5).empty());
+}
+
+}  // namespace
+}  // namespace churnstore

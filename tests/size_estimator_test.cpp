@@ -1,0 +1,120 @@
+#include "core/size_estimator.h"
+
+#include "stats/summary.h"
+
+#include <gtest/gtest.h>
+
+namespace churnstore {
+namespace {
+
+SimConfig net_config(std::uint32_t n, std::int64_t churn_abs) {
+  SimConfig c;
+  c.n = n;
+  c.degree = 8;
+  c.seed = 19;
+  c.churn.kind = churn_abs > 0 ? AdversaryKind::kUniform : AdversaryKind::kNone;
+  c.churn.absolute = churn_abs;
+  return c;
+}
+
+void run(Network& net, SizeEstimator& est, std::uint32_t rounds) {
+  for (std::uint32_t r = 0; r < rounds; ++r) {
+    net.begin_round();
+    est.step();
+    net.deliver();
+  }
+}
+
+TEST(SizeEstimator, ConvergesToNWithoutChurn) {
+  Network net(net_config(512, 0));
+  SizeEstimator est(net, /*k=*/32);
+  run(net, est, est.convergence_rounds());
+  const double n_hat = est.median_estimate();
+  EXPECT_GT(n_hat, 512.0 * 0.55) << n_hat;
+  EXPECT_LT(n_hat, 512.0 * 1.8) << n_hat;
+}
+
+TEST(SizeEstimator, AllNodesAgreeAfterFlooding) {
+  Network net(net_config(256, 0));
+  SizeEstimator est(net, 16);
+  run(net, est, est.convergence_rounds());
+  // Min-flooding makes the vectors identical, hence identical estimates.
+  const double e0 = est.estimate(0);
+  for (Vertex v = 1; v < net.n(); ++v) {
+    EXPECT_DOUBLE_EQ(est.estimate(v), e0);
+  }
+}
+
+TEST(SizeEstimator, AccuracyImprovesWithK) {
+  // Relative error ~ 1/sqrt(k): compare k=4 against k=64 across seeds.
+  double err_small = 0, err_big = 0;
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    SimConfig cfg = net_config(256, 0);
+    cfg.seed = seed;
+    Network net_a(cfg);
+    SizeEstimator small(net_a, 4);
+    run(net_a, small, small.convergence_rounds());
+    Network net_b(cfg);
+    SizeEstimator big(net_b, 64);
+    run(net_b, big, big.convergence_rounds());
+    err_small += std::abs(small.median_estimate() - 256.0) / 256.0;
+    err_big += std::abs(big.median_estimate() - 256.0) / 256.0;
+  }
+  EXPECT_LT(err_big, err_small);
+}
+
+TEST(SizeEstimator, SelfHealsUnderChurn) {
+  Network net(net_config(512, 16));  // ~3% per round
+  SizeEstimator est(net, 32);
+  run(net, est, est.convergence_rounds());
+  // Keep churning for a while; the estimate must stay in a constant band
+  // (the paper only needs a constant-factor estimate of n).
+  for (int epoch = 0; epoch < 4; ++epoch) {
+    run(net, est, 10);
+    const double n_hat = est.median_estimate();
+    EXPECT_GT(n_hat, 512.0 / 3.0) << "epoch " << epoch;
+    EXPECT_LT(n_hat, 512.0 * 3.0) << "epoch " << epoch;
+  }
+}
+
+TEST(SizeEstimator, FreshNodeReconvergesQuickly) {
+  Network net(net_config(128, 4));
+  SizeEstimator est(net, 16);
+  run(net, est, est.convergence_rounds());
+  const auto churned = net.begin_round();
+  ASSERT_FALSE(churned.empty());
+  // Right after churn the fresh node has only its own draws (estimate ~ k,
+  // wildly off); after a few exchange rounds it re-absorbs the global mins.
+  est.step();
+  net.deliver();
+  run(net, est, 4);
+  const double fresh = est.estimate(churned[0]);
+  EXPECT_GT(fresh, 128.0 / 4.0);
+}
+
+TEST(SizeEstimator, ChargesPolylogBits) {
+  Network net(net_config(256, 0));
+  SizeEstimator est(net, 16);
+  run(net, est, 8);
+  // Two k-vectors (running + completed epoch) per neighbor per round:
+  // 8 * 2 * 16 * 64 = 16384 bits/node/round — polylog in n.
+  EXPECT_DOUBLE_EQ(net.metrics().max_bits_per_node_round().max(), 16384.0);
+}
+
+TEST(SizeEstimator, EstimateStableAcrossEpochRestarts) {
+  Network net(net_config(512, 16));
+  SizeEstimator est(net, 32);
+  run(net, est, est.convergence_rounds());
+  // Run through ~6 more epochs: the epoch-restart design must prevent the
+  // churn-draw ratchet (without it the estimate grows without bound).
+  RunningStat trace;
+  for (int i = 0; i < 6; ++i) {
+    run(net, est, est.epoch_rounds());
+    trace.add(est.median_estimate());
+  }
+  EXPECT_GT(trace.min(), 512.0 / 3.0);
+  EXPECT_LT(trace.max(), 512.0 * 3.0);
+}
+
+}  // namespace
+}  // namespace churnstore
