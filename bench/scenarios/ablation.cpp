@@ -1,0 +1,113 @@
+// E13 — Design ablations around the paper's constants.
+//
+// Sweeps the knobs DESIGN.md calls out: committee refresh period (paper:
+// every 2 tau), invitation oversampling (our finite-n compensation for
+// sample staleness), landmark tree fanout (paper: 2) and TTL (paper: 2
+// tau), and walk length. Each row reports item persistence, search
+// success, and the per-node traffic the setting costs.
+#include "scenario_common.h"
+
+namespace churnstore {
+namespace {
+
+using namespace churnstore::bench;
+
+struct AblationResult {
+  double persist = 0.0;
+  double locate = 0.0;
+  double bits = 0.0;
+};
+
+AblationResult run(Runner& runner, SystemConfig cfg,
+                   const StoreSearchOptions& workload, std::uint32_t trials,
+                   std::uint64_t seed) {
+  struct Row {
+    double persist = 0.0, locate = 0.0, bits = 0.0;
+  };
+  const auto rows = runner.map_trials<Row>(
+      trials, [&cfg, &workload, seed](std::uint32_t trial) {
+        SystemConfig trial_cfg = cfg;
+        trial_cfg.sim.seed = Runner::trial_seed(seed, trial);
+        Row row;
+        const auto trace = run_availability_trial(trial_cfg, 10.0);
+        row.persist = trace.recoverable_fraction();
+        const auto res = run_store_search_trial(trial_cfg, workload);
+        row.locate = res.locate_rate();
+        row.bits = res.mean_bits_node_round;
+        return row;
+      });
+  RunningStat persist, locate, bits;
+  for (const Row& row : rows) {
+    persist.add(row.persist);
+    locate.add(row.locate);
+    bits.add(row.bits);
+  }
+  return AblationResult{persist.mean(), locate.mean(), bits.mean()};
+}
+
+CHURNSTORE_SCENARIO(ablation,
+                    "E13: sweep each protocol constant around the paper's "
+                    "choice") {
+  ScenarioSpec base = spec;
+  if (!cli.has("n")) base.ns = {512};
+  if (!cli.has("items")) base.workload.items = 1;
+  if (!cli.has("searches")) base.workload.searchers_per_batch = 8;
+  if (!cli.has("batches")) base.workload.batches = 1;
+  const std::uint32_t n = base.n();
+
+  banner(base, "E13 ablation — design-choice sweeps",
+         "persistence / search success / cost as each protocol constant "
+         "moves around the paper's choice");
+
+  Runner runner(base);
+  Table t({"knob", "value", "recoverable", "locate rate",
+           "mean bits/node/rd"});
+  const SystemConfig base_cfg = base.with_n(n).system_config();
+
+  for (const double v : {0.5, 1.0, 2.0}) {
+    SystemConfig cfg = base_cfg;
+    cfg.protocol.refresh_taus = v;
+    const auto r = run(runner, cfg, base.workload, base.trials, base.seed + 1);
+    t.begin_row().cell("refresh period (taus)").cell(v, 1).cell(r.persist, 3)
+        .cell(r.locate, 3).cell(r.bits, 0);
+  }
+  for (const double v : {1.0, 2.0, 3.0, 4.0}) {
+    SystemConfig cfg = base_cfg;
+    cfg.protocol.invite_oversample = v;
+    const auto r = run(runner, cfg, base.workload, base.trials, base.seed + 2);
+    t.begin_row().cell("invite oversample").cell(v, 1).cell(r.persist, 3)
+        .cell(r.locate, 3).cell(r.bits, 0);
+  }
+  for (const std::uint32_t v : {2u, 3u, 4u}) {
+    SystemConfig cfg = base_cfg;
+    cfg.protocol.tree_fanout = v;
+    const auto r = run(runner, cfg, base.workload, base.trials, base.seed + 3);
+    t.begin_row().cell("tree fanout").cell(static_cast<std::int64_t>(v))
+        .cell(r.persist, 3).cell(r.locate, 3).cell(r.bits, 0);
+  }
+  for (const double v : {1.0, 2.0, 3.0}) {
+    SystemConfig cfg = base_cfg;
+    cfg.protocol.landmark_ttl_taus = v;
+    const auto r = run(runner, cfg, base.workload, base.trials, base.seed + 4);
+    t.begin_row().cell("landmark TTL (taus)").cell(v, 1).cell(r.persist, 3)
+        .cell(r.locate, 3).cell(r.bits, 0);
+  }
+  for (const double v : {2.0, 2.5, 3.0}) {
+    SystemConfig cfg = base_cfg;
+    cfg.walk.t_mult = v;
+    const auto r = run(runner, cfg, base.workload, base.trials, base.seed + 5);
+    t.begin_row().cell("walk length (x ln n)").cell(v, 1).cell(r.persist, 3)
+        .cell(r.locate, 3).cell(r.bits, 0);
+  }
+  for (const double v : {1.0, 1.5, 2.5}) {
+    SystemConfig cfg = base_cfg;
+    cfg.walk.rate_mult = v;
+    const auto r = run(runner, cfg, base.workload, base.trials, base.seed + 6);
+    t.begin_row().cell("walk rate (x ln n)").cell(v, 1).cell(r.persist, 3)
+        .cell(r.locate, 3).cell(r.bits, 0);
+  }
+  emit(t, base);
+}
+
+}  // namespace
+}  // namespace churnstore

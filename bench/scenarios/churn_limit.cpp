@@ -7,14 +7,15 @@
 // c * n / ln^{1.5} n (the paper's tolerated rate) and c * n / ln n (the
 // conjectured wall) — and watch walk survival, storage persistence, and
 // search success collapse as churn-per-mixing-time approaches 1.
+#include <algorithm>
 #include <cmath>
 
-#include "common.h"
+#include "scenario_common.h"
 
-using namespace churnstore;
-using namespace churnstore::bench;
-
+namespace churnstore {
 namespace {
+
+using namespace churnstore::bench;
 
 struct LimitRow {
   double walk_survival = 0.0;
@@ -22,9 +23,10 @@ struct LimitRow {
   double locate_rate = 0.0;
 };
 
-LimitRow run_once(std::uint32_t n, std::int64_t churn_abs,
+LimitRow run_once(const ScenarioSpec& spec, std::int64_t churn_abs,
                   std::uint64_t seed) {
-  SystemConfig cfg = default_system_config(n, seed);
+  SystemConfig cfg = spec.system_config();
+  cfg.sim.seed = seed;
   cfg.sim.churn.kind =
       churn_abs > 0 ? AdversaryKind::kUniform : AdversaryKind::kNone;
   cfg.sim.churn.absolute = churn_abs;
@@ -61,30 +63,34 @@ LimitRow run_once(std::uint32_t n, std::int64_t churn_abs,
   return row;
 }
 
-}  // namespace
+CHURNSTORE_SCENARIO(churn_limit,
+                    "E11: the churn wall in both functional forms (section "
+                    "5 conjecture)") {
+  ScenarioSpec base = spec;
+  if (!cli.has("n")) base.ns = {512};
 
-int main(int argc, char** argv) {
-  const Cli cli(argc, argv);
-  const auto args = BenchArgs::parse(cli, {512}, 2);
-
-  banner("E11 bench_churn_limit — the churn wall (section 5 conjecture)",
+  banner(base, "E11 churn_limit — the churn wall (section 5 conjecture)",
          "sweep churn in both functional forms; the protocol degrades as "
          "the per-mixing-time churn fraction approaches a constant "
          "(conjectured wall at Omega(n/log n) per round)");
 
+  Runner runner(base);
   Table t({"form", "c", "churn/rd", "frac/rd", "frac/tau", "walk survival",
            "persisted", "locate rate"});
-  for (const auto n64 : args.n_list) {
-    const auto n = static_cast<std::uint32_t>(n64);
+  for (const std::uint32_t n : base.ns) {
     const double ln_n = std::log(static_cast<double>(n));
-    const std::uint32_t tau = tau_rounds(n, WalkConfig{});
+    const std::uint32_t tau = tau_rounds(n, base.walk);
+    const ScenarioSpec cell = base.with_n(n);
     auto sweep = [&](const char* form, double divisor, double c) {
-      const auto churn = static_cast<std::int64_t>(
-          c * static_cast<double>(n) / divisor);
+      const auto churn =
+          static_cast<std::int64_t>(c * static_cast<double>(n) / divisor);
+      const auto rows = runner.map_trials<LimitRow>(
+          base.trials, [&cell, churn, n](std::uint32_t trial) {
+            return run_once(cell, churn,
+                            Runner::trial_seed(cell.seed + n, trial));
+          });
       RunningStat surv, persist, locate;
-      for (std::uint32_t trial = 0; trial < args.trials; ++trial) {
-        const auto row =
-            run_once(n, churn, mix64(args.seed + trial * 83 + n));
+      for (const LimitRow& row : rows) {
         surv.add(row.walk_survival);
         persist.add(row.persist);
         locate.add(row.locate_rate);
@@ -107,6 +113,8 @@ int main(int argc, char** argv) {
       sweep("n/ln n", ln_n, c);
     }
   }
-  emit(t, args.csv);
-  return 0;
+  emit(t, base);
 }
+
+}  // namespace
+}  // namespace churnstore

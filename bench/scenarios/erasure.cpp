@@ -6,12 +6,12 @@
 //
 // Measurement: replication vs IDA across a churn sweep and a surplus sweep:
 // bytes stored network-wide per item, persistence, and retrieval success.
-#include "common.h"
+#include "scenario_common.h"
 
-using namespace churnstore;
-using namespace churnstore::bench;
-
+namespace churnstore {
 namespace {
+
+using namespace churnstore::bench;
 
 struct ErasureRow {
   double stored_bytes = 0.0;
@@ -19,10 +19,10 @@ struct ErasureRow {
   double fetch_rate = 0.0;
 };
 
-ErasureRow run_once(std::uint32_t n, double cm, bool erasure,
+ErasureRow run_once(const ScenarioSpec& spec, bool erasure,
                     std::uint32_t surplus, std::uint64_t seed) {
-  SystemConfig cfg = default_system_config(n, seed);
-  cfg.sim.churn.multiplier = cm;
+  SystemConfig cfg = spec.system_config();
+  cfg.sim.seed = seed;
   cfg.protocol.use_erasure_coding = erasure;
   cfg.protocol.ida_surplus = surplus;
   cfg.protocol.item_bits = 8192;
@@ -63,68 +63,55 @@ ErasureRow run_once(std::uint32_t n, double cm, bool erasure,
   return row;
 }
 
-}  // namespace
+CHURNSTORE_SCENARIO(erasure, "E10: IDA pieces vs replication (section 4.4)") {
+  ScenarioSpec base = spec;
+  if (!cli.has("n")) base.ns = {512};
 
-int main(int argc, char** argv) {
-  const Cli cli(argc, argv);
-  const auto args = BenchArgs::parse(cli, {512}, 2);
-
-  banner("E10 bench_erasure — IDA vs replication (section 4.4)",
+  banner(base, "E10 erasure — IDA vs replication (section 4.4)",
          "stored bytes per item drop from Theta(log n)*|I| to ~L/K * |I| "
          "while persistence and retrieval stay intact");
 
+  Runner runner(base);
   Table t({"mode", "n", "churn/rd", "surplus", "stored bytes", "x item size",
            "persisted", "fetch rate"});
   const double item_bytes = 8192.0 / 8.0;
-  for (const auto n64 : args.n_list) {
-    const auto n = static_cast<std::uint32_t>(n64);
-    for (const double cm : {0.25, args.churn_mult}) {
-      ChurnSpec spec;
-      spec.kind = AdversaryKind::kUniform;
-      spec.k = 1.5;
-      spec.multiplier = cm;
-      const auto churn_rd = static_cast<std::int64_t>(spec.per_round(n));
-      // Replication reference.
-      {
+  for (const std::uint32_t n : base.ns) {
+    for (const double cm : {0.25, base.churn.multiplier}) {
+      const ScenarioSpec cell = at_churn(base, n, cm);
+      const auto churn_rd =
+          static_cast<std::int64_t>(cell.churn.per_round(n));
+      auto sweep = [&](const char* mode, bool erasure_mode,
+                       std::uint32_t surplus, const std::string& label) {
+        const auto rows = runner.map_trials<ErasureRow>(
+            base.trials,
+            [&cell, erasure_mode, surplus, n](std::uint32_t trial) {
+              return run_once(cell, erasure_mode, surplus,
+                              Runner::trial_seed(cell.seed + n, trial));
+            });
         RunningStat bytes, persist, fetch;
-        for (std::uint32_t trial = 0; trial < args.trials; ++trial) {
-          const auto r = run_once(n, cm, false, 3,
-                                  mix64(args.seed + trial * 71 + n));
-          bytes.add(r.stored_bytes);
-          persist.add(r.persist);
-          fetch.add(r.fetch_rate);
+        for (const ErasureRow& row : rows) {
+          bytes.add(row.stored_bytes);
+          persist.add(row.persist);
+          fetch.add(row.fetch_rate);
         }
         t.begin_row()
-            .cell("replication")
+            .cell(mode)
             .cell(static_cast<std::int64_t>(n))
             .cell(churn_rd)
-            .cell("-")
+            .cell(label)
             .cell(bytes.mean(), 0)
             .cell(bytes.mean() / item_bytes, 2)
             .cell(persist.mean(), 2)
             .cell(fetch.mean(), 2);
-      }
+      };
+      sweep("replication", false, 3, "-");
       for (const std::uint32_t surplus : {2u, 3u, 4u}) {
-        RunningStat bytes, persist, fetch;
-        for (std::uint32_t trial = 0; trial < args.trials; ++trial) {
-          const auto r = run_once(n, cm, true, surplus,
-                                  mix64(args.seed + trial * 71 + n));
-          bytes.add(r.stored_bytes);
-          persist.add(r.persist);
-          fetch.add(r.fetch_rate);
-        }
-        t.begin_row()
-            .cell("ida")
-            .cell(static_cast<std::int64_t>(n))
-            .cell(churn_rd)
-            .cell(static_cast<std::int64_t>(surplus))
-            .cell(bytes.mean(), 0)
-            .cell(bytes.mean() / item_bytes, 2)
-            .cell(persist.mean(), 2)
-            .cell(fetch.mean(), 2);
+        sweep("ida", true, surplus, std::to_string(surplus));
       }
     }
   }
-  emit(t, args.csv);
-  return 0;
+  emit(t, base);
 }
+
+}  // namespace
+}  // namespace churnstore

@@ -11,26 +11,26 @@
 // which is exactly the "dynamic mixing time" claim.
 #include <vector>
 
-#include "common.h"
 #include "net/network.h"
+#include "scenario_common.h"
 #include "stats/divergence.h"
 #include "walk/token_soup.h"
 
-using namespace churnstore;
-using namespace churnstore::bench;
-
+namespace churnstore {
 namespace {
 
-UniformityReport measure(std::uint32_t n, EdgeDynamics dynamics,
+using namespace churnstore::bench;
+
+UniformityReport measure(const ScenarioSpec& spec, EdgeDynamics dynamics,
                          double t_mult, std::uint64_t seed,
                          std::uint32_t total_probes) {
-  SimConfig cfg;
-  cfg.n = n;
+  SimConfig cfg = spec.system_config().sim;
   cfg.seed = seed;
   cfg.churn.kind = AdversaryKind::kNone;
   cfg.edge_dynamics = dynamics;
+  const std::uint32_t n = cfg.n;
   Network net(cfg);
-  WalkConfig wc;
+  WalkConfig wc = spec.walk;
   wc.t_mult = t_mult;
   TokenSoup soup(net, wc);
   soup.set_spawning(false);
@@ -56,51 +56,52 @@ UniformityReport measure(std::uint32_t n, EdgeDynamics dynamics,
   return uniformity_report(arrivals);
 }
 
-const char* mode_name(EdgeDynamics d) {
-  switch (d) {
-    case EdgeDynamics::kStatic: return "static";
-    case EdgeDynamics::kRewire: return "rewire";
-    case EdgeDynamics::kRegenerate: return "regenerate";
-  }
-  return "?";
-}
-
-}  // namespace
-
-int main(int argc, char** argv) {
-  const Cli cli(argc, argv);
-  const auto args = BenchArgs::parse(cli, {1024}, 1);
+CHURNSTORE_SCENARIO(mixing, "E2: dynamic mixing time per edge mode (Lemma 1)") {
+  ScenarioSpec base = spec;
+  if (!cli.has("n")) base.ns = {1024};
+  if (!cli.has("trials")) base.trials = 1;
   const auto probes =
       static_cast<std::uint32_t>(cli.get_int("probes", 40000));
 
-  banner("E2 bench_mixing — dynamic mixing time (Lemma 1)",
+  banner(base, "E2 mixing — dynamic mixing time (Lemma 1)",
          "single-source destination TVD vs walk length, per edge-dynamics "
          "mode; T ~ 2.5 ln n suffices on every mode (mixing is Theta(log n))");
 
+  struct Cell {
+    double tvd = 0.0, min_pn = 0.0, max_pn = 0.0, zero = 0.0;
+  };
+
+  Runner runner(base);
   Table t({"n", "mode", "T (steps)", "T/ln n", "tvd", "min p*n", "max p*n",
            "zero frac"});
-  for (const auto n64 : args.n_list) {
-    const auto n = static_cast<std::uint32_t>(n64);
+  for (const std::uint32_t n : base.ns) {
     for (const EdgeDynamics mode :
          {EdgeDynamics::kStatic, EdgeDynamics::kRewire,
           EdgeDynamics::kRegenerate}) {
       for (const double tm : {0.5, 1.0, 1.5, 2.0, 2.5, 3.0}) {
+        const ScenarioSpec cell_spec = base.with_n(n);
+        const auto cells = runner.map_trials<Cell>(
+            base.trials, [&cell_spec, mode, tm, n, probes](std::uint32_t trial) {
+              const auto rep =
+                  measure(cell_spec, mode, tm,
+                          Runner::trial_seed(cell_spec.seed + n, trial),
+                          probes);
+              return Cell{rep.tvd, rep.min_prob_times_n, rep.max_prob_times_n,
+                          rep.zero_fraction};
+            });
+        WalkConfig wc = base.walk;
+        wc.t_mult = tm;
+        const std::uint32_t steps = walk_length(n, wc);
         RunningStat tvd, min_pn, max_pn, zero;
-        std::uint32_t steps = 0;
-        for (std::uint32_t trial = 0; trial < args.trials; ++trial) {
-          WalkConfig wc;
-          wc.t_mult = tm;
-          steps = walk_length(n, wc);
-          const auto rep =
-              measure(n, mode, tm, mix64(args.seed + trial + n), probes);
-          tvd.add(rep.tvd);
-          min_pn.add(rep.min_prob_times_n);
-          max_pn.add(rep.max_prob_times_n);
-          zero.add(rep.zero_fraction);
+        for (const Cell& c : cells) {
+          tvd.add(c.tvd);
+          min_pn.add(c.min_pn);
+          max_pn.add(c.max_pn);
+          zero.add(c.zero);
         }
         t.begin_row()
             .cell(static_cast<std::int64_t>(n))
-            .cell(mode_name(mode))
+            .cell(std::string(to_name(mode)))
             .cell(static_cast<std::int64_t>(steps))
             .cell(tm, 1)
             .cell(tvd.mean())
@@ -110,6 +111,8 @@ int main(int argc, char** argv) {
       }
     }
   }
-  emit(t, args.csv);
-  return 0;
+  emit(t, base);
 }
+
+}  // namespace
+}  // namespace churnstore

@@ -1,0 +1,40 @@
+// Shared plumbing for the registered scenarios (DESIGN.md E1-E13).
+//
+// Every scenario receives a parsed ScenarioSpec (network sizes, churn,
+// workload shape, trials, output format) plus the raw Cli for
+// scenario-specific knobs, runs its Monte-Carlo trials through the Runner
+// (all cores, deterministic), and prints the table recorded in
+// EXPERIMENTS.md through emit().
+#pragma once
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "core/experiment.h"
+#include "core/runner.h"
+#include "core/scenario.h"
+#include "core/stacks.h"
+#include "core/system.h"
+#include "util/cli.h"
+#include "util/table.h"
+
+namespace churnstore::bench {
+
+inline void emit(const Table& table, const ScenarioSpec& spec) {
+  emit_table(table, spec, std::cout);
+}
+
+inline void banner(const ScenarioSpec& spec, const std::string& experiment,
+                   const std::string& claim) {
+  if (spec.csv || spec.json) return;  // keep machine output clean
+  std::printf("== %s ==\n%s\n\n", experiment.c_str(), claim.c_str());
+}
+
+/// Churn sweep helper: spec variant at multiplier `cm` (kNone at 0).
+inline ScenarioSpec at_churn(const ScenarioSpec& spec, std::uint32_t n,
+                             double cm) {
+  return spec.with_n(n).with_churn_multiplier(cm);
+}
+
+}  // namespace churnstore::bench

@@ -9,42 +9,37 @@
 // (log-log slope vs ln n near 1, i.e. O(log n) rounds).
 #include <cmath>
 
-#include "common.h"
+#include "scenario_common.h"
 #include "stats/summary.h"
 
-using namespace churnstore;
+namespace churnstore {
+namespace {
+
 using namespace churnstore::bench;
 
-int main(int argc, char** argv) {
-  const Cli cli(argc, argv);
-  const auto args = BenchArgs::parse(cli, {256, 512, 1024}, 2);
+CHURNSTORE_SCENARIO(search, "E7: retrieval success and latency (Theorem 4)") {
+  ScenarioSpec base = spec;
+  if (!cli.has("n")) base.ns = {256, 512, 1024};
+  if (!cli.has("items")) base.workload.items = 3;
+  if (!cli.has("searches")) base.workload.searchers_per_batch = 12;
 
-  banner("E7 bench_search — retrieval success and latency (Theorem 4)",
+  banner(base, "E7 search — retrieval success and latency (Theorem 4)",
          "locate/fetch rates among surviving searchers and rounds-to-locate "
          "vs n and churn; latency grows like log n, success stays ~1");
 
+  Runner runner(base);
   Table t({"n", "churn/rd", "searches", "censored", "locate rate",
            "fetch rate", "locate rds mean", "locate rds max", "tau"});
   std::vector<double> lnns, latencies;
-  for (const auto n64 : args.n_list) {
-    const auto n = static_cast<std::uint32_t>(n64);
-    for (const double cm : {0.0, args.churn_mult, 2 * args.churn_mult}) {
-      SystemConfig cfg = default_system_config(n, args.seed + n);
-      cfg.sim.churn.multiplier = cm;
-      if (cm == 0.0) cfg.sim.churn.kind = AdversaryKind::kNone;
-      StoreSearchOptions opts;
-      opts.items = 3;
-      opts.searchers_per_batch = 12;
-      opts.batches = 2;
-      const auto res = run_store_search_trials(cfg, opts, args.trials);
-      std::uint32_t tau = 0;
-      {
-        P2PSystem probe(cfg);
-        tau = probe.tau();
-      }
+  for (const std::uint32_t n : base.ns) {
+    for (const double cm :
+         {0.0, base.churn.multiplier, 2 * base.churn.multiplier}) {
+      ScenarioSpec cell = at_churn(base, n, cm).with_seed(base.seed + n);
+      const StoreSearchResult res = runner.store_search(cell);
+      const std::uint32_t tau = tau_rounds(n, cell.walk);
       t.begin_row()
           .cell(static_cast<std::int64_t>(n))
-          .cell(static_cast<std::int64_t>(cfg.sim.churn.per_round(n)))
+          .cell(static_cast<std::int64_t>(cell.churn.per_round(n)))
           .cell(res.searches)
           .cell(res.censored)
           .cell(res.locate_rate(), 3)
@@ -52,17 +47,19 @@ int main(int argc, char** argv) {
           .cell(res.locate_rounds.mean(), 1)
           .cell(res.locate_rounds.max(), 1)
           .cell(static_cast<std::int64_t>(tau));
-      if (cm == args.churn_mult && res.locate_rounds.count() > 0) {
+      if (cm == base.churn.multiplier && res.locate_rounds.count() > 0) {
         lnns.push_back(std::log(static_cast<double>(n)));
         latencies.push_back(res.locate_rounds.mean());
       }
     }
   }
-  emit(t, args.csv);
-  if (lnns.size() >= 2) {
+  emit(t, base);
+  if (lnns.size() >= 2 && !base.csv && !base.json) {
     std::printf("\nlocate-rounds vs ln(n): linear slope %.2f rounds per ln n "
                 "unit (Theorem 4: O(log n) rounds)\n",
                 linear_slope(lnns, latencies));
   }
-  return 0;
 }
+
+}  // namespace
+}  // namespace churnstore

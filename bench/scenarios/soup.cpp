@@ -10,15 +10,15 @@
 // (c) the fraction of nodes inside the theorem's probability band.
 #include <vector>
 
-#include "common.h"
 #include "net/network.h"
+#include "scenario_common.h"
 #include "stats/divergence.h"
 #include "walk/token_soup.h"
 
-using namespace churnstore;
-using namespace churnstore::bench;
-
+namespace churnstore {
 namespace {
+
+using namespace churnstore::bench;
 
 struct SoupRow {
   double survival = 0.0;
@@ -29,17 +29,13 @@ struct SoupRow {
   double source_good = 0.0;    ///< sources with >= 50% of probes surviving
 };
 
-SoupRow run_once(std::uint32_t n, double churn_mult, std::uint64_t seed,
+SoupRow run_once(const ScenarioSpec& spec, std::uint64_t seed,
                  std::uint32_t probes_per_node) {
-  SimConfig cfg;
-  cfg.n = n;
+  SimConfig cfg = spec.system_config().sim;
   cfg.seed = seed;
-  cfg.churn.kind =
-      churn_mult > 0 ? AdversaryKind::kUniform : AdversaryKind::kNone;
-  cfg.churn.k = 1.5;
-  cfg.churn.multiplier = churn_mult;
+  const std::uint32_t n = cfg.n;
   Network net(cfg);
-  TokenSoup soup(net, WalkConfig{});
+  TokenSoup soup(net, spec.walk);
   soup.set_spawning(false);  // isolate the probe measurement
 
   std::vector<std::uint64_t> arrivals(n, 0);
@@ -83,26 +79,30 @@ SoupRow run_once(std::uint32_t n, double churn_mult, std::uint64_t seed,
   return row;
 }
 
-}  // namespace
-
-int main(int argc, char** argv) {
-  const Cli cli(argc, argv);
-  const auto args = BenchArgs::parse(cli, {256, 512, 1024}, 3);
+CHURNSTORE_SCENARIO(soup, "E1: Soup Theorem probe uniformity (Theorem 1)") {
+  ScenarioSpec base = spec;
+  if (!cli.has("n")) base.ns = {256, 512, 1024};
+  if (!cli.has("trials")) base.trials = 3;
   const auto probes = static_cast<std::uint32_t>(cli.get_int("probes", 24));
 
-  banner("E1 bench_soup — Soup Theorem (Theorem 1)",
+  banner(base, "E1 soup — Soup Theorem (Theorem 1)",
          "walks from a large Core land near-uniformly despite churn: "
          "min p*n >= 1/17, max p*n <= 3/2, Core ~ n - o(n)");
 
+  Runner runner(base);
   Table t({"n", "churn/rd", "survival", "tvd", "min p*n", "max p*n",
            "band frac", "good src frac"});
-  for (const auto n64 : args.n_list) {
-    const auto n = static_cast<std::uint32_t>(n64);
-    for (const double cm : {0.0, 0.25, args.churn_mult, 2 * args.churn_mult}) {
+  for (const std::uint32_t n : base.ns) {
+    for (const double cm : {0.0, 0.25, base.churn.multiplier,
+                            2 * base.churn.multiplier}) {
+      const ScenarioSpec cell = at_churn(base, n, cm);
+      const auto rows = runner.map_trials<SoupRow>(
+          base.trials, [&cell, n, probes](std::uint32_t trial) {
+            return run_once(cell, Runner::trial_seed(cell.seed + n, trial),
+                            probes);
+          });
       RunningStat survival, tvd, min_pn, max_pn, band, src;
-      for (std::uint32_t trial = 0; trial < args.trials; ++trial) {
-        const auto row =
-            run_once(n, cm, mix64(args.seed + trial * 131 + n), probes);
+      for (const SoupRow& row : rows) {
         survival.add(row.survival);
         tvd.add(row.tvd);
         min_pn.add(row.min_pn);
@@ -110,13 +110,9 @@ int main(int argc, char** argv) {
         band.add(row.core_fraction);
         src.add(row.source_good);
       }
-      ChurnSpec spec;
-      spec.kind = cm > 0 ? AdversaryKind::kUniform : AdversaryKind::kNone;
-      spec.k = 1.5;
-      spec.multiplier = cm;
       t.begin_row()
           .cell(static_cast<std::int64_t>(n))
-          .cell(static_cast<std::int64_t>(spec.per_round(n)))
+          .cell(static_cast<std::int64_t>(cell.churn.per_round(n)))
           .cell(survival.mean())
           .cell(tvd.mean())
           .cell(min_pn.mean(), 3)
@@ -125,6 +121,8 @@ int main(int argc, char** argv) {
           .cell(src.mean(), 3);
     }
   }
-  emit(t, args.csv);
-  return 0;
+  emit(t, base);
 }
+
+}  // namespace
+}  // namespace churnstore

@@ -4,8 +4,13 @@
 // practice; the paper assumes a constant-factor estimate, and this is how
 // one is obtained).
 //
+// Also shows the pluggable-protocol API: the estimator is one extra module
+// appended to the paper stack and driven by the same P2PSystem round loop —
+// no side-channel stepping.
+//
 //   ./build/examples/kv_service [--n=1024] [--churn-mult=0.5] [--pairs=5]
 #include <cstdio>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -29,17 +34,15 @@ int main(int argc, char** argv) {
   config.sim.churn.k = 1.5;
   config.sim.churn.multiplier = cli.get_double("churn-mult", 0.5);
 
-  P2PSystem sys(config);
+  // The estimator is a Protocol module: append it to the paper stack and
+  // the driver steps it every round along with everything else.
+  auto mods = P2PSystem::paper_protocols(config);
+  mods.push_back(std::make_unique<SizeEstimator>(/*k=*/32));
+  P2PSystem sys = P2PSystem::with_protocols(config, std::move(mods));
   KvStore kv(sys);
-  SizeEstimator estimator(sys.network(), /*k=*/32);
+  SizeEstimator& estimator = *sys.find_protocol<SizeEstimator>();
 
-  // The estimator rides along with normal rounds.
-  auto run = [&](std::uint32_t rounds) {
-    for (std::uint32_t r = 0; r < rounds; ++r) {
-      sys.run_round();
-      estimator.step();
-    }
-  };
+  auto run = [&](std::uint32_t rounds) { sys.run_rounds(rounds); };
 
   run(sys.warmup_rounds());
   std::printf("swarm size: true n=%u, distributed estimate=%.0f\n", n,

@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Canonical verification entry point: configure + build (warnings as errors)
+# + full test suite. CI and pre-merge checks run exactly this.
+#
+#   scripts/check.sh            # build into ./build and run ctest
+#   BUILD_DIR=out scripts/check.sh
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${BUILD_DIR:-build}"
+JOBS="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
+
+GENERATOR_ARGS=()
+if command -v ninja >/dev/null 2>&1; then
+  GENERATOR_ARGS+=(-G Ninja)
+fi
+
+cmake -B "$BUILD_DIR" -S . "${GENERATOR_ARGS[@]}" \
+  -DCHURNSTORE_WARNINGS_AS_ERRORS=ON
+cmake --build "$BUILD_DIR" -j "$JOBS"
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS"
+
+echo
+echo "check.sh: build + tests green"

@@ -104,4 +104,47 @@ ChordSim::LookupResult ChordSim::lookup(std::uint64_t key) {
   return res;
 }
 
+ChordBaseline::ChordBaseline(Options options) : options_(options) {}
+
+void ChordBaseline::on_attach(Network& net_ref) {
+  Protocol::on_attach(net_ref);
+  const SimConfig& sim_cfg = net().config();
+  ChordSim::Options o;
+  o.n = sim_cfg.n;
+  o.replication = options_.replication;
+  o.stabilize_period = options_.stabilize_period;
+  o.churn_per_round = sim_cfg.churn.per_round(sim_cfg.n);
+  o.seed = mix64(sim_cfg.seed ^ 0x63686f7264ULL);
+  o.item_bits = options_.item_bits;
+  sim_ = std::make_unique<ChordSim>(o);
+}
+
+void ChordBaseline::on_round_begin() { sim_->run_round(); }
+
+bool ChordBaseline::try_store(Vertex creator, ItemId item) {
+  (void)creator;  // items live at ring positions of their id
+  sim_->store(item);
+  return true;
+}
+
+std::uint64_t ChordBaseline::begin_search(Vertex initiator, ItemId item) {
+  (void)initiator;  // routing is idealized; the searcher's slot is a label
+  const std::uint64_t sid = mix64(next_sid_++ ^ 0x6c6f6f6bULL) | 1;
+  const ChordSim::LookupResult res = sim_->lookup(item);
+  WorkloadOutcome out;
+  out.done = true;
+  out.located = out.fetched = res.success;
+  if (res.success) {
+    out.located_round = out.fetched_round =
+        net().round() + static_cast<Round>(res.hops);
+  }
+  outcomes_[sid] = out;
+  return sid;
+}
+
+WorkloadOutcome ChordBaseline::search_outcome(std::uint64_t sid) const {
+  const auto it = outcomes_.find(sid);
+  return it == outcomes_.end() ? WorkloadOutcome{} : it->second;
+}
+
 }  // namespace churnstore

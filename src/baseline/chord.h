@@ -16,10 +16,13 @@
 
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <set>
 #include <unordered_map>
 #include <vector>
 
+#include "core/protocol.h"
+#include "core/service.h"
 #include "util/rng.h"
 
 namespace churnstore {
@@ -78,6 +81,51 @@ class ChordSim {
   /// node id -> keys it holds (to drop replicas when the node leaves).
   std::unordered_map<std::uint64_t, std::set<std::uint64_t>> inventory_;
   std::uint64_t stabilize_messages_ = 0;
+};
+
+/// Chord on the shared simulation driver. The ring simulator keeps its own
+/// idealized routing (see ChordSim above) and ignores the expander topology;
+/// what the adapter synchronizes is the ROUND CLOCK and the churn VOLUME:
+/// every network round advances the ring one round with the same per-round
+/// replacement count the expander-side adversary uses, so success rates are
+/// measured under identical churn exposure. Items live at ring positions
+/// derived from their id; the creator/initiator vertices only matter as
+/// workload labels (routing is idealized anyway).
+class ChordBaseline final : public Protocol, public StorageService {
+ public:
+  struct Options {
+    std::uint32_t replication = 8;        ///< r successors hold each key
+    std::uint32_t stabilize_period = 16;  ///< rounds between repair passes
+    std::uint64_t item_bits = 1024;
+  };
+
+  ChordBaseline() : ChordBaseline(Options{}) {}
+  explicit ChordBaseline(Options options);
+
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "chord";
+  }
+  void on_attach(Network& net) override;
+  void on_round_begin() override;
+
+  [[nodiscard]] ChordSim& sim() noexcept { return *sim_; }
+
+  /// --- StorageService -----------------------------------------------------
+  bool try_store(Vertex creator, ItemId item) override;
+  [[nodiscard]] std::uint64_t begin_search(Vertex initiator,
+                                           ItemId item) override;
+  [[nodiscard]] WorkloadOutcome search_outcome(
+      std::uint64_t sid) const override;
+  [[nodiscard]] std::uint32_t search_timeout() const override { return 1; }
+  [[nodiscard]] std::size_t copies_alive(ItemId item) const override {
+    return sim_->replicas_alive(item);
+  }
+
+ private:
+  Options options_;
+  std::unique_ptr<ChordSim> sim_;
+  std::uint64_t next_sid_ = 1;
+  std::unordered_map<std::uint64_t, WorkloadOutcome> outcomes_;
 };
 
 }  // namespace churnstore

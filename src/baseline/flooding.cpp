@@ -1,13 +1,23 @@
 #include "baseline/flooding.h"
 
+#include "util/rng.h"
+
 namespace churnstore {
 
-FloodingStore::FloodingStore(Network& net, Options options)
-    : net_(net), options_(options), held_(net.n()), forwarded_(net.n()) {
-  net_.add_churn_listener([this](Vertex v, PeerId, PeerId) { on_churn(v); });
+FloodingStore::FloodingStore(Options options) : options_(options) {}
+
+FloodingStore::FloodingStore(Network& net_ref, Options options)
+    : FloodingStore(options) {
+  on_attach(net_ref);
 }
 
-void FloodingStore::on_churn(Vertex v) {
+void FloodingStore::on_attach(Network& net_ref) {
+  Protocol::on_attach(net_ref);
+  held_.assign(net().n(), {});
+  forwarded_.assign(net().n(), {});
+}
+
+void FloodingStore::on_churn(Vertex v, PeerId, PeerId) {
   held_[v].clear();
   forwarded_[v].clear();
 }
@@ -27,12 +37,53 @@ double FloodingStore::coverage(ItemId item) const {
   return static_cast<double>(acc) / static_cast<double>(held_.size());
 }
 
-void FloodingStore::on_round() {
+std::size_t FloodingStore::copies_alive(ItemId item) const {
+  std::size_t acc = 0;
+  for (const auto& s : held_) acc += s.count(item);
+  return acc;
+}
+
+bool FloodingStore::try_store(Vertex creator, ItemId item) {
+  store(creator, item);
+  return true;
+}
+
+std::uint64_t FloodingStore::begin_search(Vertex initiator, ItemId item) {
+  const std::uint64_t sid = mix64(next_sid_++ ^ 0x666c64ULL) | 1;
+  lookups_.push_back(PendingLookup{sid, net().peer_at(initiator), item});
+  outcomes_[sid] = WorkloadOutcome{};
+  return sid;
+}
+
+WorkloadOutcome FloodingStore::search_outcome(std::uint64_t sid) const {
+  const auto it = outcomes_.find(sid);
+  return it == outcomes_.end() ? WorkloadOutcome{} : it->second;
+}
+
+void FloodingStore::on_round_begin() {
+  // Resolve pending local lookups: retrieval under flooding is a local
+  // table check at the initiator (if it survived to this round).
+  std::vector<PendingLookup> lookups;
+  lookups.swap(lookups_);
+  for (const PendingLookup& lk : lookups) {
+    WorkloadOutcome& out = outcomes_[lk.sid];
+    out.done = true;
+    const auto v = net().find_vertex(lk.initiator);
+    if (!v) {
+      out.censored = true;
+      continue;
+    }
+    if (held_[*v].count(lk.item)) {
+      out.located = out.fetched = true;
+      out.located_round = out.fetched_round = net().round();
+    }
+  }
+
   // Periodic refresh: every holder re-enters the frontier so newly churned-
   // in nodes eventually receive the item again.
   if (options_.refresh_period != 0 &&
-      net_.round() % options_.refresh_period == 0) {
-    for (Vertex v = 0; v < net_.n(); ++v) {
+      net().round() % options_.refresh_period == 0) {
+    for (Vertex v = 0; v < net().n(); ++v) {
       forwarded_[v].clear();
       for (const ItemId item : held_[v]) frontier_.emplace_back(v, item);
     }
@@ -40,24 +91,24 @@ void FloodingStore::on_round() {
 
   std::vector<std::pair<Vertex, ItemId>> frontier;
   frontier.swap(frontier_);
-  const RegularGraph& g = net_.graph();
+  const RegularGraph& g = net().graph();
   for (const auto& [v, item] : frontier) {
     if (!held_[v].count(item)) continue;  // churned away since queued
     if (!forwarded_[v].insert(item).second) continue;
-    const PeerId self = net_.peer_at(v);
+    const PeerId self = net().peer_at(v);
     for (std::uint32_t i = 0; i < g.degree(); ++i) {
       Message msg;
       msg.src = self;
-      msg.dst = net_.peer_at(g.neighbor(v, i));
+      msg.dst = net().peer_at(g.neighbor(v, i));
       msg.type = MsgType::kFloodData;
       msg.words = {item};
       msg.payload_bits = options_.item_bits;
-      net_.send(v, std::move(msg));
+      net().send(v, std::move(msg));
     }
   }
 }
 
-bool FloodingStore::handle(Vertex v, const Message& m) {
+bool FloodingStore::on_message(Vertex v, const Message& m) {
   if (m.type != MsgType::kFloodData) return false;
   const ItemId item = m.words[0];
   if (held_[v].insert(item).second) {

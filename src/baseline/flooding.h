@@ -6,6 +6,10 @@
 // in nodes pull nothing, so coverage decays unless the item is re-flooded
 // (optional refresh knob), which is exactly the scalability failure the
 // paper's protocol avoids.
+//
+// Runs as a Protocol module on the shared driver; the StorageService facade
+// models retrieval as a local lookup at the initiator (resolved one round
+// after begin_search), which is flooding's whole selling point.
 #pragma once
 
 #include <cstdint>
@@ -13,11 +17,13 @@
 #include <unordered_set>
 #include <vector>
 
+#include "core/protocol.h"
+#include "core/service.h"
 #include "net/network.h"
 
 namespace churnstore {
 
-class FloodingStore {
+class FloodingStore final : public Protocol, public StorageService {
  public:
   struct Options {
     /// Re-flood from every holder each `refresh_period` rounds (0 = never).
@@ -25,28 +31,48 @@ class FloodingStore {
     std::uint64_t item_bits = 1024;
   };
 
+  explicit FloodingStore(Options options);
+  /// Construct and attach in one step (standalone tests/benches).
   FloodingStore(Network& net, Options options);
+
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "flooding";
+  }
+  void on_attach(Network& net) override;
+  void on_round_begin() override;
+  bool on_message(Vertex v, const Message& m) override;
+  void on_churn(Vertex v, PeerId old_peer, PeerId new_peer) override;
 
   /// Inject the item at `creator`; it floods from there.
   void store(Vertex creator, ItemId item);
-
-  /// Drive the flood frontier one round. Call between begin_round() and
-  /// deliver(); then call handle() on delivered kFloodData messages.
-  void on_round();
-  bool handle(Vertex v, const Message& m);
 
   [[nodiscard]] bool has_item(Vertex v, ItemId item) const;
   /// Fraction of nodes currently holding the item.
   [[nodiscard]] double coverage(ItemId item) const;
 
- private:
-  void on_churn(Vertex v);
+  /// --- StorageService -----------------------------------------------------
+  bool try_store(Vertex creator, ItemId item) override;
+  [[nodiscard]] std::uint64_t begin_search(Vertex initiator,
+                                           ItemId item) override;
+  [[nodiscard]] WorkloadOutcome search_outcome(
+      std::uint64_t sid) const override;
+  [[nodiscard]] std::uint32_t search_timeout() const override { return 2; }
+  [[nodiscard]] std::size_t copies_alive(ItemId item) const override;
 
-  Network& net_;
+ private:
+  struct PendingLookup {
+    std::uint64_t sid = 0;
+    PeerId initiator = kNoPeer;
+    ItemId item = 0;
+  };
+
   Options options_;
   std::vector<std::unordered_set<ItemId>> held_;
   std::vector<std::unordered_set<ItemId>> forwarded_;
   std::vector<std::pair<Vertex, ItemId>> frontier_;
+  std::uint64_t next_sid_ = 1;
+  std::vector<PendingLookup> lookups_;
+  std::unordered_map<std::uint64_t, WorkloadOutcome> outcomes_;
 };
 
 }  // namespace churnstore

@@ -5,16 +5,23 @@
 
 namespace churnstore {
 
-KWalkerSearch::KWalkerSearch(Network& net, TokenSoup& soup, Options options)
-    : net_(net),
-      soup_(soup),
-      options_(options),
-      rng_(net.protocol_rng().fork(0x6b77616cULL)),
-      held_(net.n()) {
-  net_.add_churn_listener([this](Vertex v, PeerId, PeerId) { on_churn(v); });
+KWalkerSearch::KWalkerSearch(TokenSoup& soup, Options options)
+    : soup_(soup), options_(options) {}
+
+KWalkerSearch::KWalkerSearch(Network& net_ref, TokenSoup& soup, Options options)
+    : KWalkerSearch(soup, options) {
+  on_attach(net_ref);
 }
 
-void KWalkerSearch::on_churn(Vertex v) {
+void KWalkerSearch::on_attach(Network& net_ref) {
+  Protocol::on_attach(net_ref);
+  rng_ = net().protocol_rng().fork(0x6b77616cULL);
+  held_.assign(net().n(), {});
+  default_ttl_ =
+      options_.default_ttl != 0 ? options_.default_ttl : 4 * soup_.tau();
+}
+
+void KWalkerSearch::on_churn(Vertex v, PeerId, PeerId) {
   held_[v].clear();
   // Walkers currently sitting at v die with the peer that was carrying them.
   for (auto& w : walkers_) {
@@ -30,10 +37,10 @@ std::size_t KWalkerSearch::store(Vertex creator, ItemId item) {
       options_.replication != 0
           ? options_.replication
           : static_cast<std::uint32_t>(
-                std::ceil(std::sqrt(static_cast<double>(net_.n()))));
+                std::ceil(std::sqrt(static_cast<double>(net().n()))));
   const auto targets = soup_.samples(creator).recent_distinct(want);
   if (targets.size() < std::max<std::size_t>(1, want / 2)) return 0;
-  const PeerId self = net_.peer_at(creator);
+  const PeerId self = net().peer_at(creator);
   for (const PeerId t : targets) {
     Message msg;
     msg.src = self;
@@ -41,10 +48,9 @@ std::size_t KWalkerSearch::store(Vertex creator, ItemId item) {
     msg.type = MsgType::kFloodData;
     msg.words = {item};
     msg.payload_bits = options_.item_bits;
-    net_.send(creator, std::move(msg));
+    net().send(creator, std::move(msg));
     // Place synchronously for the god view (the message also charges cost).
-    const Vertex tv = net_.vertex_of(t);
-    if (tv != net_.n()) held_[tv].insert(item);
+    if (const auto tv = net().find_vertex(t)) held_[*tv].insert(item);
   }
   placed_[item] = targets;
   return targets.size();
@@ -54,7 +60,7 @@ std::uint64_t KWalkerSearch::search(Vertex initiator, ItemId item,
                                     std::uint32_t ttl) {
   const std::uint64_t sid = mix64(next_sid_++ ^ 0x6b77ULL) | 1;
   outcomes_[sid] = SearchOutcome{};
-  start_round_[sid] = net_.round();
+  start_round_[sid] = net().round();
   for (std::uint32_t i = 0; i < options_.walkers; ++i) {
     walkers_.push_back(Walker{sid, item, initiator, ttl});
   }
@@ -71,14 +77,35 @@ std::size_t KWalkerSearch::holders_alive(ItemId item) const {
   if (it == placed_.end()) return 0;
   std::size_t alive = 0;
   for (const PeerId p : it->second) {
-    const Vertex v = net_.vertex_of(p);
-    if (v != net_.n() && held_[v].count(item)) ++alive;
+    const auto v = net().find_vertex(p);
+    if (v && held_[*v].count(item)) ++alive;
   }
   return alive;
 }
 
-void KWalkerSearch::on_round() {
-  const RegularGraph& g = net_.graph();
+bool KWalkerSearch::try_store(Vertex creator, ItemId item) {
+  return store(creator, item) > 0;
+}
+
+std::uint64_t KWalkerSearch::begin_search(Vertex initiator, ItemId item) {
+  return search(initiator, item, default_ttl_);
+}
+
+WorkloadOutcome KWalkerSearch::search_outcome(std::uint64_t sid) const {
+  const SearchOutcome native = outcome(sid);
+  WorkloadOutcome out;
+  out.done = native.done;
+  out.located = out.fetched = native.success;
+  if (native.success) {
+    const auto it = start_round_.find(sid);
+    const Round start = it == start_round_.end() ? 0 : it->second;
+    out.located_round = out.fetched_round = start + native.rounds_taken;
+  }
+  return out;
+}
+
+void KWalkerSearch::on_round_begin() {
+  const RegularGraph& g = net().graph();
   const std::uint32_t d = g.degree();
   std::size_t write = 0;
   for (std::size_t read = 0; read < walkers_.size(); ++read) {
@@ -88,11 +115,11 @@ void KWalkerSearch::on_round() {
     if (out.done) continue;
     w.at = g.neighbor(w.at, static_cast<std::uint32_t>(rng_.next_below(d)));
     --w.ttl;
-    net_.charge_processing(w.at, 64 + 64 + 16);  // item id + sid + ttl
+    net().charge_processing(w.at, 64 + 64 + 16);  // item id + sid + ttl
     if (held_[w.at].count(w.item)) {
       out.done = true;
       out.success = true;
-      out.rounds_taken = net_.round() - start_round_[w.sid];
+      out.rounds_taken = net().round() - start_round_[w.sid];
       continue;
     }
     if (w.ttl > 0) walkers_[write++] = w;

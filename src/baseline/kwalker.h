@@ -5,6 +5,9 @@
 // walker lands on a holder. Under churn both holders and in-flight walkers
 // die, so success decays with churn — the soup/committee design fixes both
 // failure modes.
+//
+// Runs as a Protocol module on the shared driver; register after the
+// TokenSoup it samples placement targets from.
 #pragma once
 
 #include <cstdint>
@@ -12,29 +15,40 @@
 #include <unordered_set>
 #include <vector>
 
+#include "core/protocol.h"
+#include "core/service.h"
 #include "net/network.h"
 #include "util/rng.h"
 #include "walk/token_soup.h"
 
 namespace churnstore {
 
-class KWalkerSearch {
+class KWalkerSearch final : public Protocol, public StorageService {
  public:
   struct Options {
     std::uint32_t walkers = 16;       ///< k
     std::uint32_t replication = 0;    ///< holders; 0 = sqrt(n)
     std::uint64_t item_bits = 1024;
+    /// Default walker TTL for StorageService searches (0 = 4 * tau).
+    std::uint32_t default_ttl = 0;
   };
 
+  KWalkerSearch(TokenSoup& soup, Options options);
+  /// Construct and attach in one step (standalone tests/benches).
   KWalkerSearch(Network& net, TokenSoup& soup, Options options);
+
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "k-walker";
+  }
+  void on_attach(Network& net) override;
+  /// Move walkers one hop and resolve hits. Walkers at churned vertices die.
+  void on_round_begin() override;
+  void on_churn(Vertex v, PeerId old_peer, PeerId new_peer) override;
 
   /// Place replicas from the creator's walk samples; 0 while buffer cold.
   std::size_t store(Vertex creator, ItemId item);
 
   std::uint64_t search(Vertex initiator, ItemId item, std::uint32_t ttl);
-
-  /// Move walkers one hop and resolve hits. Walkers at churned vertices die.
-  void on_round();
 
   struct SearchOutcome {
     bool done = false;
@@ -46,6 +60,19 @@ class KWalkerSearch {
 
   [[nodiscard]] std::size_t holders_alive(ItemId item) const;
 
+  /// --- StorageService -----------------------------------------------------
+  bool try_store(Vertex creator, ItemId item) override;
+  [[nodiscard]] std::uint64_t begin_search(Vertex initiator,
+                                           ItemId item) override;
+  [[nodiscard]] WorkloadOutcome search_outcome(
+      std::uint64_t sid) const override;
+  [[nodiscard]] std::uint32_t search_timeout() const override {
+    return default_ttl_ + 2;
+  }
+  [[nodiscard]] std::size_t copies_alive(ItemId item) const override {
+    return holders_alive(item);
+  }
+
  private:
   struct Walker {
     std::uint64_t sid;
@@ -54,12 +81,10 @@ class KWalkerSearch {
     std::uint32_t ttl;
   };
 
-  void on_churn(Vertex v);
-
-  Network& net_;
   TokenSoup& soup_;
   Options options_;
   Rng rng_;
+  std::uint32_t default_ttl_ = 0;
   std::uint64_t next_sid_ = 1;
   std::vector<std::unordered_set<ItemId>> held_;
   std::unordered_map<ItemId, std::vector<PeerId>> placed_;

@@ -10,20 +10,53 @@ namespace {
 // kProbeHit: [0] item [1] sid
 }  // namespace
 
-SqrtReplication::SqrtReplication(Network& net, TokenSoup& soup, Options options)
-    : net_(net), soup_(soup), options_(options), held_(net.n()) {
-  net_.add_churn_listener([this](Vertex v, PeerId, PeerId) { on_churn(v); });
+SqrtReplication::SqrtReplication(TokenSoup& soup, Options options)
+    : soup_(soup), options_(options) {}
+
+SqrtReplication::SqrtReplication(Network& net_ref, TokenSoup& soup,
+                                 Options options)
+    : SqrtReplication(soup, options) {
+  on_attach(net_ref);
 }
 
-void SqrtReplication::on_churn(Vertex v) { held_[v].clear(); }
+void SqrtReplication::on_attach(Network& net_ref) {
+  Protocol::on_attach(net_ref);
+  held_.assign(net().n(), {});
+  default_timeout_ = options_.default_timeout != 0 ? options_.default_timeout
+                                                   : 4 * soup_.tau();
+}
+
+void SqrtReplication::on_churn(Vertex v, PeerId, PeerId) { held_[v].clear(); }
+
+bool SqrtReplication::try_store(Vertex creator, ItemId item) {
+  return store(creator, item) > 0;
+}
+
+std::uint64_t SqrtReplication::begin_search(Vertex initiator, ItemId item) {
+  return search(initiator, item, default_timeout_);
+}
+
+WorkloadOutcome SqrtReplication::search_outcome(std::uint64_t sid) const {
+  const SearchOutcome native = outcome(sid);
+  WorkloadOutcome out;
+  out.done = native.done;
+  out.censored = native.censored;
+  out.located = out.fetched = native.success;
+  if (native.success) {
+    const auto it = start_round_.find(sid);
+    const Round start = it == start_round_.end() ? 0 : it->second;
+    out.located_round = out.fetched_round = start + native.rounds_taken;
+  }
+  return out;
+}
 
 std::size_t SqrtReplication::store(Vertex creator, ItemId item) {
-  const double n = static_cast<double>(net_.n());
+  const double n = static_cast<double>(net().n());
   const auto want = static_cast<std::size_t>(
       std::ceil(options_.replication_mult * std::sqrt(n * std::log(n))));
   const auto targets = soup_.samples(creator).recent_distinct(want);
   if (targets.size() < want / 2 || targets.empty()) return 0;
-  const PeerId self = net_.peer_at(creator);
+  const PeerId self = net().peer_at(creator);
   for (const PeerId t : targets) {
     Message msg;
     msg.src = self;
@@ -31,7 +64,7 @@ std::size_t SqrtReplication::store(Vertex creator, ItemId item) {
     msg.type = MsgType::kFloodData;  // reuse: "store this replica"
     msg.words = {item};
     msg.payload_bits = options_.item_bits;
-    net_.send(creator, std::move(msg));
+    net().send(creator, std::move(msg));
   }
   placed_[item] = targets;
   return targets.size();
@@ -40,11 +73,11 @@ std::size_t SqrtReplication::store(Vertex creator, ItemId item) {
 std::uint64_t SqrtReplication::search(Vertex initiator, ItemId item,
                                       std::uint32_t timeout) {
   const std::uint64_t sid = mix64(next_sid_++ ^ 0x73717274ULL) | 1;
-  active_.push_back(ActiveSearch{sid, item, net_.peer_at(initiator),
-                                 net_.round(),
-                                 net_.round() + static_cast<Round>(timeout)});
+  active_.push_back(ActiveSearch{sid, item, net().peer_at(initiator),
+                                 net().round(),
+                                 net().round() + static_cast<Round>(timeout)});
   outcomes_[sid] = SearchOutcome{};
-  start_round_[sid] = net_.round();
+  start_round_[sid] = net().round();
   return sid;
 }
 
@@ -59,25 +92,26 @@ std::size_t SqrtReplication::holders_alive(ItemId item) const {
   if (it == placed_.end()) return 0;
   std::size_t alive = 0;
   for (const PeerId p : it->second) {
-    const Vertex v = net_.vertex_of(p);
-    if (v != net_.n() && held_[v].count(item)) ++alive;
+    const auto v = net().find_vertex(p);
+    if (v && held_[*v].count(item)) ++alive;
   }
   return alive;
 }
 
-void SqrtReplication::on_round() {
-  const Round now = net_.round();
+void SqrtReplication::on_round_begin() {
+  const Round now = net().round();
   std::size_t write = 0;
   for (std::size_t read = 0; read < active_.size(); ++read) {
     ActiveSearch& s = active_[read];
     SearchOutcome& out = outcomes_[s.sid];
     if (out.done) continue;
-    const Vertex iv = net_.vertex_of(s.initiator);
-    if (iv == net_.n()) {
+    const auto iv_slot = net().find_vertex(s.initiator);
+    if (!iv_slot) {
       out.done = true;
       out.censored = true;
       continue;
     }
+    const Vertex iv = *iv_slot;
     if (now > s.deadline) {
       out.done = true;
       continue;
@@ -89,21 +123,21 @@ void SqrtReplication::on_round() {
         options_.probes_per_round == 0
             ? sources.size()
             : std::min<std::size_t>(options_.probes_per_round, sources.size());
-    const PeerId self = net_.peer_at(iv);
+    const PeerId self = net().peer_at(iv);
     for (std::size_t i = 0; i < cap; ++i) {
       Message msg;
       msg.src = self;
       msg.dst = sources[i];
       msg.type = MsgType::kProbe;
       msg.words = {s.item, s.sid};
-      net_.send(iv, std::move(msg));
+      net().send(iv, std::move(msg));
     }
     active_[write++] = s;
   }
   active_.resize(write);
 }
 
-bool SqrtReplication::handle(Vertex v, const Message& m) {
+bool SqrtReplication::on_message(Vertex v, const Message& m) {
   switch (m.type) {
     case MsgType::kFloodData: {
       held_[v].insert(m.words[0]);
@@ -112,11 +146,11 @@ bool SqrtReplication::handle(Vertex v, const Message& m) {
     case MsgType::kProbe: {
       if (held_[v].count(m.words[0])) {
         Message hit;
-        hit.src = net_.peer_at(v);
+        hit.src = net().peer_at(v);
         hit.dst = m.src;
         hit.type = MsgType::kProbeHit;
         hit.words = m.words;
-        net_.send(v, std::move(hit));
+        net().send(v, std::move(hit));
       }
       return true;
     }
@@ -127,7 +161,7 @@ bool SqrtReplication::handle(Vertex v, const Message& m) {
       if (!out.done) {
         out.done = true;
         out.success = true;
-        out.rounds_taken = net_.round() - start_round_[m.words[1]];
+        out.rounds_taken = net().round() - start_round_[m.words[1]];
       }
       return true;
     }

@@ -5,6 +5,9 @@
 // lands on a holder. There is NO maintenance: churn steadily erodes the
 // holder set, so availability decays — the pitfall the committee-based
 // protocol fixes.
+//
+// Runs as a Protocol module on the shared driver; register after the
+// TokenSoup it samples placement targets and probes from.
 #pragma once
 
 #include <cstdint>
@@ -12,20 +15,34 @@
 #include <unordered_set>
 #include <vector>
 
+#include "core/protocol.h"
+#include "core/service.h"
 #include "net/network.h"
 #include "walk/token_soup.h"
 
 namespace churnstore {
 
-class SqrtReplication {
+class SqrtReplication final : public Protocol, public StorageService {
  public:
   struct Options {
     double replication_mult = 1.0;  ///< copies = mult * sqrt(n * ln n)
     std::uint64_t item_bits = 1024;
     std::uint32_t probes_per_round = 0;  ///< 0 = all fresh samples
+    /// Default deadline for StorageService searches (0 = 4 * tau).
+    std::uint32_t default_timeout = 0;
   };
 
+  SqrtReplication(TokenSoup& soup, Options options);
+  /// Construct and attach in one step (standalone tests/benches).
   SqrtReplication(Network& net, TokenSoup& soup, Options options);
+
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "sqrt-replication";
+  }
+  void on_attach(Network& net) override;
+  void on_round_begin() override;
+  bool on_message(Vertex v, const Message& m) override;
+  void on_churn(Vertex v, PeerId old_peer, PeerId new_peer) override;
 
   /// Place replicas from the creator's samples. Returns the number placed
   /// (0 while the creator's buffer is cold: retry next round).
@@ -33,9 +50,6 @@ class SqrtReplication {
 
   /// Begin a search; returns a search id.
   std::uint64_t search(Vertex initiator, ItemId item, std::uint32_t timeout);
-
-  void on_round();
-  bool handle(Vertex v, const Message& m);
 
   struct SearchOutcome {
     bool done = false;
@@ -48,6 +62,19 @@ class SqrtReplication {
   /// Live holders of the item (god view, for the decay measurement).
   [[nodiscard]] std::size_t holders_alive(ItemId item) const;
 
+  /// --- StorageService -----------------------------------------------------
+  bool try_store(Vertex creator, ItemId item) override;
+  [[nodiscard]] std::uint64_t begin_search(Vertex initiator,
+                                           ItemId item) override;
+  [[nodiscard]] WorkloadOutcome search_outcome(
+      std::uint64_t sid) const override;
+  [[nodiscard]] std::uint32_t search_timeout() const override {
+    return default_timeout_ + 2;
+  }
+  [[nodiscard]] std::size_t copies_alive(ItemId item) const override {
+    return holders_alive(item);
+  }
+
  private:
   struct ActiveSearch {
     std::uint64_t sid;
@@ -57,11 +84,9 @@ class SqrtReplication {
     Round deadline;
   };
 
-  void on_churn(Vertex v);
-
-  Network& net_;
   TokenSoup& soup_;
   Options options_;
+  std::uint32_t default_timeout_ = 0;
   std::uint64_t next_sid_ = 1;
   std::vector<std::unordered_set<ItemId>> held_;
   std::unordered_map<ItemId, std::vector<PeerId>> placed_;  ///< god view

@@ -30,26 +30,39 @@ Round decode_expire(std::uint64_t w) {
 
 }  // namespace
 
-CommitteeManager::CommitteeManager(Network& net, TokenSoup& soup,
+CommitteeManager::CommitteeManager(TokenSoup& soup,
                                    const ProtocolConfig& config)
-    : net_(net),
-      soup_(soup),
-      config_(config),
-      erasure_(config.ida_surplus),
-      rng_(net.protocol_rng().fork(0x636f6dULL)),
-      tau_(soup.tau()),
-      period_(std::max<std::uint32_t>(
-          8, static_cast<std::uint32_t>(config.refresh_taus * tau_))),
-      target_(committee_target(net.n(), config)),
-      state_(net.n()),
-      pending_(net.n()),
-      active_flag_(net.n(), 0) {
-  net_.add_churn_listener([this](Vertex v, PeerId, PeerId) { on_churn(v); });
+    : soup_(soup), config_(config), erasure_(config.ida_surplus) {}
+
+CommitteeManager::CommitteeManager(Network& net_ref, TokenSoup& soup,
+                                   const ProtocolConfig& config)
+    : CommitteeManager(soup, config) {
+  on_attach(net_ref);
 }
 
-void CommitteeManager::on_churn(Vertex v) {
+void CommitteeManager::on_attach(Network& net_ref) {
+  Protocol::on_attach(net_ref);
+  const std::uint32_t n = net().n();
+  rng_ = net().protocol_rng().fork(0x636f6dULL);
+  tau_ = soup_.tau();
+  period_ = std::max<std::uint32_t>(
+      8, static_cast<std::uint32_t>(config_.refresh_taus * tau_));
+  target_ = committee_target(n, config_);
+  state_.assign(n, {});
+  pending_.assign(n, {});
+  active_.clear();
+  active_flag_.assign(n, 0);
+}
+
+void CommitteeManager::on_churn(Vertex v, PeerId, PeerId) {
   state_[v].clear();
   pending_[v].clear();
+}
+
+void CommitteeManager::expose_to_adaptive_adversary() {
+  net().events().subscribe<AdaptiveTargetQuery>([this](AdaptiveTargetQuery& q) {
+    for (const Vertex v : occupied_vertices(q.quota)) q.victims.push_back(v);
+  });
 }
 
 void CommitteeManager::mark_active(Vertex v) {
@@ -84,13 +97,13 @@ std::size_t CommitteeManager::alive_members(std::uint64_t kid) const {
   const Info* inf = info(kid);
   if (!inf) return 0;
   std::size_t alive = 0;
-  for (const PeerId p : inf->last_members) alive += net_.is_alive(p);
+  for (const PeerId p : inf->last_members) alive += net().is_alive(p);
   return alive;
 }
 
 std::vector<PeerId> CommitteeManager::pick_sources(Vertex v, Round anchor,
                                                    std::uint32_t want) const {
-  const PeerId self = net_.peer_at(v);
+  const PeerId self = net().peer_at(v);
   std::vector<PeerId> out;
   if (anchor >= 0) {
     // Paper: the leader uses the walks that stopped at it in the anchor
@@ -119,7 +132,7 @@ bool CommitteeManager::create(Vertex creator, std::uint64_t kid,
                               Purpose purpose, ItemId item, PeerId search_root,
                               const std::vector<std::uint8_t>& payload,
                               Round expire) {
-  const Round now = net_.round();
+  const Round now = net().round();
   const auto want = static_cast<std::uint32_t>(
       std::max(1.0, config_.invite_oversample) * target_);
   const std::vector<PeerId> members = pick_sources(creator, -1, want);
@@ -146,7 +159,7 @@ bool CommitteeManager::create(Vertex creator, std::uint64_t kid,
 
   for (std::size_t i = 0; i < members.size(); ++i) {
     Message msg;
-    msg.src = net_.peer_at(creator);
+    msg.src = net().peer_at(creator);
     msg.dst = members[i];
     msg.type = MsgType::kCommitteeInvite;
     msg.words = {kid,
@@ -164,9 +177,9 @@ bool CommitteeManager::create(Vertex creator, std::uint64_t kid,
     msg.words.push_back(members.size());
     msg.words.insert(msg.words.end(), members.begin(), members.end());
     msg.blob = erasure ? pieces[i].bytes : payload;
-    net_.send(creator, std::move(msg));
+    net().send(creator, std::move(msg));
   }
-  net_.metrics().count_committee_formed();
+  net().metrics().count_committee_formed();
   return true;
 }
 
@@ -176,7 +189,7 @@ void CommitteeManager::send_invites(Vertex v, Membership& m, Round now,
   const auto want = static_cast<std::uint32_t>(
       std::max(1.0, config_.invite_oversample) * target_);
   m.invited = pick_sources(v, anchor, want);
-  const PeerId self = net_.peer_at(v);
+  const PeerId self = net().peer_at(v);
   for (const PeerId p : m.invited) {
     Message msg;
     msg.src = self;
@@ -194,7 +207,7 @@ void CommitteeManager::send_invites(Vertex v, Membership& m, Round now,
                  m.ida_k,
                  m.original_size,
                  0 /*no member list yet; final list comes with confirm*/};
-    net_.send(v, std::move(msg));
+    net().send(v, std::move(msg));
   }
   // Announce candidacy to the clique so outranked candidates stand down.
   for (const PeerId p : m.members) {
@@ -204,7 +217,7 @@ void CommitteeManager::send_invites(Vertex v, Membership& m, Round now,
     msg.dst = p;
     msg.type = MsgType::kCommitteeCandidateAlive;
     msg.words = {m.kid, m.my_rank};
-    net_.send(v, std::move(msg));
+    net().send(v, std::move(msg));
   }
   m.best_alive_rank = std::min(m.best_alive_rank, m.my_rank);
 }
@@ -226,7 +239,7 @@ void CommitteeManager::confirm_committee(Vertex v, Membership& m, Round now,
     if (!rebuilt) {
       // Too many pieces lost to churn within one refresh period: the item
       // cannot be re-dispersed. The committee (and the item) dies here.
-      net_.metrics().count_committee_lost();
+      net().metrics().count_committee_lost();
       return;
     }
     full_payload = *rebuilt;
@@ -237,7 +250,7 @@ void CommitteeManager::confirm_committee(Vertex v, Membership& m, Round now,
   std::sort(m.accepted.begin(), m.accepted.end());
   m.accepted.erase(std::unique(m.accepted.begin(), m.accepted.end()),
                    m.accepted.end());
-  const PeerId self = net_.peer_at(v);
+  const PeerId self = net().peer_at(v);
   for (std::size_t i = 0; i < m.accepted.size(); ++i) {
     Message msg;
     msg.src = self;
@@ -259,7 +272,7 @@ void CommitteeManager::confirm_committee(Vertex v, Membership& m, Round now,
     msg.words.push_back(m.accepted.size());
     msg.words.insert(msg.words.end(), m.accepted.begin(), m.accepted.end());
     msg.blob = (erasure && i < pieces.size()) ? pieces[i].bytes : full_payload;
-    net_.send(v, std::move(msg));
+    net().send(v, std::move(msg));
   }
 
   // Tell the outgoing generation the handover succeeded so it can resign.
@@ -270,20 +283,20 @@ void CommitteeManager::confirm_committee(Vertex v, Membership& m, Round now,
     msg.dst = p;
     msg.type = MsgType::kCommitteeHandover;
     msg.words = {m.kid};
-    net_.send(v, std::move(msg));
+    net().send(v, std::move(msg));
   }
   m.handover_seen = true;
 
   Info& inf = registry_[m.kid];
   inf.last_members = m.accepted;
   ++inf.generations;
-  net_.metrics().count_committee_formed();
+  net().metrics().count_committee_formed();
   (void)now;
 }
 
 void CommitteeManager::run_cycle_phase(Vertex v, Membership& m, Round now,
                                        std::uint64_t t_mod, Round anchor) {
-  const PeerId self = net_.peer_at(v);
+  const PeerId self = net().peer_at(v);
   const bool erasure =
       config_.use_erasure_coding && m.purpose == Purpose::kStorage;
   switch (t_mod) {
@@ -311,7 +324,7 @@ void CommitteeManager::run_cycle_phase(Vertex v, Membership& m, Round now,
                              : kNoPiece,
                      m.ida_k, m.original_size};
         if (erasure && m.piece_index != kNoPiece) msg.blob = m.payload;
-        net_.send(v, std::move(msg));
+        net().send(v, std::move(msg));
       }
       break;
     }
@@ -351,7 +364,7 @@ void CommitteeManager::run_cycle_phase(Vertex v, Membership& m, Round now,
           msg.dst = p;
           msg.type = MsgType::kCommitteeDissolve;
           msg.words = {m.kid, m.my_rank};
-          net_.send(v, std::move(msg));
+          net().send(v, std::move(msg));
         }
       }
       break;
@@ -367,8 +380,8 @@ void CommitteeManager::run_cycle_phase(Vertex v, Membership& m, Round now,
   }
 }
 
-void CommitteeManager::on_round() {
-  const Round now = net_.round();
+void CommitteeManager::on_round_begin() {
+  const Round now = net().round();
   const std::uint32_t rebuild = std::max<std::uint32_t>(
       4, static_cast<std::uint32_t>(config_.landmark_rebuild_taus * tau_));
 
@@ -384,11 +397,11 @@ void CommitteeManager::on_round() {
       PendingJoin& pj = it->second;
       if (!pj.accept_sent && pj.received == now - 1) {
         Message msg;
-        msg.src = net_.peer_at(v);
+        msg.src = net().peer_at(v);
         msg.dst = pj.candidate;
         msg.type = MsgType::kCommitteeAccept;
         msg.words = {pj.kid, pj.rank};
-        net_.send(v, msg);
+        net().send(v, msg);
         pj.accept_sent = true;
         ++it;
       } else if (pj.received < now - 3) {
@@ -409,7 +422,8 @@ void CommitteeManager::on_round() {
       // wave per rebuild period aligned after each handover window.
       const std::int64_t t = now - m.epoch_base;
       if (t == 2 || (t >= 6 && (t - 6) % rebuild == 0)) {
-        if (on_tree_trigger) on_tree_trigger(v, m);
+        LandmarkRebuildRequest req{v, &m};
+        net().events().publish(req);
       }
       if (t >= static_cast<std::int64_t>(period_)) {
         const std::uint64_t t_mod =
@@ -423,7 +437,7 @@ void CommitteeManager::on_round() {
           if (m.handover_seen) {
             to_erase.push_back(kid);
           } else {
-            net_.metrics().count_committee_lost();  // failed re-formation
+            net().metrics().count_committee_lost();  // failed re-formation
           }
           continue;
         }
@@ -444,7 +458,7 @@ void CommitteeManager::on_round() {
   active_.resize(write);
 }
 
-bool CommitteeManager::handle(Vertex v, const Message& m) {
+bool CommitteeManager::on_message(Vertex v, const Message& m) {
   switch (m.type) {
     case MsgType::kCommitteeInvite: {
       const std::uint64_t kid = m.words[0];
@@ -479,7 +493,7 @@ bool CommitteeManager::handle(Vertex v, const Message& m) {
           pj.search_root = m.words[3];
           pj.new_base = static_cast<Round>(m.words[5]);
           pj.expire = decode_expire(m.words[6]);
-          pj.received = net_.round();
+          pj.received = net().round();
           pj.accept_sent = false;
         }
         mark_active(v);

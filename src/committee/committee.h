@@ -25,11 +25,11 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <optional>
 #include <unordered_map>
 #include <vector>
 
+#include "core/protocol.h"
 #include "net/config.h"
 #include "net/network.h"
 #include "storage/erasure_store.h"
@@ -72,9 +72,29 @@ struct Membership {
   std::vector<PeerId> accepted;
 };
 
-class CommitteeManager {
+/// Published (via Network::events()) for every confirmed member that should
+/// (re)build its landmark tree this round (creation and every rebuild
+/// period). LandmarkManager subscribes; the committee layer does not know
+/// the landmark layer exists.
+struct LandmarkRebuildRequest {
+  Vertex vertex = 0;
+  const Membership* membership = nullptr;
+};
+
+class CommitteeManager final : public Protocol {
  public:
+  CommitteeManager(TokenSoup& soup, const ProtocolConfig& config);
+  /// Construct and attach in one step (standalone tests/benches). The soup
+  /// must already be attached to `net`.
   CommitteeManager(Network& net, TokenSoup& soup, const ProtocolConfig& config);
+
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "committee";
+  }
+  void on_attach(Network& net) override;
+  void on_round_begin() override;
+  bool on_message(Vertex v, const Message& m) override;
+  void on_churn(Vertex v, PeerId old_peer, PeerId new_peer) override;
 
   /// Create a committee entrusted with (purpose, item). Returns false when
   /// the creator does not yet hold enough walk samples (caller retries).
@@ -83,17 +103,6 @@ class CommitteeManager {
   bool create(Vertex creator, std::uint64_t kid, Purpose purpose, ItemId item,
               PeerId search_root, const std::vector<std::uint8_t>& payload,
               Round expire);
-
-  /// Drive refresh phases for all memberships. Call once per round between
-  /// TokenSoup::step() and Network::deliver().
-  void on_round();
-
-  /// Routes committee messages; returns true if consumed.
-  bool handle(Vertex v, const Message& m);
-
-  /// Invoked for every confirmed member that should (re)build its landmark
-  /// tree this round (creation and every landmark_rebuild period).
-  std::function<void(Vertex, const Membership&)> on_tree_trigger;
 
   /// --- lookup -----------------------------------------------------------
   [[nodiscard]] const Membership* membership_at(Vertex v, std::uint64_t kid) const;
@@ -105,6 +114,12 @@ class CommitteeManager {
   /// Used by the *adaptive* adversary demonstration — a capability the
   /// paper's oblivious model explicitly denies the adversary.
   [[nodiscard]] std::vector<Vertex> occupied_vertices(std::uint32_t max) const;
+
+  /// Subscribe this manager's occupied vertices to the kAdaptive
+  /// adversary's AdaptiveTargetQuery channel. Deliberately violates the
+  /// paper's oblivious model (see AdversaryKind::kAdaptive); call at most
+  /// once, after attach.
+  void expose_to_adaptive_adversary();
 
   /// --- god-view instrumentation (measurement only, never fed back) -----
   struct Info {
@@ -139,7 +154,6 @@ class CommitteeManager {
     bool accept_sent = false;
   };
 
-  void on_churn(Vertex v);
   void run_cycle_phase(Vertex v, Membership& m, Round now, std::uint64_t t_mod,
                        Round anchor);
   void send_invites(Vertex v, Membership& m, Round now, Round anchor);
@@ -147,14 +161,13 @@ class CommitteeManager {
   [[nodiscard]] std::vector<PeerId> pick_sources(Vertex v, Round anchor,
                                                  std::uint32_t want) const;
 
-  Network& net_;
   TokenSoup& soup_;
   ProtocolConfig config_;
   ErasurePolicy erasure_;
   mutable Rng rng_;
-  std::uint32_t tau_;
-  std::uint32_t period_;
-  std::uint32_t target_;
+  std::uint32_t tau_ = 0;
+  std::uint32_t period_ = 0;
+  std::uint32_t target_ = 0;
 
   std::vector<std::unordered_map<std::uint64_t, Membership>> state_;
   std::vector<std::unordered_map<std::uint64_t, PendingJoin>> pending_;

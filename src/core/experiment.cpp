@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "core/runner.h"
+#include "core/stacks.h"
 #include "util/rng.h"
 
 namespace churnstore {
@@ -16,9 +18,14 @@ void StoreSearchResult::merge(const StoreSearchResult& o) {
   fetch_rounds.merge(o.fetch_rounds);
   copies_alive.merge(o.copies_alive);
   landmarks_alive.merge(o.landmarks_alive);
-  availability_fraction = (availability_fraction + o.availability_fraction) / 2;
+  const auto w = static_cast<double>(trial_count);
+  const auto ow = static_cast<double>(o.trial_count);
+  availability_fraction =
+      (availability_fraction * w + o.availability_fraction * ow) / (w + ow);
   max_bits_node_round = std::max(max_bits_node_round, o.max_bits_node_round);
-  mean_bits_node_round = std::max(mean_bits_node_round, o.mean_bits_node_round);
+  mean_bits_node_round =
+      (mean_bits_node_round * w + o.mean_bits_node_round * ow) / (w + ow);
+  trial_count += o.trial_count;
 }
 
 double StoreSearchResult::locate_rate() const {
@@ -43,29 +50,32 @@ SystemConfig default_system_config(std::uint32_t n, std::uint64_t seed) {
   // Paper-form churn c * n / ln^k n. The paper's c = 4 means >25% of the
   // network per round at simulatable n (ln n ~ 6-9), far outside the
   // asymptotic regime the analysis lives in; c = 0.5 (~2-4% per round) keeps
-  // the same functional form at a survivable constant. bench_churn_limit
-  // sweeps c to find the breaking point.
+  // the same functional form at a survivable constant. The churn_limit
+  // scenario sweeps c to find the breaking point.
   c.sim.churn.multiplier = 0.5;
   c.sim.edge_dynamics = EdgeDynamics::kRewire;
   return c;
 }
 
-StoreSearchResult run_store_search_trial(const SystemConfig& config,
-                                         const StoreSearchOptions& options) {
-  P2PSystem sys(config);
-  Rng workload(mix64(config.sim.seed ^ 0x776f726bULL));
+namespace {
+
+/// The canonical store -> age -> search workload over ANY protocol stack.
+StoreSearchResult drive_store_search(P2PSystem& sys, StorageService& svc,
+                                     const StoreSearchOptions& options,
+                                     std::uint64_t seed) {
+  Rng workload(mix64(seed ^ 0x776f726bULL));
   StoreSearchResult res;
 
   sys.run_rounds(sys.warmup_rounds());
 
-  // Store the items from random creators (retrying while buffers are cold).
+  // Store the items from random creators (retrying while the stack is not
+  // ready, e.g. walk-sample buffers still cold).
   std::vector<ItemId> items;
   for (std::uint32_t i = 0; i < options.items; ++i) {
-    const ItemId item = mix64(config.sim.seed * 1000 + i) | 1;
+    const ItemId item = mix64(seed * 1000 + i) | 1;
     for (int attempt = 0; attempt < 32; ++attempt) {
-      const auto creator =
-          static_cast<Vertex>(workload.next_below(sys.n()));
-      if (sys.store_item(creator, item)) {
+      const auto creator = static_cast<Vertex>(workload.next_below(sys.n()));
+      if (svc.try_store(creator, item)) {
         items.push_back(item);
         break;
       }
@@ -73,8 +83,8 @@ StoreSearchResult run_store_search_trial(const SystemConfig& config,
     }
   }
 
-  // Let the storage committees build their landmark sets and survive churn
-  // for a while before anyone searches.
+  // Let the stack reach steady state and survive churn for a while before
+  // anyone searches.
   sys.run_rounds(static_cast<std::uint32_t>(options.age_taus * sys.tau()) +
                  2 * sys.tau());
 
@@ -82,10 +92,9 @@ StoreSearchResult run_store_search_trial(const SystemConfig& config,
     // Sample availability god-view at batch start.
     std::uint64_t avail = 0;
     for (const ItemId item : items) {
-      res.copies_alive.add(static_cast<double>(sys.store().copies_alive(item)));
-      res.landmarks_alive.add(
-          static_cast<double>(sys.store().landmarks_alive(item)));
-      avail += sys.store().is_available(item);
+      res.copies_alive.add(static_cast<double>(svc.copies_alive(item)));
+      res.landmarks_alive.add(static_cast<double>(svc.landmarks_alive(item)));
+      avail += svc.is_available(item);
     }
     res.availability_fraction +=
         items.empty() ? 0.0
@@ -98,29 +107,29 @@ StoreSearchResult run_store_search_trial(const SystemConfig& config,
     for (std::uint32_t s = 0; s < options.searchers_per_batch; ++s) {
       if (items.empty()) break;
       const ItemId item = items[workload.next_below(items.size())];
-      const auto initiator =
-          static_cast<Vertex>(workload.next_below(sys.n()));
-      sids.push_back(sys.search(initiator, item));
+      const auto initiator = static_cast<Vertex>(workload.next_below(sys.n()));
+      sids.push_back(svc.begin_search(initiator, item));
     }
-    sys.run_rounds(sys.search_timeout() + 4);
+    sys.run_rounds(svc.search_timeout() + 4);
 
     for (const std::uint64_t sid : sids) {
-      const SearchStatus* st = sys.search_status(sid);
-      if (!st) continue;
+      const WorkloadOutcome out = svc.search_outcome(sid);
       ++res.searches;
-      if (st->initiator_churned && !st->succeeded_locate()) {
+      if (out.censored && !out.located) {
         // Churned out before locating: censored trial (the guarantee is for
         // nodes that stay long enough to finish their search).
         ++res.censored;
         continue;
       }
-      if (st->succeeded_locate()) {
+      if (out.located) {
         ++res.located;
-        res.locate_rounds.add(static_cast<double>(st->located - batch_start));
+        res.locate_rounds.add(
+            static_cast<double>(out.located_round - batch_start));
       }
-      if (st->succeeded_fetch()) {
+      if (out.fetched) {
         ++res.fetched;
-        res.fetch_rounds.add(static_cast<double>(st->fetched - batch_start));
+        res.fetch_rounds.add(
+            static_cast<double>(out.fetched_round - batch_start));
       }
     }
   }
@@ -130,14 +139,36 @@ StoreSearchResult run_store_search_trial(const SystemConfig& config,
   return res;
 }
 
+}  // namespace
+
+StoreSearchResult run_store_search_trial(const ScenarioSpec& spec) {
+  BuiltSystem built =
+      build_stack(spec.protocol, spec.system_config(), spec.extras);
+  return drive_store_search(*built.system, *built.service, spec.workload,
+                            spec.seed);
+}
+
+StoreSearchResult run_store_search_trial(const SystemConfig& config,
+                                         const StoreSearchOptions& options) {
+  P2PSystem sys(config);
+  ChurnstoreService svc(sys);
+  return drive_store_search(sys, svc, options, config.sim.seed);
+}
+
 StoreSearchResult run_store_search_trials(SystemConfig config,
                                           const StoreSearchOptions& options,
                                           std::uint32_t trials) {
+  Runner runner;
+  const std::uint64_t base_seed = config.sim.seed;
+  const auto results = runner.map_trials<StoreSearchResult>(
+      trials, [&config, &options, base_seed](std::uint32_t t) {
+        SystemConfig trial_config = config;
+        trial_config.sim.seed = Runner::trial_seed(base_seed, t);
+        return run_store_search_trial(trial_config, options);
+      });
   StoreSearchResult total;
   bool first = true;
-  for (std::uint32_t t = 0; t < trials; ++t) {
-    config.sim.seed = mix64(config.sim.seed + t * 7919 + 1);
-    const StoreSearchResult r = run_store_search_trial(config, options);
+  for (const StoreSearchResult& r : results) {
     if (first) {
       total = r;
       first = false;

@@ -1,28 +1,22 @@
-// Shared experiment harness used by the bench binaries (DESIGN.md E1-E13):
-// canonical store-then-search workloads, availability tracking over time,
-// and Monte-Carlo aggregation across seeds.
+// Shared experiment workloads (DESIGN.md E1-E13): the canonical
+// store-then-search trial, availability tracking over time, and Monte-Carlo
+// aggregation across seeds.
+//
+// The store-search trial is generic over the protocol stack: it drives any
+// ScenarioSpec-named stack (paper protocol or baseline) through the
+// StorageService facade, so `protocol=chord` and `protocol=churnstore` run
+// the identical workload. Multi-trial aggregation goes through the Runner
+// (core/runner.h) and saturates all cores deterministically.
 #pragma once
 
 #include <cstdint>
-#include <functional>
-#include <string>
 #include <vector>
 
+#include "core/scenario.h"
 #include "core/system.h"
 #include "stats/summary.h"
 
 namespace churnstore {
-
-/// Workload: store `items` items after warm-up, wait 2*tau, then run
-/// `batches` batches of `searchers_per_batch` concurrent searches from
-/// uniformly random initiators; each batch runs to the search timeout.
-struct StoreSearchOptions {
-  std::uint32_t items = 4;
-  std::uint32_t searchers_per_batch = 16;
-  std::uint32_t batches = 2;
-  /// Extra churn exposure between store and first search, in taus.
-  double age_taus = 2.0;
-};
 
 struct StoreSearchResult {
   std::uint64_t searches = 0;
@@ -36,16 +30,25 @@ struct StoreSearchResult {
   double availability_fraction = 0.0;  ///< fraction of item-checks available
   double max_bits_node_round = 0.0;
   double mean_bits_node_round = 0.0;
+  /// Trials merged into this result (weights availability_fraction).
+  std::uint64_t trial_count = 1;
 
   void merge(const StoreSearchResult& o);
   [[nodiscard]] double locate_rate() const;
   [[nodiscard]] double fetch_rate() const;
 };
 
+/// One store-then-search trial of the spec's protocol stack (spec.seed).
+[[nodiscard]] StoreSearchResult run_store_search_trial(
+    const ScenarioSpec& spec);
+
+/// Churnstore-stack trial from a raw SystemConfig (test/bench convenience).
 [[nodiscard]] StoreSearchResult run_store_search_trial(
     const SystemConfig& config, const StoreSearchOptions& options);
 
-/// Runs `trials` seeds of fn(seed) sequentially and merges the results.
+/// Runs `trials` independently seeded trials (Runner::trial_seed) on the
+/// ThreadPool and merges the results in trial order; deterministic in
+/// (config, options, trials) regardless of thread count.
 [[nodiscard]] StoreSearchResult run_store_search_trials(
     SystemConfig config, const StoreSearchOptions& options,
     std::uint32_t trials);

@@ -1,0 +1,13 @@
+#include "core/protocol.h"
+
+namespace churnstore {
+
+void Protocol::on_attach(Network& net) {
+  assert(net_ == nullptr && "protocol attached twice");
+  net_ = &net;
+  net.events().subscribe<PeerChurned>([this](PeerChurned& ev) {
+    on_churn(ev.vertex, ev.old_peer, ev.new_peer);
+  });
+}
+
+}  // namespace churnstore

@@ -1,0 +1,77 @@
+// The pluggable protocol-module interface.
+//
+// Every distributed algorithm in the repository — the paper's random-walk
+// soup, committee, landmark, storage and search layers, and each baseline
+// (flooding, sqrt-replication, k-walker, Chord) — implements Protocol and
+// plugs into the one simulation driver (P2PSystem). The driver runs the
+// paper's synchronous round structure:
+//
+//   net.begin_round()                  adversary fixes churn + G^r
+//   for p in protocols: p.on_round_begin()   per-round protocol work,
+//                                            registration order
+//   net.deliver()                      messages sent this round arrive
+//   for each vertex v, message m:      first protocol whose on_message
+//     for p in protocols: ...          returns true consumes m
+//   for p in protocols: p.on_round_end()     end-of-round bookkeeping
+//
+// Attachment: on_attach(net) is called exactly once, before the first
+// round, in registration order. The base implementation records the network
+// and subscribes on_churn to the PeerChurned event channel; overrides call
+// Protocol::on_attach(net) first, then size per-vertex state and derive
+// constants from net.config(). A protocol that depends on a sibling (e.g.
+// CommitteeManager reads TokenSoup's tau) must be registered after it.
+#pragma once
+
+#include <cassert>
+#include <string_view>
+
+#include "net/network.h"
+
+namespace churnstore {
+
+class Protocol {
+ public:
+  virtual ~Protocol() = default;
+
+  [[nodiscard]] virtual std::string_view name() const noexcept = 0;
+
+  /// Join a network: subscribe to events, size per-vertex state, derive
+  /// constants. Overrides must call Protocol::on_attach(net) first.
+  virtual void on_attach(Network& net);
+
+  /// Per-round protocol work, after churn/edge dynamics fixed G^r and
+  /// before message delivery. Called in registration order.
+  virtual void on_round_begin() {}
+
+  /// Offered every message delivered to vertex `v` this round; return true
+  /// to consume it (stops the chain).
+  virtual bool on_message(Vertex v, const Message& m) {
+    (void)v;
+    (void)m;
+    return false;
+  }
+
+  /// The peer occupying `v` was replaced by a fresh one; drop the lost
+  /// peer's state. Dispatched through the PeerChurned event channel.
+  virtual void on_churn(Vertex v, PeerId old_peer, PeerId new_peer) {
+    (void)v;
+    (void)old_peer;
+    (void)new_peer;
+  }
+
+  /// After delivery and message dispatch; measurement/bookkeeping.
+  virtual void on_round_end() {}
+
+  [[nodiscard]] bool attached() const noexcept { return net_ != nullptr; }
+
+ protected:
+  [[nodiscard]] Network& net() const noexcept {
+    assert(net_ != nullptr && "protocol used before on_attach");
+    return *net_;
+  }
+
+ private:
+  Network* net_ = nullptr;
+};
+
+}  // namespace churnstore

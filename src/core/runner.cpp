@@ -1,0 +1,38 @@
+#include "core/runner.h"
+
+#include <algorithm>
+
+#include "core/experiment.h"
+
+namespace churnstore {
+
+Runner::Runner(RunnerOptions options) : options_(options) {}
+
+Runner::Runner(const ScenarioSpec& spec)
+    : options_(RunnerOptions{spec.threads, spec.parallel}) {}
+
+ThreadPool& Runner::pool() {
+  if (!pool_) pool_ = std::make_unique<ThreadPool>(options_.threads);
+  return *pool_;
+}
+
+StoreSearchResult Runner::store_search(const ScenarioSpec& spec) {
+  const auto results = map_trials<StoreSearchResult>(
+      std::max(1u, spec.trials), [&spec](std::uint32_t t) {
+        return run_store_search_trial(
+            spec.with_seed(trial_seed(spec.seed, t)));
+      });
+  StoreSearchResult total;
+  bool first = true;
+  for (const StoreSearchResult& r : results) {
+    if (first) {
+      total = r;
+      first = false;
+    } else {
+      total.merge(r);
+    }
+  }
+  return total;
+}
+
+}  // namespace churnstore

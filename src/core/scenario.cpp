@@ -1,0 +1,317 @@
+#include "core/scenario.h"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace churnstore {
+
+namespace {
+
+/// Exact double round-trip (17 significant digits).
+std::string fmt_double(double v) {
+  std::ostringstream ss;
+  ss << std::setprecision(17) << v;
+  return ss.str();
+}
+
+std::string fmt_n_list(const std::vector<std::uint32_t>& ns) {
+  std::string out;
+  for (std::size_t i = 0; i < ns.size(); ++i) {
+    if (i) out += ',';
+    out += std::to_string(ns[i]);
+  }
+  return out;
+}
+
+/// Keys the common spec models; everything else lands in `extras`. The
+/// driver's own switches (scenario, list, help) are never spec keys.
+const char* const kKnownKeys[] = {
+    "protocol",   "n",          "degree",        "seed",
+    "trials",     "churn",      "churn-mult",    "churn-k",
+    "churn-absolute",           "adaptive-pad",  "edge",
+    "rewire-swaps",             "walk-rate",     "walk-t",
+    "walk-cap",   "walk-window",                 "h",
+    "oversample", "leader-redundancy",           "fanout",
+    "delta",      "landmark-ttl-taus",           "landmark-rebuild-taus",
+    "refresh-taus",             "timeout-taus",  "inquiry-cap",
+    "item-bits",  "erasure",    "ida-surplus",   "items",
+    "searches",   "batches",    "age-taus",      "threads",
+    "parallel",   "csv",        "json",          "scenario",
+    "list",       "help",
+};
+
+bool is_known_key(const std::string& key) {
+  for (const char* k : kKnownKeys) {
+    if (key == k) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+std::string_view to_name(AdversaryKind kind) noexcept {
+  switch (kind) {
+    case AdversaryKind::kNone: return "none";
+    case AdversaryKind::kUniform: return "uniform";
+    case AdversaryKind::kBlockSweep: return "block-sweep";
+    case AdversaryKind::kRegionRepeat: return "region-repeat";
+    case AdversaryKind::kOldestFirst: return "oldest-first";
+    case AdversaryKind::kYoungestFirst: return "youngest-first";
+    case AdversaryKind::kAdaptive: return "adaptive";
+  }
+  return "uniform";
+}
+
+std::string_view to_name(EdgeDynamics dynamics) noexcept {
+  switch (dynamics) {
+    case EdgeDynamics::kStatic: return "static";
+    case EdgeDynamics::kRewire: return "rewire";
+    case EdgeDynamics::kRegenerate: return "regenerate";
+  }
+  return "rewire";
+}
+
+AdversaryKind adversary_from_name(std::string_view name) {
+  for (const AdversaryKind k :
+       {AdversaryKind::kNone, AdversaryKind::kUniform,
+        AdversaryKind::kBlockSweep, AdversaryKind::kRegionRepeat,
+        AdversaryKind::kOldestFirst, AdversaryKind::kYoungestFirst,
+        AdversaryKind::kAdaptive}) {
+    if (name == to_name(k)) return k;
+  }
+  throw std::invalid_argument("unknown adversary kind: " + std::string(name));
+}
+
+EdgeDynamics edge_dynamics_from_name(std::string_view name) {
+  for (const EdgeDynamics d : {EdgeDynamics::kStatic, EdgeDynamics::kRewire,
+                               EdgeDynamics::kRegenerate}) {
+    if (name == to_name(d)) return d;
+  }
+  throw std::invalid_argument("unknown edge dynamics: " + std::string(name));
+}
+
+ScenarioSpec ScenarioSpec::from_cli(const Cli& cli) {
+  ScenarioSpec spec;
+  spec.protocol = cli.get("protocol", spec.protocol);
+
+  spec.ns.clear();
+  for (const std::int64_t n : cli.get_int_list("n", {1024})) {
+    spec.ns.push_back(static_cast<std::uint32_t>(n));
+  }
+  if (spec.ns.empty()) spec.ns = {1024};
+  spec.degree = static_cast<std::uint32_t>(cli.get_int("degree", spec.degree));
+  spec.seed = static_cast<std::uint64_t>(
+      cli.get_int("seed", static_cast<std::int64_t>(spec.seed)));
+  spec.trials = static_cast<std::uint32_t>(cli.get_int("trials", spec.trials));
+
+  // Churn defaults follow default_system_config: the paper-form formula at a
+  // survivable multiplier (see core/experiment.cpp for the rationale).
+  spec.churn.kind = adversary_from_name(cli.get("churn", "uniform"));
+  spec.churn.multiplier = cli.get_double("churn-mult", 0.5);
+  spec.churn.k = cli.get_double("churn-k", spec.churn.k);
+  spec.churn.absolute = cli.get_int("churn-absolute", spec.churn.absolute);
+  spec.churn.adaptive_pad_uniform =
+      cli.get_bool("adaptive-pad", spec.churn.adaptive_pad_uniform);
+  spec.edge_dynamics = edge_dynamics_from_name(cli.get("edge", "rewire"));
+  spec.rewire_swaps =
+      static_cast<std::uint32_t>(cli.get_int("rewire-swaps", spec.rewire_swaps));
+
+  spec.walk.rate_mult = cli.get_double("walk-rate", spec.walk.rate_mult);
+  spec.walk.t_mult = cli.get_double("walk-t", spec.walk.t_mult);
+  spec.walk.cap_mult = cli.get_double("walk-cap", spec.walk.cap_mult);
+  spec.walk.window_mult = cli.get_double("walk-window", spec.walk.window_mult);
+
+  ProtocolConfig& pc = spec.protocol_config;
+  pc.h = cli.get_double("h", pc.h);
+  pc.invite_oversample = cli.get_double("oversample", pc.invite_oversample);
+  pc.leader_redundancy = static_cast<std::uint32_t>(
+      cli.get_int("leader-redundancy", pc.leader_redundancy));
+  pc.tree_fanout =
+      static_cast<std::uint32_t>(cli.get_int("fanout", pc.tree_fanout));
+  pc.delta = cli.get_double("delta", pc.delta);
+  pc.landmark_ttl_taus =
+      cli.get_double("landmark-ttl-taus", pc.landmark_ttl_taus);
+  pc.landmark_rebuild_taus =
+      cli.get_double("landmark-rebuild-taus", pc.landmark_rebuild_taus);
+  pc.refresh_taus = cli.get_double("refresh-taus", pc.refresh_taus);
+  pc.search_timeout_taus =
+      cli.get_double("timeout-taus", pc.search_timeout_taus);
+  pc.inquiry_cap =
+      static_cast<std::uint32_t>(cli.get_int("inquiry-cap", pc.inquiry_cap));
+  pc.item_bits = static_cast<std::uint64_t>(
+      cli.get_int("item-bits", static_cast<std::int64_t>(pc.item_bits)));
+  pc.use_erasure_coding = cli.get_bool("erasure", pc.use_erasure_coding);
+  pc.ida_surplus =
+      static_cast<std::uint32_t>(cli.get_int("ida-surplus", pc.ida_surplus));
+
+  spec.workload.items =
+      static_cast<std::uint32_t>(cli.get_int("items", spec.workload.items));
+  spec.workload.searchers_per_batch = static_cast<std::uint32_t>(
+      cli.get_int("searches", spec.workload.searchers_per_batch));
+  spec.workload.batches =
+      static_cast<std::uint32_t>(cli.get_int("batches", spec.workload.batches));
+  spec.workload.age_taus = cli.get_double("age-taus", spec.workload.age_taus);
+
+  spec.threads = static_cast<std::size_t>(cli.get_int("threads", 0));
+  spec.parallel = cli.get_bool("parallel", spec.parallel);
+  spec.csv = cli.get_bool("csv", spec.csv);
+  spec.json = cli.get_bool("json", spec.json);
+
+  for (const auto& [key, value] : cli.flags()) {
+    if (!is_known_key(key)) spec.extras[key] = value;
+  }
+  return spec;
+}
+
+std::vector<std::string> ScenarioSpec::to_key_values() const {
+  std::vector<std::string> out;
+  auto kv = [&out](const std::string& k, const std::string& v) {
+    out.push_back(k + "=" + v);
+  };
+  kv("protocol", protocol);
+  kv("n", fmt_n_list(ns));
+  kv("degree", std::to_string(degree));
+  kv("seed", std::to_string(seed));
+  kv("trials", std::to_string(trials));
+  kv("churn", std::string(to_name(churn.kind)));
+  kv("churn-mult", fmt_double(churn.multiplier));
+  kv("churn-k", fmt_double(churn.k));
+  kv("churn-absolute", std::to_string(churn.absolute));
+  kv("adaptive-pad", churn.adaptive_pad_uniform ? "true" : "false");
+  kv("edge", std::string(to_name(edge_dynamics)));
+  kv("rewire-swaps", std::to_string(rewire_swaps));
+  kv("walk-rate", fmt_double(walk.rate_mult));
+  kv("walk-t", fmt_double(walk.t_mult));
+  kv("walk-cap", fmt_double(walk.cap_mult));
+  kv("walk-window", fmt_double(walk.window_mult));
+  kv("h", fmt_double(protocol_config.h));
+  kv("oversample", fmt_double(protocol_config.invite_oversample));
+  kv("leader-redundancy", std::to_string(protocol_config.leader_redundancy));
+  kv("fanout", std::to_string(protocol_config.tree_fanout));
+  kv("delta", fmt_double(protocol_config.delta));
+  kv("landmark-ttl-taus", fmt_double(protocol_config.landmark_ttl_taus));
+  kv("landmark-rebuild-taus",
+     fmt_double(protocol_config.landmark_rebuild_taus));
+  kv("refresh-taus", fmt_double(protocol_config.refresh_taus));
+  kv("timeout-taus", fmt_double(protocol_config.search_timeout_taus));
+  kv("inquiry-cap", std::to_string(protocol_config.inquiry_cap));
+  kv("item-bits", std::to_string(protocol_config.item_bits));
+  kv("erasure", protocol_config.use_erasure_coding ? "true" : "false");
+  kv("ida-surplus", std::to_string(protocol_config.ida_surplus));
+  kv("items", std::to_string(workload.items));
+  kv("searches", std::to_string(workload.searchers_per_batch));
+  kv("batches", std::to_string(workload.batches));
+  kv("age-taus", fmt_double(workload.age_taus));
+  kv("threads", std::to_string(threads));
+  kv("parallel", parallel ? "true" : "false");
+  kv("csv", csv ? "true" : "false");
+  kv("json", json ? "true" : "false");
+  for (const auto& [key, value] : extras) kv(key, value);
+  return out;
+}
+
+SystemConfig ScenarioSpec::system_config(std::uint32_t n_override) const {
+  SystemConfig cfg;
+  cfg.sim.n = n_override;
+  cfg.sim.degree = degree;
+  cfg.sim.seed = seed;
+  cfg.sim.churn = churn;
+  cfg.sim.edge_dynamics = edge_dynamics;
+  cfg.sim.rewire_swaps = rewire_swaps;
+  cfg.walk = walk;
+  cfg.protocol = protocol_config;
+  return cfg;
+}
+
+ScenarioSpec ScenarioSpec::with_n(std::uint32_t n_override) const {
+  ScenarioSpec out = *this;
+  out.ns = {n_override};
+  return out;
+}
+
+ScenarioSpec ScenarioSpec::with_churn_multiplier(double multiplier) const {
+  ScenarioSpec out = *this;
+  out.churn.multiplier = multiplier;
+  if (multiplier <= 0.0 && out.churn.absolute < 0) {
+    out.churn.kind = AdversaryKind::kNone;
+  }
+  return out;
+}
+
+ScenarioSpec ScenarioSpec::with_seed(std::uint64_t seed_override) const {
+  ScenarioSpec out = *this;
+  out.seed = seed_override;
+  return out;
+}
+
+std::string extras_string(const std::map<std::string, std::string>& extras,
+                          const std::string& key,
+                          const std::string& fallback) {
+  const auto it = extras.find(key);
+  return it == extras.end() ? fallback : it->second;
+}
+
+std::int64_t extras_int(const std::map<std::string, std::string>& extras,
+                        const std::string& key, std::int64_t fallback) {
+  const auto it = extras.find(key);
+  return it == extras.end() ? fallback : std::stoll(it->second);
+}
+
+double extras_double(const std::map<std::string, std::string>& extras,
+                     const std::string& key, double fallback) {
+  const auto it = extras.find(key);
+  return it == extras.end() ? fallback : std::stod(it->second);
+}
+
+std::string ScenarioSpec::extra(const std::string& key,
+                                const std::string& fallback) const {
+  return extras_string(extras, key, fallback);
+}
+
+std::int64_t ScenarioSpec::extra_int(const std::string& key,
+                                     std::int64_t fallback) const {
+  return extras_int(extras, key, fallback);
+}
+
+double ScenarioSpec::extra_double(const std::string& key,
+                                  double fallback) const {
+  return extras_double(extras, key, fallback);
+}
+
+void emit_table(const Table& table, const ScenarioSpec& spec,
+                std::ostream& os) {
+  if (spec.json) {
+    table.print_json(os);
+  } else if (spec.csv) {
+    table.print_csv(os);
+  } else {
+    table.print(os);
+  }
+}
+
+ScenarioRegistry& ScenarioRegistry::instance() {
+  static ScenarioRegistry registry;
+  return registry;
+}
+
+void ScenarioRegistry::add(ScenarioDef def) {
+  const std::string name = def.name;
+  defs_[name] = std::move(def);
+}
+
+const ScenarioDef* ScenarioRegistry::find(std::string_view name) const {
+  const auto it = defs_.find(std::string(name));
+  return it == defs_.end() ? nullptr : &it->second;
+}
+
+std::vector<const ScenarioDef*> ScenarioRegistry::all() const {
+  std::vector<const ScenarioDef*> out;
+  out.reserve(defs_.size());
+  for (const auto& [name, def] : defs_) out.push_back(&def);
+  return out;
+}
+
+}  // namespace churnstore

@@ -1,0 +1,162 @@
+// Declarative experiment scenarios.
+//
+// A ScenarioSpec captures everything a workload run needs — network size(s),
+// degree, churn model, adversary kind, protocol stack, workload shape,
+// trial count, seeds, and execution options — as a flat set of key=value
+// pairs parsed through util/cli. Every former bench binary is a *registered
+// scenario*: a named function that receives the parsed spec and drives the
+// Runner, so adding a workload is a registration, not a new main():
+//
+//   bench_driver --list
+//   bench_driver --scenario=search n=256,512 trials=4 churn-mult=1.0
+//   bench_driver --scenario=baselines protocol=chord n=512 json=true
+//
+// Spec round-trips: ScenarioSpec::from_cli(Cli(spec.to_key_values()))
+// reproduces the spec (tested).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/system.h"
+#include "util/cli.h"
+#include "util/table.h"
+
+namespace churnstore {
+
+/// Workload: store `items` items after warm-up, wait `age_taus` taus, then
+/// run `batches` batches of `searchers_per_batch` concurrent searches from
+/// uniformly random initiators; each batch runs to the search timeout.
+struct StoreSearchOptions {
+  std::uint32_t items = 4;
+  std::uint32_t searchers_per_batch = 16;
+  std::uint32_t batches = 2;
+  /// Extra churn exposure between store and first search, in taus.
+  double age_taus = 2.0;
+};
+
+struct ScenarioSpec {
+  /// Protocol stack name (see core/stacks.h): churnstore, chord, flooding,
+  /// k-walker, sqrt-replication.
+  std::string protocol = "churnstore";
+
+  /// Network sizes; scenarios sweep the list, single-system helpers use the
+  /// first entry.
+  std::vector<std::uint32_t> ns = {1024};
+  std::uint32_t degree = 8;
+  std::uint64_t seed = 1;
+  std::uint32_t trials = 2;
+
+  /// Paper-form churn at a survivable multiplier; see
+  /// default_system_config() for the rationale behind 0.5.
+  ChurnSpec churn{.kind = AdversaryKind::kUniform, .k = 1.5, .multiplier = 0.5};
+  EdgeDynamics edge_dynamics = EdgeDynamics::kRewire;
+  std::uint32_t rewire_swaps = 0;
+
+  WalkConfig walk{};
+  ProtocolConfig protocol_config{};
+
+  StoreSearchOptions workload{};
+
+  /// Runner execution: worker threads (0 = hardware) and parallel on/off.
+  std::size_t threads = 0;
+  bool parallel = true;
+
+  /// Output format.
+  bool csv = false;
+  bool json = false;
+
+  /// Scenario- or stack-specific keys that the common spec does not model
+  /// (e.g. chord-stabilize=8, flood-refresh=8, walkers=16).
+  std::map<std::string, std::string> extras;
+
+  [[nodiscard]] static ScenarioSpec from_cli(const Cli& cli);
+
+  /// Canonical key=value form; from_cli(Cli(to_key_values())) round-trips.
+  [[nodiscard]] std::vector<std::string> to_key_values() const;
+
+  [[nodiscard]] std::uint32_t n() const noexcept { return ns.front(); }
+  [[nodiscard]] SystemConfig system_config() const { return system_config(n()); }
+  [[nodiscard]] SystemConfig system_config(std::uint32_t n_override) const;
+
+  [[nodiscard]] ScenarioSpec with_n(std::uint32_t n_override) const;
+  [[nodiscard]] ScenarioSpec with_churn_multiplier(double multiplier) const;
+  [[nodiscard]] ScenarioSpec with_seed(std::uint64_t seed_override) const;
+
+  [[nodiscard]] std::string extra(const std::string& key,
+                                  const std::string& fallback) const;
+  [[nodiscard]] std::int64_t extra_int(const std::string& key,
+                                       std::int64_t fallback) const;
+  [[nodiscard]] double extra_double(const std::string& key,
+                                    double fallback) const;
+};
+
+/// Lookup helpers for key=value extras maps (shared by ScenarioSpec and
+/// the stack builders).
+[[nodiscard]] std::string extras_string(
+    const std::map<std::string, std::string>& extras, const std::string& key,
+    const std::string& fallback);
+[[nodiscard]] std::int64_t extras_int(
+    const std::map<std::string, std::string>& extras, const std::string& key,
+    std::int64_t fallback);
+[[nodiscard]] double extras_double(
+    const std::map<std::string, std::string>& extras, const std::string& key,
+    double fallback);
+
+/// Enum <-> name mappings used by the spec (and anywhere else a config
+/// field meets a command line).
+[[nodiscard]] std::string_view to_name(AdversaryKind kind) noexcept;
+[[nodiscard]] std::string_view to_name(EdgeDynamics dynamics) noexcept;
+[[nodiscard]] AdversaryKind adversary_from_name(std::string_view name);
+[[nodiscard]] EdgeDynamics edge_dynamics_from_name(std::string_view name);
+
+/// Print `table` in the spec's chosen format (aligned text, CSV, or JSON).
+void emit_table(const Table& table, const ScenarioSpec& spec,
+                std::ostream& os);
+
+/// --- scenario registry ----------------------------------------------------
+struct ScenarioDef {
+  std::string name;
+  std::string summary;
+  std::function<void(const ScenarioSpec&, const Cli&)> run;
+};
+
+class ScenarioRegistry {
+ public:
+  [[nodiscard]] static ScenarioRegistry& instance();
+
+  void add(ScenarioDef def);
+  [[nodiscard]] const ScenarioDef* find(std::string_view name) const;
+  /// All scenarios, sorted by name.
+  [[nodiscard]] std::vector<const ScenarioDef*> all() const;
+
+ private:
+  std::map<std::string, ScenarioDef> defs_;
+};
+
+struct ScenarioRegistrar {
+  ScenarioRegistrar(std::string name, std::string summary,
+                    std::function<void(const ScenarioSpec&, const Cli&)> run) {
+    ScenarioRegistry::instance().add(
+        ScenarioDef{std::move(name), std::move(summary), std::move(run)});
+  }
+};
+
+/// Defines and registers a scenario in one go:
+///   CHURNSTORE_SCENARIO(search, "E7: retrieval success and latency") {
+///     ... body with `spec` and `cli` in scope ...
+///   }
+#define CHURNSTORE_SCENARIO(ident, summary)                                  \
+  static void churnstore_scenario_##ident(const ::churnstore::ScenarioSpec&, \
+                                          const ::churnstore::Cli&);         \
+  static const ::churnstore::ScenarioRegistrar                               \
+      churnstore_scenario_registrar_##ident{#ident, summary,                 \
+                                            churnstore_scenario_##ident};    \
+  static void churnstore_scenario_##ident(                                   \
+      const ::churnstore::ScenarioSpec& spec, const ::churnstore::Cli& cli)
+
+}  // namespace churnstore

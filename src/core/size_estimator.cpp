@@ -6,16 +6,21 @@
 
 namespace churnstore {
 
-SizeEstimator::SizeEstimator(Network& net, std::uint32_t k)
-    : net_(net),
-      k_(std::max(1u, k)),
-      rng_(net.protocol_rng().fork(0x73697a65ULL)),
-      mins_(static_cast<std::size_t>(net.n()) * k_),
-      last_(mins_.size()),
-      scratch_(mins_.size()) {
-  for (Vertex v = 0; v < net_.n(); ++v) fresh_draws(v);
+SizeEstimator::SizeEstimator(std::uint32_t k) : k_(std::max(1u, k)) {}
+
+SizeEstimator::SizeEstimator(Network& net_ref, std::uint32_t k)
+    : SizeEstimator(k) {
+  on_attach(net_ref);
+}
+
+void SizeEstimator::on_attach(Network& net_ref) {
+  Protocol::on_attach(net_ref);
+  rng_ = net().protocol_rng().fork(0x73697a65ULL);
+  mins_.assign(static_cast<std::size_t>(net().n()) * k_, 0.0);
+  last_.assign(mins_.size(), 0.0);
+  scratch_.assign(mins_.size(), 0.0);
+  for (Vertex v = 0; v < net().n(); ++v) fresh_draws(v);
   std::copy(mins_.begin(), mins_.end(), last_.begin());
-  net_.add_churn_listener([this](Vertex v, PeerId, PeerId) { on_churn(v); });
 }
 
 void SizeEstimator::fresh_draws(Vertex v) {
@@ -23,7 +28,7 @@ void SizeEstimator::fresh_draws(Vertex v) {
   for (std::uint32_t i = 0; i < k_; ++i) row[i] = rng_.exponential(1.0);
 }
 
-void SizeEstimator::on_churn(Vertex v) {
+void SizeEstimator::on_churn(Vertex v, PeerId, PeerId) {
   // The replacement peer contributes fresh draws to the RUNNING epoch only.
   // Its completed-epoch view starts empty (infinity) and is filled by the
   // neighbor flood within ~1 round — injecting its own draws there would
@@ -36,7 +41,7 @@ void SizeEstimator::on_churn(Vertex v) {
 }
 
 void SizeEstimator::flood_min(std::vector<double>& field) {
-  const RegularGraph& g = net_.graph();
+  const RegularGraph& g = net().graph();
   const Vertex n = g.n();
   const std::uint32_t d = g.degree();
   std::copy(field.begin(), field.end(), scratch_.begin());
@@ -59,9 +64,9 @@ void SizeEstimator::step() {
   // bound. Each epoch aggregates only the draws of peers present during
   // that epoch; reads are served from the last completed epoch.
   const auto epoch_len = static_cast<Round>(epoch_rounds());
-  if (net_.round() % epoch_len == 0) {
+  if (net().round() % epoch_len == 0) {
     last_.swap(mins_);
-    for (Vertex v = 0; v < net_.n(); ++v) fresh_draws(v);
+    for (Vertex v = 0; v < net().n(); ++v) fresh_draws(v);
     ++epochs_completed_;
   }
   // Both fields keep flooding: the running epoch converges, the completed
@@ -70,8 +75,8 @@ void SizeEstimator::step() {
   flood_min(last_);
   // Each node sends both k-vectors to each neighbor once per round.
   const std::uint64_t bits =
-      static_cast<std::uint64_t>(net_.graph().degree()) * 2 * k_ * 64;
-  for (Vertex v = 0; v < net_.n(); ++v) net_.charge_processing(v, bits);
+      static_cast<std::uint64_t>(net().graph().degree()) * 2 * k_ * 64;
+  for (Vertex v = 0; v < net().n(); ++v) net().charge_processing(v, bits);
 }
 
 double SizeEstimator::estimate(Vertex v) const {
@@ -87,8 +92,8 @@ double SizeEstimator::estimate(Vertex v) const {
 }
 
 double SizeEstimator::median_estimate() const {
-  std::vector<double> est(net_.n());
-  for (Vertex v = 0; v < net_.n(); ++v) est[v] = estimate(v);
+  std::vector<double> est(net().n());
+  for (Vertex v = 0; v < net().n(); ++v) est[v] = estimate(v);
   std::nth_element(est.begin(), est.begin() + est.size() / 2, est.end());
   return est[est.size() / 2];
 }
@@ -98,7 +103,7 @@ std::uint32_t SizeEstimator::epoch_rounds() const {
   // everyone; short epochs also bound the churn-draw inflation to
   // ~(1 + churn * epoch / n).
   return static_cast<std::uint32_t>(
-             std::ceil(std::log2(std::max(2u, net_.n())))) +
+             std::ceil(std::log2(std::max(2u, net().n())))) +
          6;
 }
 

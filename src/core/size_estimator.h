@@ -16,15 +16,25 @@
 #include <cstdint>
 #include <vector>
 
+#include "core/protocol.h"
 #include "net/network.h"
 #include "util/rng.h"
 
 namespace churnstore {
 
-class SizeEstimator {
+class SizeEstimator final : public Protocol {
  public:
   /// k: exponential variates per node (accuracy ~ 1/sqrt(k)).
+  explicit SizeEstimator(std::uint32_t k);
+  /// Construct and attach in one step (standalone tests/benches).
   SizeEstimator(Network& net, std::uint32_t k);
+
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "size-estimator";
+  }
+  void on_attach(Network& net) override;
+  void on_round_begin() override { step(); }
+  void on_churn(Vertex v, PeerId old_peer, PeerId new_peer) override;
 
   /// One round of neighbor min-exchange. Call between begin_round() and
   /// deliver(); traffic is charged to the metrics (k * 64 bits per edge).
@@ -45,11 +55,9 @@ class SizeEstimator {
   [[nodiscard]] std::uint32_t k() const noexcept { return k_; }
 
  private:
-  void on_churn(Vertex v);
   void fresh_draws(Vertex v);
   void flood_min(std::vector<double>& field);
 
-  Network& net_;
   std::uint32_t k_;
   Rng rng_;
   /// Row-major [vertex][i] minima of the running epoch.

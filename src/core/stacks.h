@@ -1,0 +1,79 @@
+// Named protocol stacks: one registry mapping a ScenarioSpec's `protocol`
+// field to a built P2PSystem plus the StorageService facade that drives it.
+//
+// Built-ins: "churnstore" (the paper's full stack), "chord", "flooding",
+// "k-walker", "sqrt-replication". New stacks register with register_stack()
+// — after that they are reachable from every scenario via
+// `protocol=<name>` with no other code changes.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/service.h"
+#include "core/system.h"
+
+namespace churnstore {
+
+struct BuiltSystem {
+  std::unique_ptr<P2PSystem> system;
+  /// Set when the service is a standalone adapter; when the service IS one
+  /// of the stack's protocols, the system owns it and this stays null.
+  std::unique_ptr<StorageService> owned_service;
+  StorageService* service = nullptr;
+};
+
+/// Stack-specific knobs come from the spec's `extras` key=value map (e.g.
+/// chord-stabilize=8, flood-refresh=8, walkers=16, replication-mult=1.0).
+using StackExtras = std::map<std::string, std::string>;
+using StackBuilder =
+    std::function<BuiltSystem(const SystemConfig&, const StackExtras&)>;
+
+/// Registers a stack; returns false (and keeps the old one) on name clash.
+bool register_stack(const std::string& name, const std::string& summary,
+                    StackBuilder builder);
+
+/// Builds the named stack; throws std::invalid_argument for unknown names.
+[[nodiscard]] BuiltSystem build_stack(std::string_view name,
+                                      const SystemConfig& config,
+                                      const StackExtras& extras = {});
+
+/// (name, summary) for every registered stack, sorted by name.
+[[nodiscard]] std::vector<std::pair<std::string, std::string>> stack_catalog();
+
+/// StorageService over the paper stack (wraps Store/Search managers).
+class ChurnstoreService final : public StorageService {
+ public:
+  explicit ChurnstoreService(P2PSystem& sys) : sys_(sys) {}
+
+  bool try_store(Vertex creator, ItemId item) override {
+    return sys_.store_item(creator, item);
+  }
+  [[nodiscard]] std::uint64_t begin_search(Vertex initiator,
+                                           ItemId item) override {
+    return sys_.search(initiator, item);
+  }
+  [[nodiscard]] WorkloadOutcome search_outcome(
+      std::uint64_t sid) const override;
+  [[nodiscard]] std::uint32_t search_timeout() const override {
+    return sys_.search_timeout();
+  }
+  [[nodiscard]] std::size_t copies_alive(ItemId item) const override {
+    return sys_.store().copies_alive(item);
+  }
+  [[nodiscard]] std::size_t landmarks_alive(ItemId item) const override {
+    return sys_.store().landmarks_alive(item);
+  }
+  [[nodiscard]] bool is_available(ItemId item) const override {
+    return sys_.store().is_available(item);
+  }
+
+ private:
+  P2PSystem& sys_;
+};
+
+}  // namespace churnstore

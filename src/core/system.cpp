@@ -2,39 +2,60 @@
 
 namespace churnstore {
 
-P2PSystem::P2PSystem(const SystemConfig& config) : config_(config) {
-  net_ = std::make_unique<Network>(config_.sim);
-  soup_ = std::make_unique<TokenSoup>(*net_, config_.walk);
-  committees_ =
-      std::make_unique<CommitteeManager>(*net_, *soup_, config_.protocol);
-  landmarks_ = std::make_unique<LandmarkManager>(*net_, *soup_, *committees_,
-                                                 config_.protocol);
-  store_ = std::make_unique<StoreManager>(*net_, *committees_, *landmarks_,
-                                          config_.protocol);
-  searches_ = std::make_unique<SearchManager>(
-      *net_, *soup_, *committees_, *landmarks_, *store_, config_.protocol);
+std::vector<std::unique_ptr<Protocol>> P2PSystem::paper_protocols(
+    const SystemConfig& config) {
+  auto soup = std::make_unique<TokenSoup>(config.walk);
+  auto committees =
+      std::make_unique<CommitteeManager>(*soup, config.protocol);
+  auto landmarks = std::make_unique<LandmarkManager>(*soup, *committees,
+                                                     config.protocol);
+  auto store = std::make_unique<StoreManager>(*committees, *landmarks,
+                                              config.protocol);
+  auto searches = std::make_unique<SearchManager>(
+      *soup, *committees, *landmarks, *store, config.protocol);
 
-  // Committee members rebuild their landmark trees on creation and every
-  // rebuild period (Algorithm 2's "every tau rounds").
-  committees_->on_tree_trigger = [this](Vertex v, const Membership& m) {
-    landmarks_->start_tree(v, m);
-  };
+  std::vector<std::unique_ptr<Protocol>> mods;
+  mods.push_back(std::move(soup));
+  mods.push_back(std::move(committees));
+  mods.push_back(std::move(landmarks));
+  mods.push_back(std::move(store));
+  mods.push_back(std::move(searches));
+  return mods;
+}
+
+P2PSystem::P2PSystem(const SystemConfig& config)
+    : P2PSystem(config, paper_protocols(config)) {}
+
+P2PSystem::P2PSystem(const SystemConfig& config,
+                     std::vector<std::unique_ptr<Protocol>> protocols)
+    : config_(config),
+      net_(std::make_unique<Network>(config_.sim)),
+      protocols_(std::move(protocols)) {
+  for (const auto& p : protocols_) p->on_attach(*net_);
+  soup_ = find_protocol<TokenSoup>();
+  committees_ = find_protocol<CommitteeManager>();
+  landmarks_ = find_protocol<LandmarkManager>();
+  store_ = find_protocol<StoreManager>();
+  searches_ = find_protocol<SearchManager>();
+}
+
+Protocol* P2PSystem::find_protocol(std::string_view name) const noexcept {
+  for (const auto& p : protocols_) {
+    if (p->name() == name) return p.get();
+  }
+  return nullptr;
 }
 
 void P2PSystem::enable_adaptive_adversary() {
-  net_->set_adaptive_targeter([this](std::uint32_t count) {
-    return committees_->occupied_vertices(count);
-  });
+  committees().expose_to_adaptive_adversary();
 }
 
 void P2PSystem::run_round() {
-  net_->begin_round();       // adversary: churn + edge dynamics
-  soup_->step();             // random walks advance along G^r
-  committees_->on_round();   // Algorithm 1 phases
-  landmarks_->on_round();    // Algorithm 2 tree growth
-  searches_->on_round();     // Algorithm 4 inquiries and fetches
-  net_->deliver();           // messages sent this round arrive
-  dispatch_inboxes();        // receivers process them
+  net_->begin_round();  // adversary: churn + edge dynamics
+  for (const auto& p : protocols_) p->on_round_begin();
+  net_->deliver();      // messages sent this round arrive
+  dispatch_inboxes();   // receivers process them
+  for (const auto& p : protocols_) p->on_round_end();
 }
 
 void P2PSystem::run_rounds(std::uint32_t k) {
@@ -45,9 +66,9 @@ void P2PSystem::dispatch_inboxes() {
   const Vertex n = net_->n();
   for (Vertex v = 0; v < n; ++v) {
     for (const Message& m : net_->inbox(v)) {
-      if (committees_->handle(v, m)) continue;
-      if (landmarks_->handle(v, m)) continue;
-      if (searches_->handle(v, m)) continue;
+      for (const auto& p : protocols_) {
+        if (p->on_message(v, m)) break;
+      }
     }
   }
 }
@@ -59,11 +80,11 @@ bool P2PSystem::store_item(Vertex creator, ItemId item) {
 
 bool P2PSystem::store_item(Vertex creator, ItemId item,
                            std::vector<std::uint8_t> payload) {
-  return store_->store(creator, item, std::move(payload));
+  return store().store(creator, item, std::move(payload));
 }
 
 std::uint64_t P2PSystem::search(Vertex initiator, ItemId item) {
-  return searches_->start_search(initiator, item);
+  return searches().start_search(initiator, item);
 }
 
 }  // namespace churnstore

@@ -1,8 +1,11 @@
-// churnstore::P2PSystem — the public API of the library.
+// churnstore::P2PSystem — the simulation driver and public API.
 //
-// Wires together the dynamic network, the random-walk soup, and the
-// committee / landmark / storage / search protocols, and drives the paper's
-// synchronous round structure:
+// P2PSystem owns a dynamic Network and an ordered list of Protocol modules
+// and drives the paper's synchronous round structure over them. The default
+// constructor wires the paper's stack (soup, committees, landmarks, store,
+// search); with_protocols() builds a system around ANY protocol list, which
+// is how the baselines (flooding, sqrt-replication, k-walker, Chord) run on
+// the same driver:
 //
 //   P2PSystem sys({.sim = {.n = 1024, .seed = 7}});
 //   sys.run_rounds(sys.warmup_rounds());              // fill sample buffers
@@ -11,13 +14,20 @@
 //   auto sid = sys.search(/*initiator=*/900, /*item=*/42);
 //   sys.run_rounds(sys.search_timeout());
 //   const SearchStatus* st = sys.search_status(sid);  // located? fetched?
+//
+//   // Custom stack: only the walk soup plus a baseline.
+//   std::vector<std::unique_ptr<Protocol>> mods;
+//   mods.push_back(std::make_unique<TokenSoup>(cfg.walk));
+//   auto sys2 = P2PSystem::with_protocols(cfg, std::move(mods));
 #pragma once
 
 #include <cstdint>
 #include <memory>
+#include <string_view>
 #include <vector>
 
 #include "committee/committee.h"
+#include "core/protocol.h"
 #include "landmark/landmark.h"
 #include "net/config.h"
 #include "net/network.h"
@@ -35,20 +45,42 @@ struct SystemConfig {
 
 class P2PSystem {
  public:
+  /// Build the paper's full protocol stack.
   explicit P2PSystem(const SystemConfig& config);
 
+  /// Build a system around an arbitrary protocol list. Protocols are
+  /// attached (and later run) in list order; modules that read a sibling's
+  /// derived constants at attach time (e.g. CommitteeManager reads
+  /// TokenSoup::tau) must come after that sibling.
+  P2PSystem(const SystemConfig& config,
+            std::vector<std::unique_ptr<Protocol>> protocols);
+
+  [[nodiscard]] static P2PSystem with_protocols(
+      const SystemConfig& config,
+      std::vector<std::unique_ptr<Protocol>> protocols) {
+    return P2PSystem(config, std::move(protocols));
+  }
+
+  /// The paper stack as a protocol list (soup, committees, landmarks,
+  /// store, search) for callers that want to extend it before building.
+  [[nodiscard]] static std::vector<std::unique_ptr<Protocol>> paper_protocols(
+      const SystemConfig& config);
+
+  P2PSystem(P2PSystem&&) = default;
+  P2PSystem& operator=(P2PSystem&&) = default;
+
   /// --- round driver ---------------------------------------------------
-  /// Execute exactly one synchronous round (churn/edges, walks, protocols,
+  /// Execute exactly one synchronous round (churn/edges, protocol work,
   /// delivery, message dispatch).
   void run_round();
   void run_rounds(std::uint32_t k);
 
   /// Rounds of warm-up needed before sample buffers are useful (~2 tau).
   [[nodiscard]] std::uint32_t warmup_rounds() const noexcept {
-    return 2 * soup_->tau() + 2;
+    return 2 * tau() + 2;
   }
 
-  /// --- storage / search API ----------------------------------------------
+  /// --- storage / search API (paper stack; asserts if absent) -------------
   /// Store an item with a deterministic pseudo-random payload of the
   /// configured size. Returns false while the creator's samples are cold.
   bool store_item(Vertex creator, ItemId item);
@@ -57,43 +89,79 @@ class P2PSystem {
 
   [[nodiscard]] std::uint64_t search(Vertex initiator, ItemId item);
   [[nodiscard]] const SearchStatus* search_status(std::uint64_t sid) const {
-    return searches_->status(sid);
+    return searches().status(sid);
   }
 
   /// Demonstration hook: when sim.churn.kind == kAdaptive, the adversary
   /// churns current committee members first — power the paper's oblivious
-  /// model denies it. Call once after construction (see bench_adversary).
+  /// model denies it (see AdaptiveTargetQuery). Call once after construction.
   void enable_adaptive_adversary();
 
-  /// --- component access ---------------------------------------------------
+  /// --- protocol access ----------------------------------------------------
+  /// First registered protocol of dynamic type P, or nullptr.
+  template <typename P>
+  [[nodiscard]] P* find_protocol() const noexcept {
+    for (const auto& p : protocols_) {
+      if (auto* typed = dynamic_cast<P*>(p.get())) return typed;
+    }
+    return nullptr;
+  }
+  /// First registered protocol with the given name(), or nullptr.
+  [[nodiscard]] Protocol* find_protocol(std::string_view name) const noexcept;
+
+  [[nodiscard]] const std::vector<std::unique_ptr<Protocol>>& protocols()
+      const noexcept {
+    return protocols_;
+  }
+
+  /// Paper-stack component accessors; assert when the module is absent.
   [[nodiscard]] Network& network() noexcept { return *net_; }
   [[nodiscard]] const Network& network() const noexcept { return *net_; }
-  [[nodiscard]] TokenSoup& soup() noexcept { return *soup_; }
-  [[nodiscard]] CommitteeManager& committees() noexcept { return *committees_; }
-  [[nodiscard]] LandmarkManager& landmarks() noexcept { return *landmarks_; }
-  [[nodiscard]] StoreManager& store() noexcept { return *store_; }
-  [[nodiscard]] SearchManager& searches() noexcept { return *searches_; }
+  [[nodiscard]] TokenSoup& soup() const noexcept { return *checked(soup_); }
+  [[nodiscard]] CommitteeManager& committees() const noexcept {
+    return *checked(committees_);
+  }
+  [[nodiscard]] LandmarkManager& landmarks() const noexcept {
+    return *checked(landmarks_);
+  }
+  [[nodiscard]] StoreManager& store() const noexcept { return *checked(store_); }
+  [[nodiscard]] SearchManager& searches() const noexcept {
+    return *checked(searches_);
+  }
   [[nodiscard]] const Metrics& metrics() const noexcept { return net_->metrics(); }
 
   /// --- derived constants --------------------------------------------------
   [[nodiscard]] std::uint32_t n() const noexcept { return net_->n(); }
   [[nodiscard]] Round round() const noexcept { return net_->round(); }
-  [[nodiscard]] std::uint32_t tau() const noexcept { return soup_->tau(); }
+  /// Mixing-time unit; derived from the config so it is meaningful for
+  /// every stack, including those without a TokenSoup module.
+  [[nodiscard]] std::uint32_t tau() const noexcept {
+    return tau_rounds(config_.sim.n, config_.walk);
+  }
   [[nodiscard]] std::uint32_t search_timeout() const noexcept {
-    return searches_->timeout_rounds();
+    return searches().timeout_rounds();
   }
   [[nodiscard]] const SystemConfig& config() const noexcept { return config_; }
 
  private:
   void dispatch_inboxes();
 
+  template <typename P>
+  static P* checked(P* p) noexcept {
+    assert(p != nullptr && "module absent from this protocol stack");
+    return p;
+  }
+
   SystemConfig config_;
   std::unique_ptr<Network> net_;
-  std::unique_ptr<TokenSoup> soup_;
-  std::unique_ptr<CommitteeManager> committees_;
-  std::unique_ptr<LandmarkManager> landmarks_;
-  std::unique_ptr<StoreManager> store_;
-  std::unique_ptr<SearchManager> searches_;
+  std::vector<std::unique_ptr<Protocol>> protocols_;
+
+  // Cached paper-stack modules (null when absent from a custom stack).
+  TokenSoup* soup_ = nullptr;
+  CommitteeManager* committees_ = nullptr;
+  LandmarkManager* landmarks_ = nullptr;
+  StoreManager* store_ = nullptr;
+  SearchManager* searches_ = nullptr;
 };
 
 }  // namespace churnstore

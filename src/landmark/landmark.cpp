@@ -11,36 +11,45 @@ namespace {
 constexpr std::size_t kCommitteeAt = 7;
 }  // namespace
 
-LandmarkManager::LandmarkManager(Network& net, TokenSoup& soup,
+LandmarkManager::LandmarkManager(TokenSoup& soup, CommitteeManager& committees,
+                                 const ProtocolConfig& config)
+    : soup_(soup), committees_(committees), config_(config) {}
+
+LandmarkManager::LandmarkManager(Network& net_ref, TokenSoup& soup,
                                  CommitteeManager& committees,
                                  const ProtocolConfig& config)
-    : net_(net),
-      soup_(soup),
-      committees_(committees),
-      config_(config),
-      depth_(landmark_tree_depth(net.n(), net.config().churn.k, config.delta,
-                                 committees.target_size())),
-      ttl_(std::max<std::uint32_t>(
-          4, static_cast<std::uint32_t>(config.landmark_ttl_taus *
-                                        committees.tau()))),
-      state_(net.n()) {
-  net_.add_churn_listener([this](Vertex v, PeerId, PeerId) { on_churn(v); });
+    : LandmarkManager(soup, committees, config) {
+  on_attach(net_ref);
 }
 
-void LandmarkManager::on_churn(Vertex v) { state_[v].clear(); }
+void LandmarkManager::on_attach(Network& net_ref) {
+  Protocol::on_attach(net_ref);
+  depth_ = landmark_tree_depth(net().n(), net().config().churn.k,
+                               config_.delta, committees_.target_size());
+  ttl_ = std::max<std::uint32_t>(
+      4, static_cast<std::uint32_t>(config_.landmark_ttl_taus *
+                                    committees_.tau()));
+  state_.assign(net().n(), {});
+  net().events().subscribe<LandmarkRebuildRequest>(
+      [this](LandmarkRebuildRequest& req) {
+        start_tree(req.vertex, *req.membership);
+      });
+}
+
+void LandmarkManager::on_churn(Vertex v, PeerId, PeerId) { state_[v].clear(); }
 
 const LandmarkState* LandmarkManager::state_at(Vertex v,
                                                std::uint64_t kid) const {
   const auto it = state_[v].find(kid);
   if (it == state_[v].end()) return nullptr;
-  if (it->second.expiry < net_.round()) return nullptr;
+  if (it->second.expiry < net().round()) return nullptr;
   return &it->second;
 }
 
 std::size_t LandmarkManager::live_count(std::uint64_t kid) const {
   const auto it = index_.find(kid);
   if (it == index_.end()) return 0;
-  const Round now = net_.round();
+  const Round now = net().round();
   std::size_t alive = 0;
   for (const Vertex v : it->second) {
     const auto sit = state_[v].find(kid);
@@ -50,7 +59,7 @@ std::size_t LandmarkManager::live_count(std::uint64_t kid) const {
 }
 
 void LandmarkManager::grow_children(Vertex v, LandmarkState& st) {
-  const PeerId self = net_.peer_at(v);
+  const PeerId self = net().peer_at(v);
   const auto children = soup_.samples(v).recent_distinct(
       config_.tree_fanout, {self});
   for (const PeerId child : children) {
@@ -67,7 +76,7 @@ void LandmarkManager::grow_children(Vertex v, LandmarkState& st) {
                  st.committee.size()};
     msg.words.insert(msg.words.end(), st.committee.begin(),
                      st.committee.end());
-    net_.send(v, std::move(msg));
+    net().send(v, std::move(msg));
   }
   st.pending_depth = 0;
 }
@@ -81,12 +90,12 @@ void LandmarkManager::start_tree(Vertex v, const Membership& m) {
   root.purpose = m.purpose;
   root.search_root = m.search_root;
   root.committee = m.members;
-  root.wave = static_cast<std::uint64_t>(net_.round());
+  root.wave = static_cast<std::uint64_t>(net().round());
   root.pending_depth = depth_;
   grow_children(v, root);
 }
 
-void LandmarkManager::on_round() {
+void LandmarkManager::on_round_begin() {
   // Grow one tree level: every vertex with pending depth recruits children.
   std::vector<Vertex> queue;
   queue.swap(grow_queue_);
@@ -98,7 +107,7 @@ void LandmarkManager::on_round() {
 
   // Periodic garbage collection of expired landmark state ("discards any
   // information about I" after the TTL, per Algorithm 2 step 4).
-  const Round now = net_.round();
+  const Round now = net().round();
   if (now % ttl_ == 0) {
     for (auto& st_map : state_) {
       for (auto it = st_map.begin(); it != st_map.end();) {
@@ -117,17 +126,17 @@ void LandmarkManager::on_round() {
   }
 }
 
-bool LandmarkManager::handle(Vertex v, const Message& m) {
+bool LandmarkManager::on_message(Vertex v, const Message& m) {
   if (m.type != MsgType::kLandmarkGrow) return false;
   const std::uint64_t kid = m.words[0];
   const std::uint64_t wave = m.words[5];
   auto& st_map = state_[v];
   const auto it = st_map.find(kid);
   if (it != st_map.end() && it->second.wave == wave &&
-      it->second.expiry >= net_.round()) {
+      it->second.expiry >= net().round()) {
     // Already recruited into this wave's tree ("unused" check of the paper,
     // resolved at the child): the branch dies here.
-    net_.metrics().count_landmark_collision();
+    net().metrics().count_landmark_collision();
     return true;
   }
   LandmarkState st;
@@ -141,13 +150,13 @@ bool LandmarkManager::handle(Vertex v, const Message& m) {
   st.committee.assign(
       m.words.begin() + kCommitteeAt,
       m.words.begin() + kCommitteeAt + static_cast<std::ptrdiff_t>(count));
-  st.expiry = net_.round() + ttl_;
+  st.expiry = net().round() + ttl_;
   st.pending_depth = depth > 1 ? depth - 1 : 0;
   const bool was_absent = (it == st_map.end());
   st_map[kid] = std::move(st);
   if (st_map[kid].pending_depth > 0) grow_queue_.push_back(v);
   if (was_absent) index_[kid].push_back(v);
-  net_.metrics().count_landmark_created();
+  net().metrics().count_landmark_created();
   return true;
 }
 

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "committee/committee.h"
+#include "core/protocol.h"
 #include "net/config.h"
 #include "net/network.h"
 #include "walk/token_soup.h"
@@ -32,19 +33,30 @@ struct LandmarkState {
   std::uint32_t pending_depth = 0; ///< levels still to grow below this node
 };
 
-class LandmarkManager {
+class LandmarkManager final : public Protocol {
  public:
+  LandmarkManager(TokenSoup& soup, CommitteeManager& committees,
+                  const ProtocolConfig& config);
+  /// Construct and attach in one step (standalone tests/benches). The soup
+  /// and committee manager must already be attached to `net`.
   LandmarkManager(Network& net, TokenSoup& soup, CommitteeManager& committees,
                   const ProtocolConfig& config);
 
-  /// Committee-member hook: start a new tree rooted at member `v`.
-  void start_tree(Vertex v, const Membership& m);
-
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "landmark";
+  }
+  /// Subscribes to LandmarkRebuildRequest: committee members trigger tree
+  /// (re)builds through the event bus, not a direct dependency.
+  void on_attach(Network& net) override;
   /// Grow pending tree levels and sweep expired landmarks.
-  void on_round();
-
+  void on_round_begin() override;
   /// Routes kLandmarkGrow; returns true if consumed.
-  bool handle(Vertex v, const Message& m);
+  bool on_message(Vertex v, const Message& m) override;
+  void on_churn(Vertex v, PeerId old_peer, PeerId new_peer) override;
+
+  /// Start a new tree rooted at committee member `v` (also reachable by
+  /// publishing LandmarkRebuildRequest).
+  void start_tree(Vertex v, const Membership& m);
 
   /// Landmark state at vertex v for committee kid (nullptr if none/expired).
   [[nodiscard]] const LandmarkState* state_at(Vertex v, std::uint64_t kid) const;
@@ -54,7 +66,7 @@ class LandmarkManager {
   void for_each_landmark(std::uint64_t kid, Fn&& fn) {
     const auto it = index_.find(kid);
     if (it == index_.end()) return;
-    const Round now = net_.round();
+    const Round now = net().round();
     auto& verts = it->second;
     std::size_t write = 0;
     for (std::size_t read = 0; read < verts.size(); ++read) {
@@ -74,15 +86,13 @@ class LandmarkManager {
   [[nodiscard]] std::uint32_t ttl() const noexcept { return ttl_; }
 
  private:
-  void on_churn(Vertex v);
   void grow_children(Vertex v, LandmarkState& st);
 
-  Network& net_;
   TokenSoup& soup_;
   CommitteeManager& committees_;
   ProtocolConfig config_;
-  std::uint32_t depth_;
-  std::uint32_t ttl_;
+  std::uint32_t depth_ = 0;
+  std::uint32_t ttl_ = 0;
 
   std::vector<std::unordered_map<std::uint64_t, LandmarkState>> state_;
   /// kid -> vertices that (may) hold a landmark for it; validated lazily.

@@ -1,0 +1,71 @@
+// Typed publish/subscribe event bus.
+//
+// The simulation's cross-module coupling points (churn notification,
+// adaptive-adversary target queries, landmark rebuild triggers) used to be
+// bespoke std::function hooks wired by hand in P2PSystem. The bus replaces
+// them with one mechanism: any module can publish a typed event, any module
+// can subscribe to the event's type, and neither needs to know the other
+// exists. Events are delivered synchronously in subscription order.
+//
+// Events are passed by non-const reference so that *query* events (e.g.
+// AdaptiveTargetQuery) can collect answers from subscribers in their fields.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <typeindex>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+namespace churnstore {
+
+class EventBus {
+ public:
+  template <typename E>
+  using Handler = std::function<void(E&)>;
+
+  /// Subscribe to events of type E. Subscriptions are permanent for the
+  /// bus's lifetime (protocol modules live as long as the network).
+  template <typename E>
+  void subscribe(Handler<E> fn) {
+    channel<E>().handlers.push_back(std::move(fn));
+  }
+
+  /// Deliver `event` to every subscriber of E, in subscription order.
+  template <typename E>
+  void publish(E& event) const {
+    const auto it = channels_.find(std::type_index(typeid(E)));
+    if (it == channels_.end()) return;
+    for (const auto& fn : static_cast<const Channel<E>*>(it->second.get())->handlers) {
+      fn(event);
+    }
+  }
+
+  template <typename E>
+  [[nodiscard]] std::size_t subscriber_count() const {
+    const auto it = channels_.find(std::type_index(typeid(E)));
+    if (it == channels_.end()) return 0;
+    return static_cast<const Channel<E>*>(it->second.get())->handlers.size();
+  }
+
+ private:
+  struct ChannelBase {
+    virtual ~ChannelBase() = default;
+  };
+  template <typename E>
+  struct Channel final : ChannelBase {
+    std::vector<Handler<E>> handlers;
+  };
+
+  template <typename E>
+  Channel<E>& channel() {
+    auto& slot = channels_[std::type_index(typeid(E))];
+    if (!slot) slot = std::make_unique<Channel<E>>();
+    return *static_cast<Channel<E>*>(slot.get());
+  }
+
+  std::unordered_map<std::type_index, std::unique_ptr<ChannelBase>> channels_;
+};
+
+}  // namespace churnstore

@@ -37,9 +37,10 @@ Network::Network(const SimConfig& config)
   }
 }
 
-Vertex Network::vertex_of(PeerId p) const noexcept {
+std::optional<Vertex> Network::find_vertex(PeerId p) const noexcept {
   const auto it = vertex_of_.find(p);
-  return it == vertex_of_.end() ? n() : it->second;
+  if (it == vertex_of_.end()) return std::nullopt;
+  return it->second;
 }
 
 void Network::churn_vertex(Vertex v) {
@@ -50,7 +51,8 @@ void Network::churn_vertex(Vertex v) {
   vertex_of_[fresh] = v;
   birth_[v] = round_;
   ++churn_events_;
-  for (const auto& fn : churn_listeners_) fn(v, old_peer, fresh);
+  PeerChurned ev{v, old_peer, fresh};
+  events_.publish(ev);
 }
 
 const std::vector<Vertex>& Network::begin_round() {
@@ -59,17 +61,18 @@ const std::vector<Vertex>& Network::begin_round() {
   // (1) Adversarial churn: replace up to C peers.
   const std::uint32_t c = config_.churn.per_round(config_.n);
   if (config_.churn.kind == AdversaryKind::kAdaptive) {
-    // Non-oblivious: take protocol-state-informed victims first, pad the
-    // quota with uniform picks.
+    // Non-oblivious: ask subscribers for protocol-state-informed victims
+    // first, pad the quota with uniform picks.
     last_churned_.clear();
     std::vector<std::uint8_t> taken(config_.n, 0);
-    if (adaptive_targeter_) {
-      for (const Vertex v : adaptive_targeter_(c)) {
-        if (last_churned_.size() >= c) break;
-        if (v < config_.n && !taken[v]) {
-          taken[v] = 1;
-          last_churned_.push_back(v);
-        }
+    AdaptiveTargetQuery query;
+    query.quota = c;
+    events_.publish(query);
+    for (const Vertex v : query.victims) {
+      if (last_churned_.size() >= c) break;
+      if (v < config_.n && !taken[v]) {
+        taken[v] = 1;
+        last_churned_.push_back(v);
       }
     }
     while (config_.churn.adaptive_pad_uniform && last_churned_.size() < c) {
@@ -111,15 +114,15 @@ void Network::send(Vertex from, Message&& m) {
 
 void Network::deliver() {
   for (auto& m : outbox_) {
-    const Vertex v = vertex_of(m.dst);
-    if (v == n()) {
+    const std::optional<Vertex> v = find_vertex(m.dst);
+    if (!v) {
       metrics_.count_dropped();
       continue;
     }
     // Receiving also costs processing; charge the receiver symmetrically so
     // the per-node bound covers both directions.
-    metrics_.charge_bits(v, m.size_bits());
-    inbox_[v].push_back(std::move(m));
+    metrics_.charge_bits(*v, m.size_bits());
+    inbox_[*v].push_back(std::move(m));
   }
   outbox_.clear();
   metrics_.end_round();

@@ -2,11 +2,11 @@
 //
 // Vertex-slot model: the topology is a d-regular expander on n vertex
 // slots; each slot is occupied by one peer. Churn replaces the peer at a
-// slot with a fresh peer (all protocol state at the slot is lost via churn
-// listeners); edge dynamics rewire the graph. This realizes the paper's
-// model exactly: |V^r| = n at all times, up to C vertices replaced per
-// round, every G^r a d-regular non-bipartite expander, and the adversary's
-// choices independent of protocol randomness.
+// slot with a fresh peer (all protocol state at the slot is lost via the
+// PeerChurned event); edge dynamics rewire the graph. This realizes the
+// paper's model exactly: |V^r| = n at all times, up to C vertices replaced
+// per round, every G^r a d-regular non-bipartite expander, and the
+// adversary's choices independent of protocol randomness.
 //
 // Round structure (paper section 2.1):
 //   1. begin_round(): adversary applies churn + edge changes; G^r is fixed;
@@ -15,9 +15,15 @@
 //      (TokenSoup), and nodes send() direct messages to known peer ids.
 //   3. deliver(): messages sent this round reach live targets by the end of
 //      the round; messages to churned-out peers vanish.
+//
+// Cross-module coupling goes through the typed EventBus (events()):
+//   PeerChurned        — published for every replaced vertex slot.
+//   AdaptiveTargetQuery — published by the kAdaptive adversary before each
+//                         round to let a (non-oblivious) subscriber choose
+//                         victims; see AdversaryKind::kAdaptive.
 #pragma once
 
-#include <functional>
+#include <optional>
 #include <unordered_map>
 #include <vector>
 
@@ -25,12 +31,32 @@
 #include "graph/rewirer.h"
 #include "net/adversary.h"
 #include "net/config.h"
+#include "net/event_bus.h"
 #include "net/message.h"
 #include "net/metrics.h"
 #include "net/types.h"
 #include "util/rng.h"
 
 namespace churnstore {
+
+/// Published (via Network::events()) when the peer occupying `vertex` is
+/// replaced by a fresh one; all protocol state at the slot must be dropped.
+struct PeerChurned {
+  Vertex vertex = 0;
+  PeerId old_peer = kNoPeer;
+  PeerId new_peer = kNoPeer;
+};
+
+/// Published by the kAdaptive adversary at the start of each round.
+/// Subscribers append up to `quota` protocol-chosen victims; any remaining
+/// quota is filled uniformly when the ChurnSpec says to pad. Subscribing
+/// makes the adversary NON-oblivious — the capability exists to demonstrate
+/// why the paper's obliviousness assumption is necessary (bench adversary
+/// scenario).
+struct AdaptiveTargetQuery {
+  std::uint32_t quota = 0;
+  std::vector<Vertex> victims;
+};
 
 class Network {
  public:
@@ -45,10 +71,10 @@ class Network {
 
   [[nodiscard]] PeerId peer_at(Vertex v) const noexcept { return peer_at_[v]; }
   [[nodiscard]] Round birth_round(Vertex v) const noexcept { return birth_[v]; }
-  /// Vertex currently hosting `p`, or nullopt-like n() if p left the network.
-  [[nodiscard]] Vertex vertex_of(PeerId p) const noexcept;
+  /// Vertex currently hosting `p`, or nullopt if p has left the network.
+  [[nodiscard]] std::optional<Vertex> find_vertex(PeerId p) const noexcept;
   [[nodiscard]] bool is_alive(PeerId p) const noexcept {
-    return vertex_of(p) != n();
+    return vertex_of_.find(p) != vertex_of_.end();
   }
 
   /// --- round driver -----------------------------------------------------
@@ -73,20 +99,9 @@ class Network {
     metrics_.charge_bits(v, bits);
   }
 
-  /// --- hooks --------------------------------------------------------------
-  /// Registered callbacks run when a vertex is churned (old peer replaced by
-  /// a fresh one) so protocol modules can drop the lost peer's state.
-  using ChurnListener = std::function<void(Vertex, PeerId old_peer, PeerId new_peer)>;
-  void add_churn_listener(ChurnListener fn) { churn_listeners_.push_back(std::move(fn)); }
-
-  /// For AdversaryKind::kAdaptive only: callback returning up to `count`
-  /// protocol-chosen victims (e.g. current committee members). Remaining
-  /// quota is filled uniformly. Installing this makes the adversary
-  /// NON-oblivious — it exists to demonstrate the model assumption.
-  using AdaptiveTargeter = std::function<std::vector<Vertex>(std::uint32_t count)>;
-  void set_adaptive_targeter(AdaptiveTargeter fn) {
-    adaptive_targeter_ = std::move(fn);
-  }
+  /// --- events -------------------------------------------------------------
+  [[nodiscard]] EventBus& events() noexcept { return events_; }
+  [[nodiscard]] const EventBus& events() const noexcept { return events_; }
 
   [[nodiscard]] Metrics& metrics() noexcept { return metrics_; }
   [[nodiscard]] const Metrics& metrics() const noexcept { return metrics_; }
@@ -116,8 +131,7 @@ class Network {
 
   Round round_ = 0;
   std::vector<Vertex> last_churned_;
-  std::vector<ChurnListener> churn_listeners_;
-  AdaptiveTargeter adaptive_targeter_;
+  EventBus events_;
 
   std::vector<Message> outbox_;
   std::vector<std::vector<Message>> inbox_;

@@ -17,25 +17,35 @@ constexpr std::size_t kReplyMembersAt = 6;
 constexpr std::size_t kFetchParallelism = 2;
 }  // namespace
 
-SearchManager::SearchManager(Network& net, TokenSoup& soup,
-                             CommitteeManager& committees,
+SearchManager::SearchManager(TokenSoup& soup, CommitteeManager& committees,
                              LandmarkManager& landmarks, StoreManager& store,
                              const ProtocolConfig& config)
-    : net_(net),
-      soup_(soup),
+    : soup_(soup),
       committees_(committees),
       landmarks_(landmarks),
       store_(store),
-      config_(config),
-      rng_(net.protocol_rng().fork(0x73656172ULL)),
-      timeout_(std::max<std::uint32_t>(
-          8, static_cast<std::uint32_t>(config.search_timeout_taus *
-                                        committees.tau()))),
-      initiator_(net.n()) {
-  net_.add_churn_listener([this](Vertex v, PeerId, PeerId) { on_churn(v); });
+      config_(config) {}
+
+SearchManager::SearchManager(Network& net_ref, TokenSoup& soup,
+                             CommitteeManager& committees,
+                             LandmarkManager& landmarks, StoreManager& store,
+                             const ProtocolConfig& config)
+    : SearchManager(soup, committees, landmarks, store, config) {
+  on_attach(net_ref);
 }
 
-void SearchManager::on_churn(Vertex v) { initiator_[v].clear(); }
+void SearchManager::on_attach(Network& net_ref) {
+  Protocol::on_attach(net_ref);
+  rng_ = net().protocol_rng().fork(0x73656172ULL);
+  timeout_ = std::max<std::uint32_t>(
+      8, static_cast<std::uint32_t>(config_.search_timeout_taus *
+                                    committees_.tau()));
+  initiator_.assign(net().n(), {});
+}
+
+void SearchManager::on_churn(Vertex v, PeerId, PeerId) {
+  initiator_[v].clear();
+}
 
 const SearchStatus* SearchManager::status(std::uint64_t sid) const {
   const auto it = status_.find(sid);
@@ -47,8 +57,8 @@ std::uint64_t SearchManager::start_search(Vertex initiator, ItemId item) {
   SearchStatus st;
   st.sid = sid;
   st.item = item;
-  st.initiator = net_.peer_at(initiator);
-  st.start = net_.round();
+  st.initiator = net().peer_at(initiator);
+  st.start = net().round();
   st.deadline = st.start + timeout_;
   status_[sid] = st;
   active_.push_back(sid);
@@ -63,8 +73,9 @@ std::uint64_t SearchManager::start_search(Vertex initiator, ItemId item) {
 void SearchManager::finish(std::uint64_t sid) {
   auto& st = status_[sid];
   st.finished = true;
-  const Vertex v = net_.vertex_of(st.initiator);
-  if (v != net_.n()) initiator_[v].erase(sid);
+  if (const auto v = net().find_vertex(st.initiator)) {
+    initiator_[*v].erase(sid);
+  }
 }
 
 void SearchManager::reply_if_holder(Vertex v, ItemId item, std::uint64_t sid,
@@ -79,17 +90,17 @@ void SearchManager::reply_if_holder(Vertex v, ItemId item, std::uint64_t sid,
   }
   if (!holders || holders->empty()) return;
   Message msg;
-  msg.src = net_.peer_at(v);
+  msg.src = net().peer_at(v);
   msg.dst = to;
   msg.type = MsgType::kInquiryHit;
   msg.words = {item, sid, holders->size()};
   msg.words.insert(msg.words.end(), holders->begin(), holders->end());
-  net_.send(v, std::move(msg));
+  net().send(v, std::move(msg));
 }
 
 void SearchManager::issue_fetches(Vertex v, InitiatorState& st) {
   if (st.holders.empty()) return;
-  const PeerId self = net_.peer_at(v);
+  const PeerId self = net().peer_at(v);
   for (std::size_t i = 0; i < kFetchParallelism; ++i) {
     const PeerId holder = st.holders[st.next_fetch % st.holders.size()];
     ++st.next_fetch;
@@ -98,26 +109,27 @@ void SearchManager::issue_fetches(Vertex v, InitiatorState& st) {
     msg.dst = holder;
     msg.type = MsgType::kFetchRequest;
     msg.words = {st.item, st.sid};
-    net_.send(v, std::move(msg));
+    net().send(v, std::move(msg));
   }
 }
 
-void SearchManager::on_round() {
-  const Round now = net_.round();
+void SearchManager::on_round_begin() {
+  const Round now = net().round();
   std::size_t write = 0;
   for (std::size_t read = 0; read < active_.size(); ++read) {
     const std::uint64_t sid = active_[read];
     SearchStatus& st = status_[sid];
     if (st.finished) continue;
 
-    const Vertex iv = net_.vertex_of(st.initiator);
-    if (iv == net_.n()) {
+    const std::optional<Vertex> iv_slot = net().find_vertex(st.initiator);
+    if (!iv_slot) {
       // The searcher itself was churned out; the paper's guarantee is for
       // nodes that stay long enough, so this is a censored trial.
       st.initiator_churned = true;
       st.finished = true;
       continue;
     }
+    const Vertex iv = *iv_slot;
     if (now > st.deadline) {
       finish(sid);
       continue;
@@ -146,14 +158,14 @@ void SearchManager::on_round() {
                                   ? sources.size()
                                   : std::min<std::size_t>(config_.inquiry_cap,
                                                           sources.size());
-      const PeerId self = net_.peer_at(w);
+      const PeerId self = net().peer_at(w);
       for (std::size_t i = 0; i < cap; ++i) {
         Message msg;
         msg.src = self;
         msg.dst = sources[i];
         msg.type = MsgType::kInquiry;
         msg.words = {lm.item, sid};
-        net_.send(w, std::move(msg));
+        net().send(w, std::move(msg));
       }
     });
 
@@ -168,7 +180,7 @@ void SearchManager::on_round() {
   active_.resize(write);
 }
 
-bool SearchManager::handle(Vertex v, const Message& m) {
+bool SearchManager::on_message(Vertex v, const Message& m) {
   switch (m.type) {
     case MsgType::kInquiry: {
       reply_if_holder(v, m.words[0], m.words[1], m.src);
@@ -180,11 +192,11 @@ bool SearchManager::handle(Vertex v, const Message& m) {
       const LandmarkState* lm = landmarks_.state_at(v, sid);
       if (!lm || lm->search_root == kNoPeer) return true;
       Message fwd;
-      fwd.src = net_.peer_at(v);
+      fwd.src = net().peer_at(v);
       fwd.dst = lm->search_root;
       fwd.type = MsgType::kReport;
       fwd.words = m.words;
-      net_.send(v, std::move(fwd));
+      net().send(v, std::move(fwd));
       return true;
     }
     case MsgType::kReport: {
@@ -201,7 +213,7 @@ bool SearchManager::handle(Vertex v, const Message& m) {
         }
       }
       if (status.located < 0 && !st.holders.empty()) {
-        status.located = net_.round();
+        status.located = net().round();
       }
       return true;
     }
@@ -212,7 +224,7 @@ bool SearchManager::handle(Vertex v, const Message& m) {
         return true;
       }
       Message reply;
-      reply.src = net_.peer_at(v);
+      reply.src = net().peer_at(v);
       reply.dst = m.src;
       reply.type = MsgType::kFetchReply;
       reply.words = {item,
@@ -224,7 +236,7 @@ bool SearchManager::handle(Vertex v, const Message& m) {
       reply.words.insert(reply.words.end(), mem->members.begin(),
                          mem->members.end());
       reply.blob = mem->payload;
-      net_.send(v, std::move(reply));
+      net().send(v, std::move(reply));
       return true;
     }
     case MsgType::kFetchReply: {
@@ -238,7 +250,7 @@ bool SearchManager::handle(Vertex v, const Message& m) {
       const auto piece_index = static_cast<std::uint32_t>(m.words[2]);
       const ItemRecord* rec = store_.record(st.item);
       if (piece_index == kNoPiece) {
-        status.fetched = net_.round();
+        status.fetched = net().round();
         status.fetch_ok = rec && content_hash(m.blob) == rec->hash;
         status.fetched_data = m.blob;
         return true;
@@ -261,7 +273,7 @@ bool SearchManager::handle(Vertex v, const Message& m) {
         const ErasurePolicy policy(config_.ida_surplus);
         const auto data = policy.reconstruct(st.pieces, ida_k, original_size);
         if (data) {
-          status.fetched = net_.round();
+          status.fetched = net().round();
           status.fetch_ok = rec && content_hash(*data) == rec->hash;
           status.fetched_data = *data;
         }

@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "committee/committee.h"
+#include "core/protocol.h"
 #include "landmark/landmark.h"
 #include "net/network.h"
 #include "storage/item.h"
@@ -47,22 +48,32 @@ struct SearchStatus {
   [[nodiscard]] bool succeeded_fetch() const noexcept { return fetch_ok; }
 };
 
-class SearchManager {
+class SearchManager final : public Protocol {
  public:
+  SearchManager(TokenSoup& soup, CommitteeManager& committees,
+                LandmarkManager& landmarks, StoreManager& store,
+                const ProtocolConfig& config);
+  /// Construct and attach in one step (standalone tests/benches). The
+  /// siblings must already be attached to `net`.
   SearchManager(Network& net, TokenSoup& soup, CommitteeManager& committees,
                 LandmarkManager& landmarks, StoreManager& store,
                 const ProtocolConfig& config);
+
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "search";
+  }
+  void on_attach(Network& net) override;
 
   /// Start a search for `item` from the peer at `initiator`. Returns the
   /// search id (always succeeds; committee creation retries internally).
   std::uint64_t start_search(Vertex initiator, ItemId item);
 
-  /// Drive all active searches. Call once per round after
-  /// CommitteeManager::on_round().
-  void on_round();
+  /// Drive all active searches (after CommitteeManager in the round order).
+  void on_round_begin() override;
 
   /// Routes kInquiry / kInquiryHit / kReport / kFetch*; true if consumed.
-  bool handle(Vertex v, const Message& m);
+  bool on_message(Vertex v, const Message& m) override;
+  void on_churn(Vertex v, PeerId old_peer, PeerId new_peer) override;
 
   [[nodiscard]] const SearchStatus* status(std::uint64_t sid) const;
   [[nodiscard]] std::size_t active_searches() const noexcept {
@@ -81,19 +92,17 @@ class SearchManager {
     std::unordered_set<std::uint32_t> piece_indices;
   };
 
-  void on_churn(Vertex v);
   void finish(std::uint64_t sid);
   void reply_if_holder(Vertex v, ItemId item, std::uint64_t sid, PeerId to);
   void issue_fetches(Vertex v, InitiatorState& st);
 
-  Network& net_;
   TokenSoup& soup_;
   CommitteeManager& committees_;
   LandmarkManager& landmarks_;
   StoreManager& store_;
   ProtocolConfig config_;
   Rng rng_;
-  std::uint32_t timeout_;
+  std::uint32_t timeout_ = 0;
   std::uint64_t next_sid_ = 1;
 
   std::unordered_map<std::uint64_t, SearchStatus> status_;

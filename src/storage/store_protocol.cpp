@@ -4,13 +4,17 @@
 
 namespace churnstore {
 
-StoreManager::StoreManager(Network& net, CommitteeManager& committees,
+StoreManager::StoreManager(CommitteeManager& committees,
                            LandmarkManager& landmarks,
                            const ProtocolConfig& config)
-    : net_(net),
-      committees_(committees),
-      landmarks_(landmarks),
-      config_(config) {}
+    : committees_(committees), landmarks_(landmarks), config_(config) {}
+
+StoreManager::StoreManager(Network& net_ref, CommitteeManager& committees,
+                           LandmarkManager& landmarks,
+                           const ProtocolConfig& config)
+    : StoreManager(committees, landmarks, config) {
+  on_attach(net_ref);
+}
 
 bool StoreManager::store(Vertex creator, ItemId item,
                          std::vector<std::uint8_t> payload) {
@@ -18,8 +22,8 @@ bool StoreManager::store(Vertex creator, ItemId item,
   rec.id = item;
   rec.hash = content_hash(payload);
   rec.size_bytes = payload.size();
-  rec.stored_round = net_.round();
-  rec.creator = net_.peer_at(creator);
+  rec.stored_round = net().round();
+  rec.creator = net().peer_at(creator);
   if (!committees_.create(creator, /*kid=*/item, Purpose::kStorage, item,
                           kNoPeer, payload, /*expire=*/-1)) {
     return false;
@@ -53,7 +57,7 @@ bool StoreManager::is_recoverable(ItemId item) const {
 
 bool StoreManager::is_available(ItemId item) const {
   if (!is_recoverable(item)) return false;
-  const double threshold = std::sqrt(static_cast<double>(net_.n())) / 4.0;
+  const double threshold = std::sqrt(static_cast<double>(net().n())) / 4.0;
   return static_cast<double>(landmarks_alive(item)) >= threshold;
 }
 

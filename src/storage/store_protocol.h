@@ -13,16 +13,24 @@
 #include <vector>
 
 #include "committee/committee.h"
+#include "core/protocol.h"
 #include "landmark/landmark.h"
 #include "net/network.h"
 #include "storage/item.h"
 
 namespace churnstore {
 
-class StoreManager {
+class StoreManager final : public Protocol {
  public:
+  StoreManager(CommitteeManager& committees, LandmarkManager& landmarks,
+               const ProtocolConfig& config);
+  /// Construct and attach in one step (standalone tests/benches).
   StoreManager(Network& net, CommitteeManager& committees,
                LandmarkManager& landmarks, const ProtocolConfig& config);
+
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "store";
+  }
 
   /// Issue a store of `payload` under id `item` from the peer at `creator`.
   /// Returns false if the creator lacks walk samples (retry next round).
@@ -44,7 +52,6 @@ class StoreManager {
   [[nodiscard]] bool is_recoverable(ItemId item) const;
 
  private:
-  Network& net_;
   CommitteeManager& committees_;
   LandmarkManager& landmarks_;
   ProtocolConfig config_;

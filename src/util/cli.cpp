@@ -19,7 +19,13 @@ void Cli::parse(const std::vector<std::string>& tokens) {
   for (std::size_t i = 0; i < tokens.size(); ++i) {
     const std::string& tok = tokens[i];
     if (tok.rfind("--", 0) != 0) {
-      positional_.push_back(tok);
+      // Bare key=value tokens are flags too (scenario-spec syntax).
+      const auto eq = tok.find('=');
+      if (eq != std::string::npos && eq > 0) {
+        values_[tok.substr(0, eq)] = tok.substr(eq + 1);
+      } else {
+        positional_.push_back(tok);
+      }
       continue;
     }
     std::string body = tok.substr(2);

@@ -1,9 +1,11 @@
 // Minimal command-line flag parser used by benches and examples.
 //
-// Flags take the form --name=value or --name value; bare --name sets a bool.
-// Unknown flags are collected and can be rejected by the caller. Environment
-// variables CHURNSTORE_<NAME> (uppercased, '-'→'_') act as defaults so the
-// whole bench suite can be scaled down/up without editing command lines.
+// Flags take the form --name=value, --name value, or bare key=value (the
+// ScenarioSpec syntax: `bench_driver --scenario=search n=512 trials=4`);
+// bare --name sets a bool. Unknown flags are collected and can be rejected
+// by the caller. Environment variables CHURNSTORE_<NAME> (uppercased,
+// '-'→'_') act as defaults so the whole bench suite can be scaled down/up
+// without editing command lines.
 #pragma once
 
 #include <cstdint>

@@ -1,6 +1,7 @@
 #include "util/table.h"
 
 #include <algorithm>
+#include <cstdlib>
 #include <iomanip>
 #include <sstream>
 
@@ -54,6 +55,52 @@ void Table::print(std::ostream& os) const {
     rule += std::string(width[c], '-') + "  ";
   os << rule << '\n';
   for (const auto& row : rows_) emit(row);
+}
+
+namespace {
+
+bool looks_numeric(const std::string& s) {
+  if (s.empty()) return false;
+  char* end = nullptr;
+  std::strtod(s.c_str(), &end);
+  return end != nullptr && *end == '\0';
+}
+
+void emit_json_string(std::ostream& os, const std::string& s) {
+  os << '"';
+  for (const char ch : s) {
+    switch (ch) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\t': os << "\\t"; break;
+      default: os << ch;
+    }
+  }
+  os << '"';
+}
+
+}  // namespace
+
+void Table::print_json(std::ostream& os) const {
+  os << "[\n";
+  for (std::size_t r = 0; r < rows_.size(); ++r) {
+    os << "  {";
+    const auto& row = rows_[r];
+    for (std::size_t c = 0; c < header_.size(); ++c) {
+      if (c) os << ", ";
+      emit_json_string(os, header_[c]);
+      os << ": ";
+      const std::string& v = c < row.size() ? row[c] : std::string();
+      if (looks_numeric(v)) {
+        os << v;
+      } else {
+        emit_json_string(os, v);
+      }
+    }
+    os << (r + 1 < rows_.size() ? "},\n" : "}\n");
+  }
+  os << "]\n";
 }
 
 void Table::print_csv(std::ostream& os) const {

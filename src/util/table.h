@@ -26,6 +26,9 @@ class Table {
 
   void print(std::ostream& os) const;
   void print_csv(std::ostream& os) const;
+  /// JSON array of row objects keyed by header; numeric-looking cells are
+  /// emitted as numbers, everything else as strings.
+  void print_json(std::ostream& os) const;
 
   [[nodiscard]] std::size_t rows() const { return rows_.size(); }
   [[nodiscard]] const std::vector<std::vector<std::string>>& data() const {

@@ -9,26 +9,31 @@ namespace {
 constexpr std::uint64_t kTokenBits = 64 + 16;
 }  // namespace
 
+TokenSoup::TokenSoup(const WalkConfig& config) : config_(config) {}
+
 TokenSoup::TokenSoup(Network& net, const WalkConfig& config)
-    : net_(net),
-      config_(config),
-      rng_(net.protocol_rng().fork(0x736f7570ULL)),
-      walks_(churnstore::walks_per_round(net.n(), config)),
-      length_(churnstore::walk_length(net.n(), config)),
-      cap_(churnstore::forward_cap(net.n(), config)),
-      tau_(churnstore::tau_rounds(net.n(), config)),
-      window_(static_cast<Round>(config.window_mult * tau_) + 2),
-      cur_(net.n()),
-      next_(net.n()),
-      samples_(net.n()) {
-  net_.add_churn_listener(
-      [this](Vertex v, PeerId, PeerId) { on_churn(v); });
+    : TokenSoup(config) {
+  on_attach(net);
 }
 
-void TokenSoup::on_churn(Vertex v) {
+void TokenSoup::on_attach(Network& net_ref) {
+  Protocol::on_attach(net_ref);
+  const std::uint32_t n = net().n();
+  rng_ = net().protocol_rng().fork(0x736f7570ULL);
+  walks_ = churnstore::walks_per_round(n, config_);
+  length_ = churnstore::walk_length(n, config_);
+  cap_ = churnstore::forward_cap(n, config_);
+  tau_ = churnstore::tau_rounds(n, config_);
+  window_ = static_cast<Round>(config_.window_mult * tau_) + 2;
+  cur_.assign(n, {});
+  next_.assign(n, {});
+  samples_.assign(n, SampleBuffer{});
+}
+
+void TokenSoup::on_churn(Vertex v, PeerId, PeerId) {
   // The peer at v is gone: its queued tokens and its learned samples die
   // with it (the fresh peer starts with empty state).
-  net_.metrics().count_tokens_lost(cur_[v].size());
+  net().metrics().count_tokens_lost(cur_[v].size());
   cur_[v].clear();
   samples_[v].clear();
 }
@@ -44,8 +49,8 @@ std::size_t TokenSoup::tokens_alive() const noexcept {
 }
 
 void TokenSoup::step() {
-  const Round r = net_.round();
-  const RegularGraph& g = net_.graph();
+  const Round r = net().round();
+  const RegularGraph& g = net().graph();
   const std::uint32_t d = g.degree();
   const Vertex n = g.n();
 
@@ -54,13 +59,13 @@ void TokenSoup::step() {
   // older (possibly cap-delayed) tokens are forwarded first.
   if (spawning_) {
     for (Vertex v = 0; v < n; ++v) {
-      const PeerId self = net_.peer_at(v);
+      const PeerId self = net().peer_at(v);
       for (std::uint32_t i = 0; i < walks_; ++i) {
         cur_[v].push_back(
             Token{self, static_cast<std::uint16_t>(length_), 0});
       }
     }
-    net_.metrics().count_tokens_spawned(static_cast<std::uint64_t>(n) * walks_);
+    net().metrics().count_tokens_spawned(static_cast<std::uint64_t>(n) * walks_);
   }
 
   // Advance: each node forwards up to cap_ tokens to uniform random current
@@ -89,12 +94,12 @@ void TokenSoup::step() {
       queued += q.size() - fwd;
       for (std::size_t j = fwd; j < q.size(); ++j) next_[v].push_back(q[j]);
     }
-    if (fwd > 0) net_.charge_processing(v, fwd * kTokenBits);
+    if (fwd > 0) net().charge_processing(v, fwd * kTokenBits);
     q.clear();
   }
   cur_.swap(next_);
-  net_.metrics().count_tokens_completed(completed);
-  net_.metrics().count_tokens_queued(queued);
+  net().metrics().count_tokens_completed(completed);
+  net().metrics().count_tokens_queued(queued);
 
   // Retire samples that have aged out of the retention window.
   const Round keep_from = r - window_;

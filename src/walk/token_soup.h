@@ -12,12 +12,16 @@
 // completions are reported through a hook instead of sample buffers; the
 // Soup-Theorem and mixing benches (E1-E3) use probes to measure the
 // source->destination distribution directly.
+//
+// TokenSoup is a Protocol module: register it first in a stack (siblings
+// read its tau() during their own on_attach).
 #pragma once
 
 #include <cstdint>
 #include <functional>
 #include <vector>
 
+#include "core/protocol.h"
 #include "net/config.h"
 #include "net/network.h"
 #include "util/rng.h"
@@ -25,12 +29,22 @@
 
 namespace churnstore {
 
-class TokenSoup {
+class TokenSoup final : public Protocol {
  public:
+  explicit TokenSoup(const WalkConfig& config = {});
+  /// Construct and attach in one step (standalone tests/benches).
   TokenSoup(Network& net, const WalkConfig& config);
 
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "token-soup";
+  }
+  void on_attach(Network& net) override;
+  void on_round_begin() override { step(); }
+  void on_churn(Vertex v, PeerId old_peer, PeerId new_peer) override;
+
   /// Advance one round: spawn new walks, move tokens, deliver completions.
-  /// Call once per round after Network::begin_round().
+  /// Call once per round after Network::begin_round() (the driver does this
+  /// through on_round_begin()).
   void step();
 
   /// Turn automatic per-round spawning on/off (benches that only study
@@ -65,16 +79,13 @@ class TokenSoup {
     std::uint16_t probe;  ///< 1 if probe token
   };
 
-  void on_churn(Vertex v);
-
-  Network& net_;
   WalkConfig config_;
   Rng rng_;
-  std::uint32_t walks_;
-  std::uint32_t length_;
-  std::uint32_t cap_;
-  std::uint32_t tau_;
-  Round window_;
+  std::uint32_t walks_ = 0;
+  std::uint32_t length_ = 0;
+  std::uint32_t cap_ = 0;
+  std::uint32_t tau_ = 0;
+  Round window_ = 0;
   bool spawning_ = true;
 
   std::vector<std::vector<Token>> cur_;

@@ -63,9 +63,9 @@ TEST(AdaptiveAdversary, TargeterReceivesQuotaAndDistinctVictims) {
   cfg.churn.absolute = 5;
   Network net(cfg);
   std::uint32_t asked = 0;
-  net.set_adaptive_targeter([&](std::uint32_t count) {
-    asked = count;
-    return std::vector<Vertex>{1, 1, 2};  // duplicate must be deduped
+  net.events().subscribe<AdaptiveTargetQuery>([&](AdaptiveTargetQuery& q) {
+    asked = q.quota;
+    q.victims = {1, 1, 2};  // duplicate must be deduped
   });
   const auto churned = net.begin_round();
   EXPECT_EQ(asked, 5u);

@@ -17,13 +17,18 @@ SystemConfig make_config(std::uint32_t n, std::uint64_t seed = 71) {
   return c;
 }
 
-/// Churns exactly the given vertices (bypassing the adversary) by using the
-/// adaptive hook with an absolute budget.
+/// Churns exactly the given vertices (bypassing the adversary) by
+/// subscribing to the adaptive adversary's target query with an absolute
+/// budget.
 class TargetedChurn {
  public:
   explicit TargetedChurn(P2PSystem& sys) : sys_(sys) {
-    sys_.network().set_adaptive_targeter(
-        [this](std::uint32_t) { return std::exchange(next_, {}); });
+    sys_.network().events().subscribe<AdaptiveTargetQuery>(
+        [this](AdaptiveTargetQuery& q) {
+          for (const Vertex v : std::exchange(next_, {})) {
+            q.victims.push_back(v);
+          }
+        });
   }
   /// Queue victims for the next round.
   void kill_next_round(std::vector<Vertex> victims) {

@@ -32,7 +32,7 @@ TEST(Gf256, EveryNonzeroElementHasInverse) {
     const auto inv_a = inv(static_cast<std::uint8_t>(a));
     EXPECT_EQ(mul(static_cast<std::uint8_t>(a), inv_a), 1) << "a=" << a;
   }
-  EXPECT_THROW(inv(0), std::domain_error);
+  EXPECT_THROW((void)inv(0), std::domain_error);
 }
 
 TEST(Gf256, DivisionInvertsMultiplication) {
@@ -42,7 +42,7 @@ TEST(Gf256, DivisionInvertsMultiplication) {
     const auto b = static_cast<std::uint8_t>(rng.next() | 1);
     EXPECT_EQ(div(mul(a, b), b), a);
   }
-  EXPECT_THROW(div(1, 0), std::domain_error);
+  EXPECT_THROW((void)div(1, 0), std::domain_error);
 }
 
 TEST(Gf256, PowMatchesRepeatedMul) {

@@ -102,10 +102,7 @@ TEST(Landmark, ChurnClearsVertexState) {
     EXPECT_EQ(sys.landmarks().state_at(v, 1), nullptr);
   }
   // Complete the round manually to keep the system consistent.
-  sys.soup().step();
-  sys.committees().on_round();
-  sys.landmarks().on_round();
-  sys.searches().on_round();
+  for (const auto& p : sys.protocols()) p->on_round_begin();
   sys.network().deliver();
 }
 

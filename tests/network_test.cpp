@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <optional>
 #include <set>
 
 namespace churnstore {
@@ -27,7 +28,8 @@ TEST(Network, InitialPopulation) {
     const PeerId p = net.peer_at(v);
     EXPECT_NE(p, kNoPeer);
     EXPECT_TRUE(ids.insert(p).second) << "duplicate peer id";
-    EXPECT_EQ(net.vertex_of(p), v);
+    ASSERT_TRUE(net.find_vertex(p).has_value());
+    EXPECT_EQ(*net.find_vertex(p), v);
     EXPECT_TRUE(net.is_alive(p));
   }
 }
@@ -55,7 +57,7 @@ TEST(Network, DeadPeerIsUnreachable) {
   const PeerId victim_watch = net2.peer_at(0);
   for (int i = 0; i < 64 && net2.is_alive(victim_watch); ++i) net2.begin_round();
   EXPECT_FALSE(net2.is_alive(victim_watch));
-  EXPECT_EQ(net2.vertex_of(victim_watch), net2.n());
+  EXPECT_EQ(net2.find_vertex(victim_watch), std::nullopt);
 }
 
 TEST(Network, MessageDeliveryToLivePeer) {
@@ -126,15 +128,17 @@ TEST(Network, BlobCountsTowardSize) {
   EXPECT_EQ(m.size_bits(), 3 * 64 + 16 * 8 + 100u);
 }
 
-TEST(Network, ChurnListenersFire) {
+TEST(Network, ChurnEventsFire) {
   Network net(basic_config(16, 3));
   int fired = 0;
-  net.add_churn_listener([&](Vertex, PeerId old_p, PeerId new_p) {
+  net.events().subscribe<PeerChurned>([&](PeerChurned& ev) {
     ++fired;
-    EXPECT_NE(old_p, new_p);
+    EXPECT_NE(ev.old_peer, ev.new_peer);
+    EXPECT_EQ(net.peer_at(ev.vertex), ev.new_peer);
   });
   net.begin_round();
   EXPECT_EQ(fired, 3);
+  EXPECT_EQ(net.events().subscriber_count<PeerChurned>(), 1u);
 }
 
 TEST(Network, GraphStaysRegularUnderRewire) {
