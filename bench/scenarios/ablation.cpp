@@ -33,7 +33,7 @@ AblationResult run(Runner& runner, SystemConfig cfg,
         row.persist = trace.recoverable_fraction();
         const auto res = run_store_search_trial(trial_cfg, workload);
         row.locate = res.locate_rate();
-        row.bits = res.mean_bits_node_round;
+        row.bits = res.bits_node_round_mean.mean();
         return row;
       });
   RunningStat persist, locate, bits;

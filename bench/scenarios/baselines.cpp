@@ -46,8 +46,8 @@ CHURNSTORE_SCENARIO(baselines,
                                      "k-walker", "chord", "flooding"};
 
   Runner runner(base);
-  Table t({"system", "n", "churn/rd", "locate rate", "censored",
-           "mean bits/node/rd"});
+  Table t({"system", "n", "churn/rd", "locate rate", "censored", "avail",
+           "avail ci95", "mean bits/node/rd"});
   for (const std::uint32_t n : base.ns) {
     for (const double cm : {0.0, 0.25, base.churn.multiplier,
                             2 * base.churn.multiplier}) {
@@ -61,14 +61,16 @@ CHURNSTORE_SCENARIO(baselines,
             .cell(static_cast<std::int64_t>(n))
             .cell(static_cast<std::int64_t>(cell.churn.per_round(n)))
             .cell(res.locate_rate(), 3)
-            .cell(res.censored);
+            .cell(res.censored)
+            .cell(res.availability.mean(), 3)
+            .cell(res.availability.ci95_halfwidth(), 3);
         if (stack == "chord") {
           // ChordSim routes in its own ring simulator; its overlay traffic
           // is not charged to Network metrics, so a 0 here would read as
           // "free" next to the accounted stacks.
           t.cell("n/a (overlay msgs)");
         } else {
-          t.cell(res.mean_bits_node_round, 0);
+          t.cell(res.bits_node_round_mean.mean(), 0);
         }
       }
     }

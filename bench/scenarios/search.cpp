@@ -29,7 +29,8 @@ CHURNSTORE_SCENARIO(search, "E7: retrieval success and latency (Theorem 4)") {
 
   Runner runner(base);
   Table t({"n", "churn/rd", "searches", "censored", "locate rate",
-           "fetch rate", "locate rds mean", "locate rds max", "tau"});
+           "fetch rate", "avail", "avail ci95", "locate rds mean",
+           "locate rds max", "tau"});
   std::vector<double> lnns, latencies;
   for (const std::uint32_t n : base.ns) {
     for (const double cm :
@@ -44,6 +45,8 @@ CHURNSTORE_SCENARIO(search, "E7: retrieval success and latency (Theorem 4)") {
           .cell(res.censored)
           .cell(res.locate_rate(), 3)
           .cell(res.fetch_rate(), 3)
+          .cell(res.availability.mean(), 3)
+          .cell(res.availability.ci95_halfwidth(), 3)
           .cell(res.locate_rounds.mean(), 1)
           .cell(res.locate_rounds.max(), 1)
           .cell(static_cast<std::int64_t>(tau));

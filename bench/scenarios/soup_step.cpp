@@ -1,0 +1,83 @@
+// M2 — Soup-step throughput vs shard count (the engine's microbench).
+//
+// Isolates the sharded TokenSoup::step() kernel: a standalone soup on a
+// churning network, warmed to steady state, then a timed run of bare
+// begin_round/step/deliver rounds at each shard count. Emits the table the
+// BENCH_soup_step.json baseline is generated from:
+//
+//   bench_driver --scenario=soup_step json=true > BENCH_soup_step.json
+//   bench_driver --scenario=soup_step n=100000 shard-sweep=1,4,16
+//
+// Keys: shard-sweep (default 1,4,16), steps (timed rounds, default 128);
+// threads caps the pool (0 = hardware). The google-benchmark variant of
+// the same kernel lives in bench_micro (BM_SoupStepSharded).
+#include <chrono>
+
+#include "scenario_common.h"
+#include "util/thread_pool.h"
+#include "walk/token_soup.h"
+
+namespace churnstore {
+namespace {
+
+using namespace churnstore::bench;
+
+CHURNSTORE_SCENARIO(soup_step,
+                    "M2: sharded soup-step throughput (S sweep, "
+                    "BENCH_soup_step.json baseline)") {
+  ScenarioSpec base = spec;
+  if (!cli.has("n")) base.ns = {4096, 16384};
+  const auto steps =
+      static_cast<std::uint32_t>(cli.get_int("steps", 128));
+
+  banner(base, "M2 soup_step — sharded soup-step throughput",
+         "steady-state token moves per second vs shard count; >= 2x at 4+ "
+         "shards on a multi-core host is the engine's acceptance bar");
+
+  std::vector<std::uint32_t> sweep;
+  for (const std::int64_t s : cli.get_int_list("shard-sweep", {1, 4, 16})) {
+    sweep.push_back(static_cast<std::uint32_t>(s));
+  }
+
+  ThreadPool pool(base.threads);
+  Table t({"n", "shards", "threads", "steps/sec", "Mtokens/sec", "speedup"});
+  for (const std::uint32_t n : base.ns) {
+    double baseline_sps = 0.0;
+    for (const std::uint32_t shards : sweep) {
+      SystemConfig cfg = base.with_n(n).system_config();
+      cfg.sim.shards = shards;
+      Network net(cfg.sim);
+      if (shards != 1 && base.parallel) net.set_worker_pool(&pool);
+      TokenSoup soup(net, cfg.walk);
+      // Fill the pipeline so the timed section measures the steady state.
+      for (std::uint32_t i = 0; i < 2 * soup.tau(); ++i) {
+        net.begin_round();
+        soup.step();
+        net.deliver();
+      }
+      const double tokens_per_step =
+          static_cast<double>(soup.tokens_alive());
+      const auto t0 = std::chrono::steady_clock::now();
+      for (std::uint32_t i = 0; i < steps; ++i) {
+        net.begin_round();
+        soup.step();
+        net.deliver();
+      }
+      const auto t1 = std::chrono::steady_clock::now();
+      const double secs = std::chrono::duration<double>(t1 - t0).count();
+      const double sps = secs > 0.0 ? steps / secs : 0.0;
+      if (baseline_sps == 0.0) baseline_sps = sps;
+      t.begin_row()
+          .cell(static_cast<std::int64_t>(n))
+          .cell(static_cast<std::int64_t>(shards))
+          .cell(static_cast<std::int64_t>(pool.size()))
+          .cell(sps, 2)
+          .cell(sps * tokens_per_step / 1e6, 2)
+          .cell(baseline_sps > 0.0 ? sps / baseline_sps : 0.0, 2);
+    }
+  }
+  emit(t, base);
+}
+
+}  // namespace
+}  // namespace churnstore

@@ -2,9 +2,14 @@
 
 #include <algorithm>
 #include <cmath>
+#include <stdexcept>
+#include <string>
+#include <unordered_map>
 
+#include "core/kv_store.h"
 #include "core/runner.h"
 #include "core/stacks.h"
+#include "storage/item.h"
 #include "util/rng.h"
 
 namespace churnstore {
@@ -18,13 +23,9 @@ void StoreSearchResult::merge(const StoreSearchResult& o) {
   fetch_rounds.merge(o.fetch_rounds);
   copies_alive.merge(o.copies_alive);
   landmarks_alive.merge(o.landmarks_alive);
-  const auto w = static_cast<double>(trial_count);
-  const auto ow = static_cast<double>(o.trial_count);
-  availability_fraction =
-      (availability_fraction * w + o.availability_fraction * ow) / (w + ow);
-  max_bits_node_round = std::max(max_bits_node_round, o.max_bits_node_round);
-  mean_bits_node_round =
-      (mean_bits_node_round * w + o.mean_bits_node_round * ow) / (w + ow);
+  availability.merge(o.availability);
+  bits_node_round_max.merge(o.bits_node_round_max);
+  bits_node_round_mean.merge(o.bits_node_round_mean);
   trial_count += o.trial_count;
 }
 
@@ -88,6 +89,7 @@ StoreSearchResult drive_store_search(P2PSystem& sys, StorageService& svc,
   sys.run_rounds(static_cast<std::uint32_t>(options.age_taus * sys.tau()) +
                  2 * sys.tau());
 
+  double avail_fraction = 0.0;
   for (std::uint32_t b = 0; b < options.batches; ++b) {
     // Sample availability god-view at batch start.
     std::uint64_t avail = 0;
@@ -96,7 +98,7 @@ StoreSearchResult drive_store_search(P2PSystem& sys, StorageService& svc,
       res.landmarks_alive.add(static_cast<double>(svc.landmarks_alive(item)));
       avail += svc.is_available(item);
     }
-    res.availability_fraction +=
+    avail_fraction +=
         items.empty() ? 0.0
                       : static_cast<double>(avail) /
                             static_cast<double>(items.size()) /
@@ -134,23 +136,97 @@ StoreSearchResult drive_store_search(P2PSystem& sys, StorageService& svc,
     }
   }
 
-  res.max_bits_node_round = sys.metrics().max_bits_per_node_round().mean();
-  res.mean_bits_node_round = sys.metrics().mean_bits_per_node_round().mean();
+  res.availability.add(avail_fraction);
+  res.bits_node_round_max.add(sys.metrics().max_bits_per_node_round().mean());
+  res.bits_node_round_mean.add(sys.metrics().mean_bits_per_node_round().mean());
   return res;
 }
 
+/// StorageService adapter over the KvStore facade (workload=kv): the
+/// generic workload's item ids become string keys with real payload bytes,
+/// so the ONE store -> age -> search driver above also exercises the kv
+/// path. `located` and `fetched` coincide — kv reports hash-verified
+/// fetches only — and kv gets have no censoring channel.
+class KvWorkloadService final : public StorageService {
+ public:
+  explicit KvWorkloadService(P2PSystem& sys) : sys_(sys), kv_(sys) {}
+
+  bool try_store(Vertex creator, ItemId item) override {
+    return kv_.put(creator, key_for(item),
+                   make_payload(item, sys_.config().protocol.item_bits));
+  }
+  [[nodiscard]] std::uint64_t begin_search(Vertex initiator,
+                                           ItemId item) override {
+    const std::uint64_t handle = kv_.get(initiator, key_for(item));
+    start_round_[handle] = sys_.round();
+    return handle;
+  }
+  [[nodiscard]] WorkloadOutcome search_outcome(
+      std::uint64_t sid) const override {
+    WorkloadOutcome out;
+    const auto res = kv_.result(sid);
+    if (!res) return out;
+    out.done = res->complete;
+    out.located = out.fetched = res->found;
+    if (res->found) {
+      const auto it = start_round_.find(sid);
+      const Round start = it == start_round_.end() ? 0 : it->second;
+      out.located_round = out.fetched_round = start + res->rounds_taken;
+    }
+    return out;
+  }
+  [[nodiscard]] std::uint32_t search_timeout() const override {
+    return sys_.search_timeout();
+  }
+  [[nodiscard]] std::size_t copies_alive(ItemId item) const override {
+    return sys_.store().copies_alive(KvStore::key_to_item(key_for(item)));
+  }
+  [[nodiscard]] std::size_t landmarks_alive(ItemId item) const override {
+    return sys_.store().landmarks_alive(KvStore::key_to_item(key_for(item)));
+  }
+  [[nodiscard]] bool is_available(ItemId item) const override {
+    return kv_.contains(key_for(item));
+  }
+
+ private:
+  [[nodiscard]] static std::string key_for(ItemId item) {
+    return "item/" + std::to_string(item);
+  }
+
+  P2PSystem& sys_;
+  KvStore kv_;
+  std::unordered_map<std::uint64_t, Round> start_round_;
+};
+
 }  // namespace
 
-StoreSearchResult run_store_search_trial(const ScenarioSpec& spec) {
+StoreSearchResult run_store_search_trial(const ScenarioSpec& spec,
+                                         ThreadPool* shard_pool) {
+  if (spec.workload_kind == "kv") {
+    // The kv facade drives Store/Search managers directly: paper stack only.
+    if (spec.protocol != "churnstore") {
+      throw std::invalid_argument("workload=kv requires protocol=churnstore");
+    }
+    P2PSystem sys(spec.system_config());
+    sys.set_shard_pool(shard_pool);
+    KvWorkloadService svc(sys);
+    return drive_store_search(sys, svc, spec.workload, spec.seed);
+  }
+  if (spec.workload_kind != "store-search") {
+    throw std::invalid_argument("unknown workload: " + spec.workload_kind);
+  }
   BuiltSystem built =
       build_stack(spec.protocol, spec.system_config(), spec.extras);
+  built.system->set_shard_pool(shard_pool);
   return drive_store_search(*built.system, *built.service, spec.workload,
                             spec.seed);
 }
 
 StoreSearchResult run_store_search_trial(const SystemConfig& config,
-                                         const StoreSearchOptions& options) {
+                                         const StoreSearchOptions& options,
+                                         ThreadPool* shard_pool) {
   P2PSystem sys(config);
+  sys.set_shard_pool(shard_pool);
   ChurnstoreService svc(sys);
   return drive_store_search(sys, svc, options, config.sim.seed);
 }

@@ -18,6 +18,8 @@
 
 namespace churnstore {
 
+class ThreadPool;
+
 struct StoreSearchResult {
   std::uint64_t searches = 0;
   std::uint64_t located = 0;
@@ -27,10 +29,14 @@ struct StoreSearchResult {
   RunningStat fetch_rounds;
   RunningStat copies_alive;       ///< sampled at search time, per item
   RunningStat landmarks_alive;
-  double availability_fraction = 0.0;  ///< fraction of item-checks available
-  double max_bits_node_round = 0.0;
-  double mean_bits_node_round = 0.0;
-  /// Trials merged into this result (weights availability_fraction).
+  /// Per-trial summaries: each trial contributes ONE observation, so after
+  /// a merge the mean/stddev/ci95_halfwidth are across-trial statistics
+  /// (the tables print mean +/- ci95). Replaces the old trial-weighted
+  /// double averages, which could not report confidence intervals.
+  RunningStat availability;         ///< fraction of item-checks available
+  RunningStat bits_node_round_max;  ///< mean over rounds of per-round max
+  RunningStat bits_node_round_mean;
+  /// Trials merged into this result.
   std::uint64_t trial_count = 1;
 
   void merge(const StoreSearchResult& o);
@@ -38,13 +44,17 @@ struct StoreSearchResult {
   [[nodiscard]] double fetch_rate() const;
 };
 
-/// One store-then-search trial of the spec's protocol stack (spec.seed).
+/// One workload trial of the spec's protocol stack (spec.seed): the
+/// canonical store-then-search trial, or the KvStore workload when
+/// spec.workload_kind == "kv". `shard_pool` (borrowed, may be null) is lent
+/// to the trial system's sharded round engine (sim.shards from the spec).
 [[nodiscard]] StoreSearchResult run_store_search_trial(
-    const ScenarioSpec& spec);
+    const ScenarioSpec& spec, ThreadPool* shard_pool = nullptr);
 
 /// Churnstore-stack trial from a raw SystemConfig (test/bench convenience).
 [[nodiscard]] StoreSearchResult run_store_search_trial(
-    const SystemConfig& config, const StoreSearchOptions& options);
+    const SystemConfig& config, const StoreSearchOptions& options,
+    ThreadPool* shard_pool = nullptr);
 
 /// Runs `trials` independently seeded trials (Runner::trial_seed) on the
 /// ThreadPool and merges the results in trial order; deterministic in

@@ -17,10 +17,14 @@ ThreadPool& Runner::pool() {
 }
 
 StoreSearchResult Runner::store_search(const ScenarioSpec& spec) {
+  // Lend the trial pool to each trial's sharded round engine. Serial mode
+  // keeps the engine serial too, preserving the bit-identity contract.
+  ThreadPool* shard_pool =
+      (options_.parallel && spec.shards != 1) ? &pool() : nullptr;
   const auto results = map_trials<StoreSearchResult>(
-      std::max(1u, spec.trials), [&spec](std::uint32_t t) {
+      std::max(1u, spec.trials), [&spec, shard_pool](std::uint32_t t) {
         return run_store_search_trial(
-            spec.with_seed(trial_seed(spec.seed, t)));
+            spec.with_seed(trial_seed(spec.seed, t)), shard_pool);
       });
   StoreSearchResult total;
   bool first = true;

@@ -62,16 +62,22 @@ class Runner {
 
   /// spec.trials store-then-search trials of spec's protocol stack, merged
   /// in trial order. Deterministic in (spec, trials) — independent of
-  /// thread count and parallel/serial mode.
+  /// thread count, parallel/serial mode, and spec.shards. When the spec
+  /// asks for intra-round sharding (shards != 1), every trial's system runs
+  /// its shard tasks on the SAME pool as the trials (nested, caller-helping
+  /// — see ThreadPool::for_each_helping), so one pool saturates the cores
+  /// whether the parallelism comes from many trials or one big network.
   [[nodiscard]] StoreSearchResult store_search(const ScenarioSpec& spec);
 
   [[nodiscard]] const RunnerOptions& options() const noexcept {
     return options_;
   }
 
- private:
-  ThreadPool& pool();
+  /// The runner's pool (created on first use). Exposed so scenarios can
+  /// lend it to standalone systems (P2PSystem::set_shard_pool).
+  [[nodiscard]] ThreadPool& pool();
 
+ private:
   RunnerOptions options_;
   std::unique_ptr<ThreadPool> pool_;
 };

@@ -29,18 +29,18 @@ std::string fmt_n_list(const std::vector<std::uint32_t>& ns) {
 /// Keys the common spec models; everything else lands in `extras`. The
 /// driver's own switches (scenario, list, help) are never spec keys.
 const char* const kKnownKeys[] = {
-    "protocol",   "n",          "degree",        "seed",
-    "trials",     "churn",      "churn-mult",    "churn-k",
-    "churn-absolute",           "adaptive-pad",  "edge",
-    "rewire-swaps",             "walk-rate",     "walk-t",
-    "walk-cap",   "walk-window",                 "h",
+    "protocol",   "workload",   "n",             "degree",
+    "seed",       "trials",     "churn",         "churn-mult",
+    "churn-k",    "churn-absolute",              "adaptive-pad",
+    "edge",       "rewire-swaps",                "walk-rate",
+    "walk-t",     "walk-cap",   "walk-window",   "h",
     "oversample", "leader-redundancy",           "fanout",
     "delta",      "landmark-ttl-taus",           "landmark-rebuild-taus",
     "refresh-taus",             "timeout-taus",  "inquiry-cap",
     "item-bits",  "erasure",    "ida-surplus",   "items",
     "searches",   "batches",    "age-taus",      "threads",
-    "parallel",   "csv",        "json",          "scenario",
-    "list",       "help",
+    "parallel",   "shards",     "csv",           "json",
+    "scenario",   "list",       "help",
 };
 
 bool is_known_key(const std::string& key) {
@@ -96,6 +96,7 @@ EdgeDynamics edge_dynamics_from_name(std::string_view name) {
 ScenarioSpec ScenarioSpec::from_cli(const Cli& cli) {
   ScenarioSpec spec;
   spec.protocol = cli.get("protocol", spec.protocol);
+  spec.workload_kind = cli.get("workload", spec.workload_kind);
 
   spec.ns.clear();
   for (const std::int64_t n : cli.get_int_list("n", {1024})) {
@@ -157,6 +158,7 @@ ScenarioSpec ScenarioSpec::from_cli(const Cli& cli) {
 
   spec.threads = static_cast<std::size_t>(cli.get_int("threads", 0));
   spec.parallel = cli.get_bool("parallel", spec.parallel);
+  spec.shards = static_cast<std::uint32_t>(cli.get_int("shards", spec.shards));
   spec.csv = cli.get_bool("csv", spec.csv);
   spec.json = cli.get_bool("json", spec.json);
 
@@ -172,6 +174,7 @@ std::vector<std::string> ScenarioSpec::to_key_values() const {
     out.push_back(k + "=" + v);
   };
   kv("protocol", protocol);
+  kv("workload", workload_kind);
   kv("n", fmt_n_list(ns));
   kv("degree", std::to_string(degree));
   kv("seed", std::to_string(seed));
@@ -207,6 +210,7 @@ std::vector<std::string> ScenarioSpec::to_key_values() const {
   kv("age-taus", fmt_double(workload.age_taus));
   kv("threads", std::to_string(threads));
   kv("parallel", parallel ? "true" : "false");
+  kv("shards", std::to_string(shards));
   kv("csv", csv ? "true" : "false");
   kv("json", json ? "true" : "false");
   for (const auto& [key, value] : extras) kv(key, value);
@@ -221,6 +225,7 @@ SystemConfig ScenarioSpec::system_config(std::uint32_t n_override) const {
   cfg.sim.churn = churn;
   cfg.sim.edge_dynamics = edge_dynamics;
   cfg.sim.rewire_swaps = rewire_swaps;
+  cfg.sim.shards = shards;
   cfg.walk = walk;
   cfg.protocol = protocol_config;
   return cfg;

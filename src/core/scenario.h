@@ -44,6 +44,11 @@ struct ScenarioSpec {
   /// k-walker, sqrt-replication.
   std::string protocol = "churnstore";
 
+  /// Workload driven through the stack: "store-search" (the canonical
+  /// store -> age -> search trial) or "kv" (the KvStore facade: string keys,
+  /// payload round-trip verification; churnstore stack only).
+  std::string workload_kind = "store-search";
+
   /// Network sizes; scenarios sweep the list, single-system helpers use the
   /// first entry.
   std::vector<std::uint32_t> ns = {1024};
@@ -65,6 +70,9 @@ struct ScenarioSpec {
   /// Runner execution: worker threads (0 = hardware) and parallel on/off.
   std::size_t threads = 0;
   bool parallel = true;
+  /// Intra-round shards per trial system (1 = unsharded, 0 = hardware).
+  /// Any value yields bit-identical results; see util/sharding.h.
+  std::uint32_t shards = 1;
 
   /// Output format.
   bool csv = false;

@@ -75,6 +75,15 @@ class P2PSystem {
   void run_round();
   void run_rounds(std::uint32_t k);
 
+  /// Install the worker pool the sharded round engine runs on (borrowed;
+  /// nullptr = serial). With sim.shards > 1 the per-round work (TokenSoup
+  /// token moves, staged merges) spreads across the pool, caller helping,
+  /// so a Runner can nest trial x shard scheduling on ONE pool. Results are
+  /// bit-identical with or without a pool.
+  void set_shard_pool(ThreadPool* pool) noexcept {
+    net_->set_worker_pool(pool);
+  }
+
   /// Rounds of warm-up needed before sample buffers are useful (~2 tau).
   [[nodiscard]] std::uint32_t warmup_rounds() const noexcept {
     return 2 * tau() + 2;

@@ -54,6 +54,12 @@ struct SimConfig {
   EdgeDynamics edge_dynamics = EdgeDynamics::kRewire;
   /// Rewire swaps per round; 0 means "n / 8" (a quarter of edges touched).
   std::uint32_t rewire_swaps = 0;
+  /// Shards the per-round engine partitions the vertex slots into
+  /// (0 = hardware concurrency). Results are bit-identical for every value:
+  /// sharding is an execution detail, not a model parameter (see
+  /// util/sharding.h). Shards only run concurrently when a worker pool is
+  /// installed (P2PSystem::set_shard_pool / Runner).
+  std::uint32_t shards = 1;
 };
 
 struct WalkConfig {

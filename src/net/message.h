@@ -6,6 +6,13 @@
 // Size accounting: a message is charged header (src + dst + type) plus 64
 // bits per payload word plus any opaque payload bits (used for data-item
 // bytes, so the scalability measurements include item transfer costs).
+//
+// Queueing: serial protocol code queues through Network::send; shard tasks
+// of the sharded round engine queue through Network::send_sharded (one
+// lock-free lane per shard). Network::deliver merges the lanes behind the
+// serial outbox in ascending shard order, which keeps delivery order — and
+// therefore every downstream protocol decision — independent of the shard
+// count (see util/sharding.h for why contiguous shards make that hold).
 #pragma once
 
 #include <cstdint>

@@ -1,6 +1,9 @@
 #include "net/network.h"
 
+#include <thread>
+
 #include "graph/regular_generator.h"
+#include "util/thread_pool.h"
 
 namespace churnstore {
 
@@ -29,7 +32,11 @@ Network::Network(const SimConfig& config)
       peer_at_(config.n, kNoPeer),
       birth_(config.n, 0),
       inbox_(config.n),
-      metrics_(config.n) {
+      metrics_(config.n),
+      shards_(config.n, config.shards != 0
+                            ? config.shards
+                            : std::max(1u, std::thread::hardware_concurrency())) {
+  shard_lanes_.resize(shards_.count());
   vertex_of_.reserve(config.n * 2);
   for (Vertex v = 0; v < config_.n; ++v) {
     peer_at_[v] = next_peer_++;
@@ -112,7 +119,35 @@ void Network::send(Vertex from, Message&& m) {
   outbox_.push_back(std::move(m));
 }
 
+void Network::send_sharded(std::uint32_t shard, Vertex from, Message&& m) {
+  OutLane& lane = shard_lanes_[shard];
+  lane.froms.push_back(from);
+  lane.msgs.push_back(std::move(m));
+}
+
+void Network::run_sharded(const std::function<void(std::uint32_t)>& fn) {
+  const std::uint32_t count = shards_.count();
+  if (count <= 1 || worker_pool_ == nullptr) {
+    for (std::uint32_t s = 0; s < count; ++s) fn(s);
+    return;
+  }
+  worker_pool_->for_each_helping(
+      count, [&fn](std::size_t s) { fn(static_cast<std::uint32_t>(s)); });
+}
+
 void Network::deliver() {
+  // Merge shard lanes behind the serial outbox in ascending shard order and
+  // settle their deferred charges; see send_sharded for why this order makes
+  // delivery independent of the shard count.
+  for (OutLane& lane : shard_lanes_) {
+    for (std::size_t i = 0; i < lane.msgs.size(); ++i) {
+      metrics_.charge_bits(lane.froms[i], lane.msgs[i].size_bits());
+      metrics_.count_message();
+      outbox_.push_back(std::move(lane.msgs[i]));
+    }
+    lane.msgs.clear();
+    lane.froms.clear();
+  }
   for (auto& m : outbox_) {
     const std::optional<Vertex> v = find_vertex(m.dst);
     if (!v) {

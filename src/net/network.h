@@ -23,6 +23,7 @@
 //                         victims; see AdversaryKind::kAdaptive.
 #pragma once
 
+#include <functional>
 #include <optional>
 #include <unordered_map>
 #include <vector>
@@ -36,8 +37,11 @@
 #include "net/metrics.h"
 #include "net/types.h"
 #include "util/rng.h"
+#include "util/sharding.h"
 
 namespace churnstore {
+
+class ThreadPool;
 
 /// Published (via Network::events()) when the peer occupying `vertex` is
 /// replaced by a fresh one; all protocol state at the slot must be dropped.
@@ -83,8 +87,17 @@ class Network {
   const std::vector<Vertex>& begin_round();
 
   /// Queue a direct message from the peer at vertex `from` (charged to it).
+  /// Serial-context sends only; from shard tasks use send_sharded.
   void send(Vertex from, const Message& m);
   void send(Vertex from, Message&& m);
+
+  /// Queue a message from shard task `shard` (one lane per shard, so
+  /// concurrent shards never contend). Charging is deferred to deliver(),
+  /// where lanes merge behind the serial outbox in ascending shard order.
+  /// Deterministic-merge contract: a shard task that iterates its contiguous
+  /// vertex range in ascending order makes the merged stream equal to the
+  /// ascending global vertex order — independent of shard count.
+  void send_sharded(std::uint32_t shard, Vertex from, Message&& m);
 
   /// Deliver all queued messages into per-vertex inboxes; drops messages
   /// whose destination peer is gone. Ends per-round metric accounting.
@@ -112,6 +125,22 @@ class Network {
   /// Total churn events so far.
   [[nodiscard]] std::uint64_t churn_events() const noexcept { return churn_events_; }
 
+  /// --- sharded execution ---------------------------------------------------
+  /// The vertex-slot partition the round engine runs over (SimConfig::shards).
+  [[nodiscard]] const ShardPlan& shards() const noexcept { return shards_; }
+
+  /// Install (or clear, with nullptr) the worker pool shard tasks run on.
+  /// Borrowed, not owned; without a pool run_sharded degrades to serial with
+  /// bit-identical results.
+  void set_worker_pool(ThreadPool* pool) noexcept { worker_pool_ = pool; }
+  [[nodiscard]] ThreadPool* worker_pool() const noexcept { return worker_pool_; }
+
+  /// Run fn(shard) for every shard of the plan — on the worker pool (caller
+  /// helping, so nesting inside a pool task cannot deadlock) when one is
+  /// installed, inline otherwise. fn must only mutate state owned by its
+  /// shard (or per-shard staging buffers).
+  void run_sharded(const std::function<void(std::uint32_t)>& fn);
+
  private:
   void churn_vertex(Vertex v);
 
@@ -134,9 +163,19 @@ class Network {
   EventBus events_;
 
   std::vector<Message> outbox_;
+  /// One lane per shard for send_sharded; sender vertices ride along so the
+  /// deferred metrics charge lands on the right node at deliver() time.
+  struct OutLane {
+    std::vector<Message> msgs;
+    std::vector<Vertex> froms;
+  };
+  std::vector<OutLane> shard_lanes_;
   std::vector<std::vector<Message>> inbox_;
   Metrics metrics_;
   std::uint64_t churn_events_ = 0;
+
+  ShardPlan shards_;
+  ThreadPool* worker_pool_ = nullptr;
 };
 
 }  // namespace churnstore

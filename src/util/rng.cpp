@@ -18,6 +18,10 @@ std::uint64_t mix64(std::uint64_t x) noexcept {
   return splitmix64(s);
 }
 
+std::uint64_t stream_seed(std::uint64_t key, std::uint64_t stream) noexcept {
+  return mix64(key ^ (0x9e3779b97f4a7c15ULL * (stream + 1)));
+}
+
 namespace {
 inline std::uint64_t rotl(std::uint64_t x, int k) noexcept {
   return (x << k) | (x >> (64 - k));

@@ -23,6 +23,14 @@ namespace churnstore {
 /// Stateless mix of a 64-bit value (one splitmix64 round on a copy).
 [[nodiscard]] std::uint64_t mix64(std::uint64_t x) noexcept;
 
+/// Seed of the counter-based stream `stream` under `key` (golden-ratio
+/// counter mix). stream_rng(key, i) for i = 0, 1, 2, ... yields mutually
+/// independent generators that are pure functions of (key, i) — no parent
+/// state to advance, so any number of them can be forked concurrently. The
+/// sharded round engine derives one per (round, vertex) this way.
+[[nodiscard]] std::uint64_t stream_seed(std::uint64_t key,
+                                        std::uint64_t stream) noexcept;
+
 /// xoshiro256++ generator. Satisfies UniformRandomBitGenerator so it can be
 /// plugged into <random> distributions, though the member helpers below are
 /// preferred in hot paths.
@@ -69,6 +77,8 @@ class Rng {
   std::uint64_t geometric(double p) noexcept;
 
   /// Derive an independent child stream; deterministic in (this state, salt).
+  /// Advances this generator by one draw. For forking WITHOUT shared parent
+  /// state (e.g. concurrently, per shard), use the free stream_rng instead.
   [[nodiscard]] Rng fork(std::uint64_t salt) noexcept;
 
   /// Fisher-Yates shuffle of a vector.
@@ -90,5 +100,11 @@ class Rng {
  private:
   std::uint64_t s_[4];
 };
+
+/// The generator seeded by stream_seed(key, stream); see stream_seed.
+[[nodiscard]] inline Rng stream_rng(std::uint64_t key,
+                                    std::uint64_t stream) noexcept {
+  return Rng(stream_seed(key, stream));
+}
 
 }  // namespace churnstore

@@ -1,0 +1,52 @@
+// Deterministic partition of vertex slots into contiguous shards.
+//
+// The sharded round engine (TokenSoup::step, Network's sharded outboxes)
+// splits the vertex range [0, n) into `count` contiguous ranges and runs
+// each range as one task. Contiguity is load-bearing for determinism:
+// every shard scans its range in ascending vertex order, and every merge
+// concatenates per-shard buffers in ascending shard order, so the merged
+// stream is in ascending GLOBAL vertex order — independent of how many
+// shards the work was split into. That is what makes shards=1 and
+// shards=16 bit-identical (see tests/sharded_engine_test.cpp).
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+
+namespace churnstore {
+
+class ShardPlan {
+ public:
+  ShardPlan() = default;
+  /// Partition [0, n) into `count` near-equal contiguous ranges; the first
+  /// n % count shards get one extra slot. count is clamped to [1, max(n,1)].
+  ShardPlan(std::uint32_t n, std::uint32_t count)
+      : n_(n),
+        count_(std::clamp<std::uint32_t>(count, 1, std::max<std::uint32_t>(n, 1))),
+        base_(n_ / count_),
+        extra_(n_ % count_) {}
+
+  [[nodiscard]] std::uint32_t n() const noexcept { return n_; }
+  [[nodiscard]] std::uint32_t count() const noexcept { return count_; }
+
+  [[nodiscard]] std::uint32_t begin(std::uint32_t s) const noexcept {
+    return s * base_ + std::min(s, extra_);
+  }
+  [[nodiscard]] std::uint32_t end(std::uint32_t s) const noexcept {
+    return begin(s + 1);
+  }
+
+  [[nodiscard]] std::uint32_t shard_of(std::uint32_t v) const noexcept {
+    const std::uint32_t wide = extra_ * (base_ + 1);
+    if (v < wide) return v / (base_ + 1);
+    return extra_ + (v - wide) / base_;
+  }
+
+ private:
+  std::uint32_t n_ = 0;
+  std::uint32_t count_ = 1;
+  std::uint32_t base_ = 0;   ///< n / count
+  std::uint32_t extra_ = 0;  ///< n % count (first `extra_` shards are +1)
+};
+
+}  // namespace churnstore

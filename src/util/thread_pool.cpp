@@ -1,6 +1,9 @@
 #include "util/thread_pool.h"
 
 #include <algorithm>
+#include <atomic>
+#include <exception>
+#include <memory>
 
 namespace churnstore {
 
@@ -42,6 +45,58 @@ void ThreadPool::parallel_for(std::size_t count,
     futs.push_back(submit([&fn, i] { fn(i); }));
   }
   for (auto& f : futs) f.get();
+}
+
+void ThreadPool::for_each_helping(std::size_t count,
+                                  const std::function<void(std::size_t)>& fn) {
+  if (count == 0) return;
+  if (count == 1) {
+    fn(0);
+    return;
+  }
+  struct State {
+    std::atomic<std::size_t> next{0};
+    std::atomic<std::size_t> done{0};
+    std::size_t count = 0;
+    const std::function<void(std::size_t)>* fn = nullptr;
+    std::mutex mu;
+    std::condition_variable cv;
+    std::exception_ptr error;  ///< first throw from fn, guarded by mu
+  };
+  // Helpers may dequeue after this call returned (e.g. the queue was backed
+  // up behind outer tasks); shared ownership keeps the state alive for them.
+  // They can no longer see an index < count by then, so `fn` is never
+  // dereferenced after it goes out of scope.
+  auto st = std::make_shared<State>();
+  st->count = count;
+  st->fn = &fn;
+  // Exceptions from fn must neither hang the barrier (a helper that died
+  // without bumping `done`) nor unwind the caller's frame while helpers
+  // still hold `fn`: every drain catches, records the first error, keeps
+  // counting, and the caller rethrows after the barrier.
+  const auto drain = [](const std::shared_ptr<State>& s) {
+    std::size_t i;
+    while ((i = s->next.fetch_add(1)) < s->count) {
+      try {
+        (*s->fn)(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(s->mu);
+        if (!s->error) s->error = std::current_exception();
+      }
+      if (s->done.fetch_add(1) + 1 == s->count) {
+        std::lock_guard<std::mutex> lock(s->mu);
+        s->cv.notify_all();
+      }
+    }
+  };
+  const std::size_t helpers = std::min(count - 1, workers_.size());
+  for (std::size_t h = 0; h < helpers; ++h) {
+    submit([st, drain] { drain(st); });
+  }
+  drain(st);
+  std::unique_lock<std::mutex> lock(st->mu);
+  st->cv.wait(lock, [&st] { return st->done.load() == st->count; });
+  if (st->error) std::rethrow_exception(st->error);
 }
 
 void ThreadPool::worker_loop() {

@@ -30,6 +30,16 @@ class ThreadPool {
   /// Run fn(i) for i in [0, count) across the pool and wait for completion.
   void parallel_for(std::size_t count, const std::function<void(std::size_t)>& fn);
 
+  /// Like parallel_for, but the CALLING thread also drains work, pulling
+  /// indices from a shared counter alongside the pool workers. Safe to call
+  /// from inside a task running on this same pool (nested trial x shard
+  /// scheduling): even when every worker is busy with an outer task, the
+  /// caller finishes all indices itself, so the nesting can never deadlock —
+  /// it only degrades to serial. If fn throws, the remaining indices still
+  /// run and the first exception is rethrown here after the barrier.
+  void for_each_helping(std::size_t count,
+                        const std::function<void(std::size_t)>& fn);
+
  private:
   void worker_loop();
 

@@ -52,4 +52,31 @@ std::size_t SampleBuffer::total() const noexcept {
   return acc;
 }
 
+void ShardedArrivals::reset(std::uint32_t shards) {
+  shards_ = shards;
+  buckets_.resize(static_cast<std::size_t>(shards) * shards);
+  for (auto& b : buckets_) b.clear();
+}
+
+void ShardedArrivals::stage(std::uint32_t src_shard, std::uint32_t dst_shard,
+                            Vertex dst, PeerId source) {
+  buckets_[static_cast<std::size_t>(src_shard) * shards_ + dst_shard]
+      .push_back(Arrival{dst, source});
+}
+
+void ShardedArrivals::apply_to(std::uint32_t dst_shard, Round r,
+                               std::vector<SampleBuffer>& buffers) const {
+  for (std::uint32_t src = 0; src < shards_; ++src) {
+    const auto& bucket =
+        buckets_[static_cast<std::size_t>(src) * shards_ + dst_shard];
+    for (const Arrival& a : bucket) buffers[a.dst].add(r, a.source);
+  }
+}
+
+std::size_t ShardedArrivals::staged_total() const noexcept {
+  std::size_t acc = 0;
+  for (const auto& b : buckets_) acc += b.size();
+  return acc;
+}
+
 }  // namespace churnstore

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "net/types.h"
+#include "util/sharding.h"
 
 namespace churnstore {
 
@@ -38,12 +39,61 @@ class SampleBuffer {
   [[nodiscard]] std::size_t total() const noexcept;
   [[nodiscard]] bool empty() const noexcept { return groups_.empty(); }
 
+  /// Exact equality, including per-group insertion order — the determinism
+  /// tests compare whole buffers across shard counts with this.
+  [[nodiscard]] friend bool operator==(const SampleBuffer& a,
+                                       const SampleBuffer& b) {
+    return a.groups_ == b.groups_;
+  }
+
  private:
   struct Group {
     Round round;
     std::vector<PeerId> sources;
+
+    [[nodiscard]] friend bool operator==(const Group& x, const Group& y) {
+      return x.round == y.round && x.sources == y.sources;
+    }
   };
   std::deque<Group> groups_;  ///< ascending by round
+};
+
+/// Per-shard staging of walk completions for the sharded round engine.
+//
+// Shard tasks may not touch a destination vertex's SampleBuffer directly
+// (the destination usually lives in another shard), so each SOURCE shard
+// stages its completions here, bucketed by DESTINATION shard. After the
+// barrier, each destination shard applies the buckets addressed to it in
+// ascending source-shard order. Because shards are contiguous and scanned
+// in ascending vertex order, that merge equals the ascending global
+// source-vertex order — the buffers end up bit-identical for every shard
+// count.
+class ShardedArrivals {
+ public:
+  /// Size (or resize) the src x dst bucket grid and clear every bucket.
+  /// Buckets keep their capacity across rounds.
+  void reset(std::uint32_t shards);
+
+  /// Stage a completion observed by `src_shard`: the walk from `source`
+  /// finished at vertex `dst`. Only `src_shard`'s task may call this.
+  void stage(std::uint32_t src_shard, std::uint32_t dst_shard, Vertex dst,
+             PeerId source);
+
+  /// Apply every bucket addressed to `dst_shard` into `buffers` (indexed by
+  /// vertex) as round-`r` samples, in canonical source order. Only
+  /// `dst_shard`'s task may call this.
+  void apply_to(std::uint32_t dst_shard, Round r,
+                std::vector<SampleBuffer>& buffers) const;
+
+  [[nodiscard]] std::size_t staged_total() const noexcept;
+
+ private:
+  struct Arrival {
+    Vertex dst;
+    PeerId source;
+  };
+  std::uint32_t shards_ = 0;
+  std::vector<std::vector<Arrival>> buckets_;  ///< [src * shards_ + dst]
 };
 
 }  // namespace churnstore

@@ -19,7 +19,7 @@ TokenSoup::TokenSoup(Network& net, const WalkConfig& config)
 void TokenSoup::on_attach(Network& net_ref) {
   Protocol::on_attach(net_ref);
   const std::uint32_t n = net().n();
-  rng_ = net().protocol_rng().fork(0x736f7570ULL);
+  stream_salt_ = net().protocol_rng().fork(0x736f7570ULL).next();
   walks_ = churnstore::walks_per_round(n, config_);
   length_ = churnstore::walk_length(n, config_);
   cap_ = churnstore::forward_cap(n, config_);
@@ -28,6 +28,11 @@ void TokenSoup::on_attach(Network& net_ref) {
   cur_.assign(n, {});
   next_.assign(n, {});
   samples_.assign(n, SampleBuffer{});
+  const std::uint32_t shards = net().shards().count();
+  moves_.assign(static_cast<std::size_t>(shards) * shards, {});
+  probes_.assign(shards, {});
+  counters_.assign(shards, {});
+  fwd_count_.assign(n, 0);
 }
 
 void TokenSoup::on_churn(Vertex v, PeerId, PeerId) {
@@ -53,57 +58,109 @@ void TokenSoup::step() {
   const RegularGraph& g = net().graph();
   const std::uint32_t d = g.degree();
   const Vertex n = g.n();
+  const ShardPlan& plan = net().shards();
+  const std::uint32_t shards = plan.count();
 
-  // Spawn this round's fresh walks (paper: every node initiates alpha log n
-  // walks every round). Spawned tokens join the back of the queue, so
-  // older (possibly cap-delayed) tokens are forwarded first.
-  if (spawning_) {
-    for (Vertex v = 0; v < n; ++v) {
-      const PeerId self = net().peer_at(v);
-      for (std::uint32_t i = 0; i < walks_; ++i) {
-        cur_[v].push_back(
-            Token{self, static_cast<std::uint16_t>(length_), 0});
+  // Every vertex draws from its own stream, keyed by (attach-time salt,
+  // round, vertex) — a pure function of the seed, so the walk trajectories
+  // are independent of shard count and of which thread runs which shard.
+  const std::uint64_t round_key =
+      mix64(stream_salt_ ^ static_cast<std::uint64_t>(r));
+
+  arrivals_.reset(shards);
+
+  // Phase 1 (parallel over source shards): spawn this round's fresh walks
+  // (paper: every node initiates alpha log n walks every round; spawned
+  // tokens join the back of the queue so older, possibly cap-delayed tokens
+  // go first), then forward up to cap_ tokens per vertex to uniform random
+  // current neighbors. Handoffs, completions, and probe finishes are staged
+  // per (source, destination) shard; nothing outside the shard's own
+  // vertices is mutated.
+  net().run_sharded([&](std::uint32_t s) {
+    ShardCounters& counters = counters_[s];
+    for (Vertex v = plan.begin(s); v < plan.end(s); ++v) {
+      auto& q = cur_[v];
+      if (spawning_) {
+        const PeerId self = net().peer_at(v);
+        for (std::uint32_t i = 0; i < walks_; ++i) {
+          q.push_back(Token{self, static_cast<std::uint16_t>(length_), 0});
+        }
       }
+      const std::size_t fwd = std::min<std::size_t>(q.size(), cap_);
+      if (fwd > 0) {
+        Rng rng = stream_rng(round_key, v);
+        for (std::size_t j = 0; j < fwd; ++j) {
+          Token t = q[j];
+          const Vertex u =
+              g.neighbor(v, static_cast<std::uint32_t>(rng.next_below(d)));
+          --t.steps_left;
+          if (t.steps_left == 0) {
+            ++counters.completed;
+            if (t.probe) {
+              probes_[s].push_back(ProbeDone{t.src_or_tag, u});
+            } else {
+              arrivals_.stage(s, plan.shard_of(u), u, t.src_or_tag);
+            }
+          } else {
+            moves_[static_cast<std::size_t>(s) * shards + plan.shard_of(u)]
+                .push_back(Handoff{u, t});
+          }
+        }
+      }
+      if (fwd < q.size()) {
+        counters.queued += q.size() - fwd;
+        for (std::size_t j = fwd; j < q.size(); ++j) {
+          moves_[static_cast<std::size_t>(s) * shards + s].push_back(
+              Handoff{v, q[j]});
+        }
+      }
+      fwd_count_[v] = static_cast<std::uint32_t>(fwd);
+      q.clear();
     }
-    net().metrics().count_tokens_spawned(static_cast<std::uint64_t>(n) * walks_);
-  }
+  });
 
-  // Advance: each node forwards up to cap_ tokens to uniform random current
-  // neighbors; the remainder wait (and may be destroyed by churn first).
+  // Phase 2 (parallel over destination shards): merge the staged handoffs
+  // and sample deliveries addressed to this shard, scanning source shards
+  // in ascending order. With contiguous shards scanned in ascending vertex
+  // order, the merged stream equals the ascending global source-vertex
+  // order for EVERY shard count — token queue order and sample insertion
+  // order are bit-identical serial or parallel. Retire samples that have
+  // aged out of the retention window while we own the shard.
+  const Round keep_from = r - window_;
+  net().run_sharded([&](std::uint32_t dst) {
+    for (std::uint32_t src = 0; src < shards; ++src) {
+      auto& bucket = moves_[static_cast<std::size_t>(src) * shards + dst];
+      for (const Handoff& h : bucket) next_[h.dst].push_back(h.t);
+      bucket.clear();
+    }
+    arrivals_.apply_to(dst, r, samples_);
+    for (Vertex v = plan.begin(dst); v < plan.end(dst); ++v) {
+      samples_[v].prune(keep_from);
+    }
+  });
+  cur_.swap(next_);
+
+  // Serial epilogue: user-facing probe hooks (canonical source order — the
+  // hook may touch arbitrary shared state) and metrics.
   std::uint64_t completed = 0;
   std::uint64_t queued = 0;
-  for (Vertex v = 0; v < n; ++v) {
-    auto& q = cur_[v];
-    const std::size_t fwd = std::min<std::size_t>(q.size(), cap_);
-    for (std::size_t j = 0; j < fwd; ++j) {
-      Token t = q[j];
-      const Vertex u = g.neighbor(v, static_cast<std::uint32_t>(rng_.next_below(d)));
-      --t.steps_left;
-      if (t.steps_left == 0) {
-        ++completed;
-        if (t.probe) {
-          if (probe_hook_) probe_hook_(t.src_or_tag, u, r);
-        } else {
-          samples_[u].add(r, t.src_or_tag);
-        }
-      } else {
-        next_[u].push_back(t);
-      }
+  for (std::uint32_t s = 0; s < shards; ++s) {
+    for (const ProbeDone& p : probes_[s]) {
+      if (probe_hook_) probe_hook_(p.tag, p.dst, r);
     }
-    if (fwd < q.size()) {
-      queued += q.size() - fwd;
-      for (std::size_t j = fwd; j < q.size(); ++j) next_[v].push_back(q[j]);
-    }
-    if (fwd > 0) net().charge_processing(v, fwd * kTokenBits);
-    q.clear();
+    probes_[s].clear();
+    completed += counters_[s].completed;
+    queued += counters_[s].queued;
+    counters_[s] = ShardCounters{};
   }
-  cur_.swap(next_);
+  for (Vertex v = 0; v < n; ++v) {
+    if (fwd_count_[v] > 0) net().charge_processing(v, fwd_count_[v] * kTokenBits);
+  }
+  if (spawning_) {
+    net().metrics().count_tokens_spawned(static_cast<std::uint64_t>(n) * walks_);
+  }
   net().metrics().count_tokens_completed(completed);
   net().metrics().count_tokens_queued(queued);
-
-  // Retire samples that have aged out of the retention window.
-  const Round keep_from = r - window_;
-  for (Vertex v = 0; v < n; ++v) samples_[v].prune(keep_from);
 }
 
 }  // namespace churnstore

@@ -45,6 +45,15 @@ class TokenSoup final : public Protocol {
   /// Advance one round: spawn new walks, move tokens, deliver completions.
   /// Call once per round after Network::begin_round() (the driver does this
   /// through on_round_begin()).
+  ///
+  /// Sharded execution: the vertex range is partitioned by the Network's
+  /// ShardPlan and each shard moves its own vertices' tokens concurrently,
+  /// drawing from a counter-based per-(round, vertex) RNG stream. Cross-
+  /// shard handoffs and sample deliveries are staged per (source, dest)
+  /// shard and merged in canonical (shard, vertex) order behind a barrier,
+  /// so the result is bit-identical for every shard count, serial or on a
+  /// ThreadPool. Probe hooks fire after the merge, in ascending source-
+  /// vertex order.
   void step();
 
   /// Turn automatic per-round spawning on/off (benches that only study
@@ -80,7 +89,11 @@ class TokenSoup final : public Protocol {
   };
 
   WalkConfig config_;
-  Rng rng_;
+  /// Salt of the per-(round, vertex) RNG streams; forked once at attach
+  /// from the protocol RNG so sibling protocols keep their own streams.
+  /// Rounds derive a key from (salt, round) and vertices fork counter-based
+  /// streams off that key — see step().
+  std::uint64_t stream_salt_ = 0;
   std::uint32_t walks_ = 0;
   std::uint32_t length_ = 0;
   std::uint32_t cap_ = 0;
@@ -92,6 +105,25 @@ class TokenSoup final : public Protocol {
   std::vector<std::vector<Token>> next_;
   std::vector<SampleBuffer> samples_;
   ProbeHook probe_hook_;
+
+  /// --- per-round sharded staging (reused across rounds) -------------------
+  struct Handoff {
+    Vertex dst;
+    Token t;
+  };
+  struct ProbeDone {
+    std::uint64_t tag;
+    Vertex dst;
+  };
+  struct ShardCounters {
+    std::uint64_t completed = 0;
+    std::uint64_t queued = 0;
+  };
+  std::vector<std::vector<Handoff>> moves_;  ///< [src_shard * S + dst_shard]
+  ShardedArrivals arrivals_;
+  std::vector<std::vector<ProbeDone>> probes_;  ///< per source shard
+  std::vector<ShardCounters> counters_;         ///< per source shard
+  std::vector<std::uint32_t> fwd_count_;        ///< per vertex, for metrics
 };
 
 }  // namespace churnstore

@@ -136,6 +136,23 @@ TEST(Mix64, IsDeterministicAndSpreads) {
   EXPECT_NE(mix64(0), 0u);
 }
 
+TEST(Rng, StreamRngIsAPureFunctionOfKeyAndStream) {
+  // No parent state: the same (key, stream) always yields the same
+  // generator, so any number of streams can be forked concurrently (the
+  // sharded round engine forks one per (round, vertex)).
+  EXPECT_EQ(stream_rng(42, 7).next(), stream_rng(42, 7).next());
+  EXPECT_EQ(stream_seed(42, 7), stream_seed(42, 7));
+}
+
+TEST(Rng, StreamRngChildrenAreDistinctPerKeyAndStream) {
+  EXPECT_NE(stream_rng(42, 1).next(), stream_rng(42, 2).next());
+  EXPECT_NE(stream_seed(42, 3), stream_seed(43, 3));
+  // Adjacent streams under adjacent keys stay distinct (the engine uses
+  // round as key and vertex as stream; collisions would correlate walks).
+  EXPECT_NE(stream_seed(42, 3), stream_seed(42, 4));
+  EXPECT_NE(stream_seed(42, 3), stream_seed(41, 3));
+}
+
 // Property sweep: uniformity of next_below over several (seed, bound) pairs
 // via a loose chi-square bound.
 class RngUniformity : public ::testing::TestWithParam<std::uint64_t> {};

@@ -28,9 +28,13 @@ void expect_identical(const StoreSearchResult& a, const StoreSearchResult& b) {
   EXPECT_DOUBLE_EQ(a.locate_rounds.mean(), b.locate_rounds.mean());
   EXPECT_DOUBLE_EQ(a.fetch_rounds.mean(), b.fetch_rounds.mean());
   EXPECT_DOUBLE_EQ(a.copies_alive.mean(), b.copies_alive.mean());
-  EXPECT_DOUBLE_EQ(a.availability_fraction, b.availability_fraction);
-  EXPECT_DOUBLE_EQ(a.max_bits_node_round, b.max_bits_node_round);
-  EXPECT_DOUBLE_EQ(a.mean_bits_node_round, b.mean_bits_node_round);
+  EXPECT_EQ(a.availability.count(), b.availability.count());
+  EXPECT_DOUBLE_EQ(a.availability.mean(), b.availability.mean());
+  EXPECT_DOUBLE_EQ(a.availability.ci95_halfwidth(),
+                   b.availability.ci95_halfwidth());
+  EXPECT_DOUBLE_EQ(a.bits_node_round_max.mean(), b.bits_node_round_max.mean());
+  EXPECT_DOUBLE_EQ(a.bits_node_round_mean.mean(),
+                   b.bits_node_round_mean.mean());
 }
 
 TEST(Runner, TrialSeedIsPureAndDiverse) {

@@ -1,0 +1,278 @@
+// The sharded deterministic round engine's core contract: the SAME seed
+// produces BIT-IDENTICAL protocol state and results for EVERY shard count,
+// serial or on a ThreadPool. Sharding is an execution detail, never a model
+// parameter.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <tuple>
+#include <vector>
+
+#include "core/experiment.h"
+#include "core/runner.h"
+#include "core/system.h"
+#include "net/network.h"
+#include "util/sharding.h"
+#include "util/thread_pool.h"
+#include "walk/token_soup.h"
+
+namespace churnstore {
+namespace {
+
+TEST(ShardPlan, ContiguousRangesPartitionTheVertexSet) {
+  for (const std::uint32_t n : {1u, 7u, 64u, 1000u}) {
+    for (const std::uint32_t count : {1u, 2u, 3u, 16u, 64u, 2000u}) {
+      const ShardPlan plan(n, count);
+      EXPECT_LE(plan.count(), std::max(n, 1u));
+      EXPECT_EQ(plan.begin(0), 0u);
+      EXPECT_EQ(plan.end(plan.count() - 1), n);
+      for (std::uint32_t s = 0; s + 1 < plan.count(); ++s) {
+        EXPECT_EQ(plan.end(s), plan.begin(s + 1));
+        EXPECT_LT(plan.begin(s), plan.end(s)) << "empty shard";
+      }
+      for (std::uint32_t v = 0; v < n; ++v) {
+        const std::uint32_t s = plan.shard_of(v);
+        EXPECT_GE(v, plan.begin(s));
+        EXPECT_LT(v, plan.end(s));
+      }
+    }
+  }
+}
+
+TEST(ThreadPoolHelping, CoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(257);
+  pool.for_each_helping(hits.size(),
+                        [&hits](std::size_t i) { ++hits[i]; });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPoolHelping, RethrowsTaskExceptionsInsteadOfHanging) {
+  ThreadPool pool(2);
+  std::atomic<int> ran{0};
+  EXPECT_THROW(pool.for_each_helping(16,
+                                     [&ran](std::size_t i) {
+                                       ++ran;
+                                       if (i == 5) {
+                                         throw std::runtime_error("boom");
+                                       }
+                                     }),
+               std::runtime_error);
+  // The barrier still completed: every index ran despite the throw.
+  EXPECT_EQ(ran.load(), 16);
+}
+
+TEST(ThreadPoolHelping, NestsInsideTheSamePoolWithoutDeadlock) {
+  // Outer tasks saturate a tiny pool; each runs an inner for_each_helping
+  // on the SAME pool. The caller-helps design means the inner loops finish
+  // even though no worker is ever free to pick up their helper tasks.
+  ThreadPool pool(2);
+  std::atomic<int> total{0};
+  pool.parallel_for(8, [&pool, &total](std::size_t) {
+    pool.for_each_helping(16, [&total](std::size_t) { ++total; });
+  });
+  EXPECT_EQ(total.load(), 8 * 16);
+}
+
+SimConfig soup_config(std::uint32_t n, std::uint32_t shards) {
+  SimConfig c;
+  c.n = n;
+  c.degree = 8;
+  c.seed = 17;
+  c.churn.kind = AdversaryKind::kUniform;
+  c.churn.absolute = n / 16;
+  c.edge_dynamics = EdgeDynamics::kRewire;
+  c.shards = shards;
+  return c;
+}
+
+using ProbeLog = std::vector<std::tuple<std::uint64_t, Vertex, Round>>;
+
+/// Runs the soup for 3 tau rounds under churn (plus a few probes) and
+/// captures everything observable: per-vertex sample buffers (exact order),
+/// live token count, metric counters, probe completions in hook order.
+struct SoupRun {
+  std::vector<SampleBuffer> samples;
+  std::size_t tokens_alive = 0;
+  std::uint64_t completed = 0, lost = 0, queued = 0, spawned = 0;
+  RunningStat max_bits;
+  ProbeLog probes;
+};
+
+SoupRun run_soup(std::uint32_t n, std::uint32_t shards, ThreadPool* pool) {
+  Network net(soup_config(n, shards));
+  net.set_worker_pool(pool);
+  TokenSoup soup(net, WalkConfig{});
+  SoupRun run;
+  soup.set_probe_hook([&run](std::uint64_t tag, Vertex dst, Round r) {
+    run.probes.emplace_back(tag, dst, r);
+  });
+  const std::uint32_t rounds = 3 * soup.tau();
+  for (std::uint32_t i = 0; i < rounds; ++i) {
+    net.begin_round();
+    if (i == 1) {
+      for (Vertex v = 0; v < n; v += 7) soup.inject_probe(v, v, 6);
+    }
+    soup.step();
+    net.deliver();
+  }
+  for (Vertex v = 0; v < n; ++v) run.samples.push_back(soup.samples(v));
+  run.tokens_alive = soup.tokens_alive();
+  run.completed = net.metrics().tokens_completed();
+  run.lost = net.metrics().tokens_lost();
+  run.queued = net.metrics().tokens_queued();
+  run.spawned = net.metrics().tokens_spawned();
+  run.max_bits = net.metrics().max_bits_per_node_round();
+  return run;
+}
+
+void expect_identical(const SoupRun& a, const SoupRun& b) {
+  EXPECT_EQ(a.tokens_alive, b.tokens_alive);
+  EXPECT_EQ(a.completed, b.completed);
+  EXPECT_EQ(a.lost, b.lost);
+  EXPECT_EQ(a.queued, b.queued);
+  EXPECT_EQ(a.spawned, b.spawned);
+  EXPECT_DOUBLE_EQ(a.max_bits.mean(), b.max_bits.mean());
+  EXPECT_DOUBLE_EQ(a.max_bits.max(), b.max_bits.max());
+  EXPECT_EQ(a.probes, b.probes) << "probe hooks fired in a different order";
+  ASSERT_EQ(a.samples.size(), b.samples.size());
+  for (std::size_t v = 0; v < a.samples.size(); ++v) {
+    EXPECT_TRUE(a.samples[v] == b.samples[v])
+        << "sample buffer diverged at vertex " << v;
+  }
+}
+
+TEST(ShardedSoup, SerialShardCountsAreBitIdentical) {
+  // shards=1 vs shards=16, both serial: the partition itself must not
+  // change anything.
+  const SoupRun s1 = run_soup(192, 1, nullptr);
+  const SoupRun s16 = run_soup(192, 16, nullptr);
+  ASSERT_GT(s1.completed, 0u);
+  ASSERT_FALSE(s1.probes.empty());
+  expect_identical(s1, s16);
+}
+
+TEST(ShardedSoup, ThreadPoolExecutionIsBitIdentical) {
+  // shards=16 on a real pool vs shards=1 serial: concurrent execution with
+  // cross-shard merges must reproduce the serial run bit for bit.
+  ThreadPool pool(4);
+  const SoupRun s1 = run_soup(192, 1, nullptr);
+  const SoupRun s16 = run_soup(192, 16, &pool);
+  expect_identical(s1, s16);
+}
+
+TEST(ShardedSoup, UnevenShardCountIsBitIdentical) {
+  ThreadPool pool(3);
+  const SoupRun a = run_soup(190, 1, nullptr);   // 190 % 7 != 0
+  const SoupRun b = run_soup(190, 7, &pool);
+  expect_identical(a, b);
+}
+
+TEST(ShardedOutbox, LanesMergeInCanonicalOrderAndChargeSenders) {
+  SimConfig cfg = soup_config(64, 4);
+  cfg.churn.kind = AdversaryKind::kNone;
+  Network net(cfg);
+  net.begin_round();
+  const PeerId dst = net.peer_at(5);
+  auto make = [&](std::uint64_t word) {
+    Message m;
+    m.src = net.peer_at(0);
+    m.dst = dst;
+    m.type = MsgType::kProbe;
+    m.words = {word};
+    return m;
+  };
+  // Stage out of lane order (as concurrent shards would), plus one serial
+  // send, which must come first.
+  net.send_sharded(2, /*from=*/40, make(22));
+  net.send_sharded(0, /*from=*/1, make(20));
+  net.send(0, make(10));
+  net.send_sharded(2, /*from=*/41, make(23));
+  net.send_sharded(3, /*from=*/60, make(30));
+  net.deliver();
+  const auto& box = net.inbox(5);
+  ASSERT_EQ(box.size(), 5u);
+  EXPECT_EQ(box[0].words[0], 10u);  // serial outbox first
+  EXPECT_EQ(box[1].words[0], 20u);  // then lanes in ascending shard order
+  EXPECT_EQ(box[2].words[0], 22u);
+  EXPECT_EQ(box[3].words[0], 23u);
+  EXPECT_EQ(box[4].words[0], 30u);
+  EXPECT_EQ(net.metrics().total_messages(), 5u);
+}
+
+ScenarioSpec sharded_spec(std::uint32_t shards) {
+  ScenarioSpec spec = ScenarioSpec::from_cli(
+      Cli({"n=128", "trials=2", "items=1", "searches=3", "batches=1",
+           "age-taus=1"}));
+  spec.shards = shards;
+  return spec;
+}
+
+void expect_identical_results(const StoreSearchResult& a,
+                              const StoreSearchResult& b) {
+  EXPECT_EQ(a.searches, b.searches);
+  EXPECT_EQ(a.located, b.located);
+  EXPECT_EQ(a.fetched, b.fetched);
+  EXPECT_EQ(a.censored, b.censored);
+  EXPECT_DOUBLE_EQ(a.locate_rounds.mean(), b.locate_rounds.mean());
+  EXPECT_DOUBLE_EQ(a.copies_alive.mean(), b.copies_alive.mean());
+  EXPECT_DOUBLE_EQ(a.availability.mean(), b.availability.mean());
+  EXPECT_DOUBLE_EQ(a.bits_node_round_max.mean(), b.bits_node_round_max.mean());
+  EXPECT_DOUBLE_EQ(a.bits_node_round_mean.mean(),
+                   b.bits_node_round_mean.mean());
+}
+
+TEST(ShardedRunner, FullStackStoreSearchIsShardCountInvariant) {
+  // End to end through Runner: serial unsharded vs 16 shards nested on the
+  // trial pool. The paper stack's behavior (committees, landmarks, search)
+  // all sits downstream of the soup's samples, so bit-identity here means
+  // the whole round path is shard-invariant.
+  Runner serial(RunnerOptions{.threads = 1, .parallel = false});
+  Runner nested(RunnerOptions{.threads = 4, .parallel = true});
+  const StoreSearchResult a = serial.store_search(sharded_spec(1));
+  const StoreSearchResult b = nested.store_search(sharded_spec(16));
+  EXPECT_GT(a.searches, 0u);
+  expect_identical_results(a, b);
+}
+
+TEST(KvWorkload, RunsAndIsDeterministic) {
+  ScenarioSpec spec = sharded_spec(1);
+  spec.workload_kind = "kv";
+  const StoreSearchResult a = run_store_search_trial(spec);
+  const StoreSearchResult b = run_store_search_trial(spec);
+  EXPECT_GT(a.searches, 0u);
+  EXPECT_GT(a.fetched, 0u) << "kv gets never completed";
+  EXPECT_EQ(a.located, a.fetched) << "kv reports verified fetches only";
+  expect_identical_results(a, b);
+}
+
+TEST(KvWorkload, ShardCountInvariantThroughTheRunner) {
+  ScenarioSpec s1 = sharded_spec(1);
+  s1.workload_kind = "kv";
+  ScenarioSpec s16 = sharded_spec(16);
+  s16.workload_kind = "kv";
+  Runner serial(RunnerOptions{.threads = 1, .parallel = false});
+  Runner nested(RunnerOptions{.threads = 4, .parallel = true});
+  expect_identical_results(serial.store_search(s1), nested.store_search(s16));
+}
+
+TEST(KvWorkload, RejectsBaselineStacks) {
+  ScenarioSpec spec = sharded_spec(1);
+  spec.workload_kind = "kv";
+  spec.protocol = "flooding";
+  EXPECT_THROW((void)run_store_search_trial(spec), std::invalid_argument);
+}
+
+TEST(ScenarioSpec, ShardsAndWorkloadRoundTrip) {
+  ScenarioSpec spec;
+  spec.shards = 16;
+  spec.workload_kind = "kv";
+  const ScenarioSpec back = ScenarioSpec::from_cli(Cli(spec.to_key_values()));
+  EXPECT_EQ(back.shards, 16u);
+  EXPECT_EQ(back.workload_kind, "kv");
+  EXPECT_EQ(back.system_config().sim.shards, 16u);
+}
+
+}  // namespace
+}  // namespace churnstore

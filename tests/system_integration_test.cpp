@@ -20,7 +20,7 @@ TEST(System, DeterministicAcrossRuns) {
   EXPECT_EQ(a.located, b.located);
   EXPECT_EQ(a.fetched, b.fetched);
   EXPECT_DOUBLE_EQ(a.locate_rounds.mean(), b.locate_rounds.mean());
-  EXPECT_DOUBLE_EQ(a.max_bits_node_round, b.max_bits_node_round);
+  EXPECT_DOUBLE_EQ(a.bits_node_round_max.mean(), b.bits_node_round_max.mean());
 }
 
 TEST(System, StoreSearchWorkloadSucceedsAtPaperChurn) {
@@ -68,9 +68,9 @@ TEST(System, PerNodeTrafficIsPolylogNotLinear) {
   SystemConfig big_cfg = default_system_config(512, 5);
   const auto small_res = run_store_search_trial(small_cfg, opts);
   const auto big_res = run_store_search_trial(big_cfg, opts);
-  ASSERT_GT(small_res.mean_bits_node_round, 0.0);
-  const double ratio =
-      big_res.mean_bits_node_round / small_res.mean_bits_node_round;
+  ASSERT_GT(small_res.bits_node_round_mean.mean(), 0.0);
+  const double ratio = big_res.bits_node_round_mean.mean() /
+                       small_res.bits_node_round_mean.mean();
   EXPECT_LT(ratio, 3.0) << "per-node traffic grew too fast with n";
 }
 
