@@ -12,7 +12,10 @@
 //   bench_driver --scenario=capacity n=16384 shard-sweep=1,4,16
 //
 // Keys: shard-sweep (default 1,4,16), measure-rounds (default 2 tau),
-// items, searches; threads caps the pool (0 = hardware).
+// items, searches; threads caps the pool (0 = hardware). Besides total
+// rounds/sec the table breaks the round into phases (soup / handler /
+// delivery rounds-per-second), so the per-phase sharding wins are visible
+// in isolation; BENCH_capacity.json records the json=true baseline.
 #include <chrono>
 
 #include "scenario_common.h"
@@ -41,8 +44,14 @@ CHURNSTORE_SCENARIO(capacity,
   }
 
   ThreadPool pool(base.threads);
-  Table t({"n", "shards", "churn/rd", "rounds/sec", "speedup", "tokens",
-           "searches", "locate rate"});
+  // Per-phase columns isolate where a round goes: soup = TokenSoup's token
+  // moves, handlers = every other protocol's (sharded) round hooks,
+  // delivery = outbox flush + inbox fill + message dispatch. Each prints as
+  // rounds/sec of that phase alone, so the handler-sharding win is
+  // measurable separately from the soup's.
+  Table t({"n", "shards", "churn/rd", "rounds/sec", "speedup", "soup r/s",
+           "handler r/s", "deliver r/s", "tokens", "searches",
+           "locate rate"});
   for (const std::uint32_t n : base.ns) {
     double baseline_rps = 0.0;
     for (const std::uint32_t shards : sweep) {
@@ -79,12 +88,19 @@ CHURNSTORE_SCENARIO(capacity,
       // Timed section: full-stack rounds with searches in flight.
       const auto measure = static_cast<std::uint32_t>(
           cli.get_int("measure-rounds", 2 * sys.tau()));
+      sys.enable_phase_timing(true);
+      sys.reset_phase_timers();
       const auto t0 = std::chrono::steady_clock::now();
       sys.run_rounds(measure);
       const auto t1 = std::chrono::steady_clock::now();
+      sys.enable_phase_timing(false);
+      const RoundPhaseTimers& ph = sys.phase_timers();
       const double secs = std::chrono::duration<double>(t1 - t0).count();
       const double rps = secs > 0.0 ? measure / secs : 0.0;
       if (baseline_rps == 0.0) baseline_rps = rps;
+      auto phase_rps = [measure](double phase_secs) {
+        return phase_secs > 0.0 ? measure / phase_secs : 0.0;
+      };
 
       // Settle the searches (untimed) so the rate column means something.
       const std::uint32_t settled = measure >= svc.search_timeout() + 4
@@ -101,6 +117,9 @@ CHURNSTORE_SCENARIO(capacity,
           .cell(static_cast<std::int64_t>(cfg.sim.churn.per_round(n)))
           .cell(rps, 2)
           .cell(baseline_rps > 0.0 ? rps / baseline_rps : 0.0, 2)
+          .cell(phase_rps(ph.soup_secs), 2)
+          .cell(phase_rps(ph.handler_secs), 2)
+          .cell(phase_rps(ph.deliver_secs + ph.dispatch_secs), 2)
           .cell(static_cast<std::uint64_t>(sys.soup().tokens_alive()))
           .cell(static_cast<std::uint64_t>(sids.size()))
           .cell(sids.empty() ? 0.0

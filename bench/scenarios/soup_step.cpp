@@ -11,6 +11,7 @@
 // Keys: shard-sweep (default 1,4,16), steps (timed rounds, default 128);
 // threads caps the pool (0 = hardware). The google-benchmark variant of
 // the same kernel lives in bench_micro (BM_SoupStepSharded).
+#include <algorithm>
 #include <chrono>
 
 #include "scenario_common.h"
@@ -29,6 +30,19 @@ CHURNSTORE_SCENARIO(soup_step,
   if (!cli.has("n")) base.ns = {4096, 16384};
   const auto steps =
       static_cast<std::uint32_t>(cli.get_int("steps", 128));
+  // Big-n memory guard: the steady state holds ~ n * walks * length tokens
+  // (x2 transiently during the handoff merge) plus the sample-buffer
+  // window, which at the default soup density is tens of GB for n=1M.
+  // Unless the caller picks the density explicitly, large runs default to
+  // a thinner soup so n=1M stays inside a 4 GB host — the arena-backed
+  // engine then sustains it without fragmentation-driven growth.
+  const std::uint32_t big_n =
+      *std::max_element(base.ns.begin(), base.ns.end());
+  if (big_n >= 500000) {
+    if (!cli.has("walk-rate")) base.walk.rate_mult = 0.25;
+    if (!cli.has("walk-t")) base.walk.t_mult = 0.75;
+    if (!cli.has("walk-window")) base.walk.window_mult = 1.0;
+  }
 
   banner(base, "M2 soup_step — sharded soup-step throughput",
          "steady-state token moves per second vs shard count; >= 2x at 4+ "

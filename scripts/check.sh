@@ -3,18 +3,43 @@
 # + full test suite. CI and pre-merge checks run exactly this.
 #
 #   scripts/check.sh            # build into ./build and run ctest
+#   scripts/check.sh --tsan     # ThreadSanitizer build of the sharded
+#                               # engine tests (build-tsan/, race checks on
+#                               # the concurrent round path)
 #   BUILD_DIR=out scripts/check.sh
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
-BUILD_DIR="${BUILD_DIR:-build}"
 JOBS="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
+
+TSAN=0
+if [[ "${1:-}" == "--tsan" ]]; then
+  TSAN=1
+  shift
+fi
 
 GENERATOR_ARGS=()
 if command -v ninja >/dev/null 2>&1; then
   GENERATOR_ARGS+=(-G Ninja)
 fi
 
+if [[ "$TSAN" == "1" ]]; then
+  # TSan build: only the concurrency-sensitive tests are worth the ~10x
+  # slowdown — the sharded engine suite drives every protocol's round path
+  # and the message dispatch across a real ThreadPool.
+  BUILD_DIR="${BUILD_DIR:-build-tsan}"
+  cmake -B "$BUILD_DIR" -S . "${GENERATOR_ARGS[@]}" \
+    -DCHURNSTORE_WARNINGS_AS_ERRORS=ON -DCHURNSTORE_TSAN=ON
+  cmake --build "$BUILD_DIR" -j "$JOBS" --target churnstore_tests
+  TSAN_OPTIONS="halt_on_error=1" \
+    "$BUILD_DIR"/churnstore_tests \
+    --gtest_filter='Sharded*:ThreadPool*:Arena*:ShardPlan*'
+  echo
+  echo "check.sh --tsan: sharded engine race-free"
+  exit 0
+fi
+
+BUILD_DIR="${BUILD_DIR:-build}"
 cmake -B "$BUILD_DIR" -S . "${GENERATOR_ARGS[@]}" \
   -DCHURNSTORE_WARNINGS_AS_ERRORS=ON
 cmake --build "$BUILD_DIR" -j "$JOBS"

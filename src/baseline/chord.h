@@ -106,7 +106,12 @@ class ChordBaseline final : public Protocol, public StorageService {
     return "chord";
   }
   void on_attach(Network& net) override;
+  /// Round work runs in the ring sim, NOT on the sharded vertex engine —
+  /// Chord keeps its idealized-routing adapter (serial round fallback). It
+  /// consumes no Network messages, so it never forces a stack's dispatch
+  /// onto the serial path either.
   void on_round_begin() override;
+  [[nodiscard]] bool sharded_dispatch() const noexcept override { return true; }
 
   [[nodiscard]] ChordSim& sim() noexcept { return *sim_; }
 

@@ -1,5 +1,7 @@
 #include "baseline/flooding.h"
 
+#include <algorithm>
+
 #include "util/rng.h"
 
 namespace churnstore {
@@ -15,6 +17,7 @@ void FloodingStore::on_attach(Network& net_ref) {
   Protocol::on_attach(net_ref);
   held_.assign(net().n(), {});
   forwarded_.assign(net().n(), {});
+  frontiers_.assign(net().shards().count(), {});
 }
 
 void FloodingStore::on_churn(Vertex v, PeerId, PeerId) {
@@ -24,7 +27,7 @@ void FloodingStore::on_churn(Vertex v, PeerId, PeerId) {
 
 void FloodingStore::store(Vertex creator, ItemId item) {
   held_[creator].insert(item);
-  frontier_.emplace_back(creator, item);
+  frontiers_[net().shards().shard_of(creator)].emplace_back(creator, item);
 }
 
 bool FloodingStore::has_item(Vertex v, ItemId item) const {
@@ -83,14 +86,27 @@ void FloodingStore::on_round_begin() {
   // in nodes eventually receive the item again.
   if (options_.refresh_period != 0 &&
       net().round() % options_.refresh_period == 0) {
+    const ShardPlan& plan = net().shards();
     for (Vertex v = 0; v < net().n(); ++v) {
       forwarded_[v].clear();
-      for (const ItemId item : held_[v]) frontier_.emplace_back(v, item);
+      for (const ItemId item : held_[v]) {
+        frontiers_[plan.shard_of(v)].emplace_back(v, item);
+      }
     }
   }
+}
 
+void FloodingStore::on_round_begin(std::uint32_t shard, ShardContext& ctx) {
   std::vector<std::pair<Vertex, ItemId>> frontier;
-  frontier.swap(frontier_);
+  frontier.swap(frontiers_[shard]);
+  // Canonical order: ascending vertex (stable per vertex). Dispatch stages
+  // entries in ascending order already, but store()/refresh injections may
+  // not be; sorting makes the merged flood stream identical for every
+  // shard count.
+  std::stable_sort(frontier.begin(), frontier.end(),
+                   [](const auto& a, const auto& b) {
+                     return a.first < b.first;
+                   });
   const RegularGraph& g = net().graph();
   for (const auto& [v, item] : frontier) {
     if (!held_[v].count(item)) continue;  // churned away since queued
@@ -103,16 +119,16 @@ void FloodingStore::on_round_begin() {
       msg.type = MsgType::kFloodData;
       msg.words = {item};
       msg.payload_bits = options_.item_bits;
-      net().send(v, std::move(msg));
+      ctx.send(v, std::move(msg));
     }
   }
 }
 
-bool FloodingStore::on_message(Vertex v, const Message& m) {
+bool FloodingStore::on_message(Vertex v, const Message& m, ShardContext& ctx) {
   if (m.type != MsgType::kFloodData) return false;
   const ItemId item = m.words[0];
   if (held_[v].insert(item).second) {
-    frontier_.emplace_back(v, item);
+    frontiers_[ctx.shard()].emplace_back(v, item);
   }
   return true;
 }

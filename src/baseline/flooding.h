@@ -39,8 +39,15 @@ class FloodingStore final : public Protocol, public StorageService {
     return "flooding";
   }
   void on_attach(Network& net) override;
+  /// Sharded round: pending lookups and refresh bookkeeping stay in the
+  /// serial prologue; the flood frontier is partitioned per shard (entries
+  /// staged to the shard owning the forwarding vertex) and each shard
+  /// forwards its own vertices' items through ctx.
+  [[nodiscard]] bool sharded_round() const noexcept override { return true; }
   void on_round_begin() override;
-  bool on_message(Vertex v, const Message& m) override;
+  void on_round_begin(std::uint32_t shard, ShardContext& ctx) override;
+  [[nodiscard]] bool sharded_dispatch() const noexcept override { return true; }
+  bool on_message(Vertex v, const Message& m, ShardContext& ctx) override;
   void on_churn(Vertex v, PeerId old_peer, PeerId new_peer) override;
 
   /// Inject the item at `creator`; it floods from there.
@@ -69,7 +76,10 @@ class FloodingStore final : public Protocol, public StorageService {
   Options options_;
   std::vector<std::unordered_set<ItemId>> held_;
   std::vector<std::unordered_set<ItemId>> forwarded_;
-  std::vector<std::pair<Vertex, ItemId>> frontier_;
+  /// Per-shard flood frontier: entry (v, item) lives in v's shard queue, so
+  /// each shard forwards only its own vertices' items (canonical order:
+  /// ascending shard, staging order within the shard).
+  std::vector<std::vector<std::pair<Vertex, ItemId>>> frontiers_;
   std::uint64_t next_sid_ = 1;
   std::vector<PendingLookup> lookups_;
   std::unordered_map<std::uint64_t, WorkloadOutcome> outcomes_;

@@ -15,8 +15,9 @@ KWalkerSearch::KWalkerSearch(Network& net_ref, TokenSoup& soup, Options options)
 
 void KWalkerSearch::on_attach(Network& net_ref) {
   Protocol::on_attach(net_ref);
-  rng_ = net().protocol_rng().fork(0x6b77616cULL);
+  stream_salt_ = net().protocol_rng().fork(0x6b77616cULL).next();
   held_.assign(net().n(), {});
+  stage_.assign(net().shards().count(), {});
   default_ttl_ =
       options_.default_ttl != 0 ? options_.default_ttl : 4 * soup_.tau();
 }
@@ -105,26 +106,58 @@ WorkloadOutcome KWalkerSearch::search_outcome(std::uint64_t sid) const {
 }
 
 void KWalkerSearch::on_round_begin() {
+  // Partition the walker index range across the engine's shard count; the
+  // walkers themselves are processed in the sharded hook.
+  walker_plan_ = ShardPlan(static_cast<std::uint32_t>(walkers_.size()),
+                           net().shards().count());
+}
+
+void KWalkerSearch::on_round_begin(std::uint32_t shard, ShardContext& ctx) {
+  if (walkers_.empty() || shard >= walker_plan_.count()) return;
   const RegularGraph& g = net().graph();
   const std::uint32_t d = g.degree();
-  std::size_t write = 0;
-  for (std::size_t read = 0; read < walkers_.size(); ++read) {
-    Walker w = walkers_[read];
+  const std::uint64_t round_key =
+      mix64(stream_salt_ ^ static_cast<std::uint64_t>(net().round()));
+  ShardStage& stage = stage_[shard];
+  for (std::uint32_t i = walker_plan_.begin(shard);
+       i < walker_plan_.end(shard); ++i) {
+    Walker w = walkers_[i];
     if (w.ttl == 0) continue;
-    SearchOutcome& out = outcomes_[w.sid];
-    if (out.done) continue;
-    w.at = g.neighbor(w.at, static_cast<std::uint32_t>(rng_.next_below(d)));
+    const auto out_it = outcomes_.find(w.sid);
+    if (out_it != outcomes_.end() && out_it->second.done) continue;
+    // Per-(round, walker) stream: trajectories are independent of the
+    // shard partition and of sibling walkers' draws.
+    Rng rng = stream_rng(round_key, i);
+    w.at = g.neighbor(w.at, static_cast<std::uint32_t>(rng.next_below(d)));
     --w.ttl;
-    net().charge_processing(w.at, 64 + 64 + 16);  // item id + sid + ttl
+    ctx.charge(w.at, 64 + 64 + 16);  // item id + sid + ttl
     if (held_[w.at].count(w.item)) {
-      out.done = true;
-      out.success = true;
-      out.rounds_taken = net().round() - start_round_[w.sid];
+      // Same-round sibling hits resolve at the merge (first in canonical
+      // walker order wins); the walker retires either way.
+      stage.hit_sids.push_back(w.sid);
       continue;
     }
-    if (w.ttl > 0) walkers_[write++] = w;
+    if (w.ttl > 0) stage.survivors.push_back(w);
   }
-  walkers_.resize(write);
+}
+
+void KWalkerSearch::on_round_merge() {
+  const Round now = net().round();
+  walkers_.clear();
+  for (ShardStage& stage : stage_) {
+    for (const std::uint64_t sid : stage.hit_sids) {
+      SearchOutcome& out = outcomes_[sid];
+      if (!out.done) {
+        out.done = true;
+        out.success = true;
+        out.rounds_taken = now - start_round_[sid];
+      }
+    }
+    stage.hit_sids.clear();
+    walkers_.insert(walkers_.end(), stage.survivors.begin(),
+                    stage.survivors.end());
+    stage.survivors.clear();
+  }
 }
 
 }  // namespace churnstore

@@ -41,8 +41,18 @@ class KWalkerSearch final : public Protocol, public StorageService {
     return "k-walker";
   }
   void on_attach(Network& net) override;
-  /// Move walkers one hop and resolve hits. Walkers at churned vertices die.
+  /// Sharded round: walkers are global agents, so the round partitions the
+  /// WALKER index range (not the vertex range) across the same shard count;
+  /// every walker draws from its own per-(round, index) stream, processing
+  /// charges stage through ctx, and hits/survivors merge in canonical
+  /// walker-index order. Walkers at churned vertices die (on_churn).
+  [[nodiscard]] bool sharded_round() const noexcept override { return true; }
   void on_round_begin() override;
+  void on_round_begin(std::uint32_t shard, ShardContext& ctx) override;
+  void on_round_merge() override;
+  [[nodiscard]] bool sharded_dispatch() const noexcept override {
+    return true;  // no on_message at all
+  }
   void on_churn(Vertex v, PeerId old_peer, PeerId new_peer) override;
 
   /// Place replicas from the creator's walk samples; 0 while buffer cold.
@@ -83,7 +93,7 @@ class KWalkerSearch final : public Protocol, public StorageService {
 
   TokenSoup& soup_;
   Options options_;
-  Rng rng_;
+  std::uint64_t stream_salt_ = 0;
   std::uint32_t default_ttl_ = 0;
   std::uint64_t next_sid_ = 1;
   std::vector<std::unordered_set<ItemId>> held_;
@@ -91,6 +101,15 @@ class KWalkerSearch final : public Protocol, public StorageService {
   std::vector<Walker> walkers_;
   std::unordered_map<std::uint64_t, SearchOutcome> outcomes_;
   std::unordered_map<std::uint64_t, Round> start_round_;
+  /// Walker-index partition for the current round (set in the prologue).
+  ShardPlan walker_plan_;
+  /// Per-shard staging: surviving walkers and this round's hits, merged in
+  /// ascending shard (= walker index) order.
+  struct ShardStage {
+    std::vector<Walker> survivors;
+    std::vector<std::uint64_t> hit_sids;
+  };
+  std::vector<ShardStage> stage_;
 };
 
 }  // namespace churnstore

@@ -100,6 +100,7 @@ std::size_t SqrtReplication::holders_alive(ItemId item) const {
 
 void SqrtReplication::on_round_begin() {
   const Round now = net().round();
+  probe_jobs_.clear();
   std::size_t write = 0;
   for (std::size_t read = 0; read < active_.size(); ++read) {
     ActiveSearch& s = active_[read];
@@ -116,28 +117,46 @@ void SqrtReplication::on_round_begin() {
       out.done = true;
       continue;
     }
-    // Probe the sources of walks that completed here last round (the
-    // birthday-paradox sampling step).
-    const auto& sources = soup_.samples(iv).at(now - 1);
+    probe_jobs_.push_back(ProbeJob{iv, s.item, s.sid});
+    active_[write++] = s;
+  }
+  active_.resize(write);
+  // Canonical emission order: ascending initiator vertex (stable for
+  // same-vertex searches). Each shard then owns a contiguous run, and the
+  // merged probe stream is identical for every shard count.
+  std::stable_sort(probe_jobs_.begin(), probe_jobs_.end(),
+                   [](const ProbeJob& a, const ProbeJob& b) {
+                     return a.initiator < b.initiator;
+                   });
+}
+
+void SqrtReplication::on_round_begin(std::uint32_t shard, ShardContext& ctx) {
+  // Probe the sources of walks that completed at the initiator last round
+  // (the birthday-paradox sampling step); each initiator's probes go out
+  // from its own shard.
+  const Round now = net().round();
+  const ShardPlan& plan = net().shards();
+  for (const ProbeJob& job : probe_jobs_) {
+    if (plan.shard_of(job.initiator) != shard) continue;
+    const auto& sources = soup_.samples(job.initiator).at(now - 1);
     const std::size_t cap =
         options_.probes_per_round == 0
             ? sources.size()
             : std::min<std::size_t>(options_.probes_per_round, sources.size());
-    const PeerId self = net().peer_at(iv);
+    const PeerId self = net().peer_at(job.initiator);
     for (std::size_t i = 0; i < cap; ++i) {
       Message msg;
       msg.src = self;
       msg.dst = sources[i];
       msg.type = MsgType::kProbe;
-      msg.words = {s.item, s.sid};
-      net().send(iv, std::move(msg));
+      msg.words = {job.item, job.sid};
+      ctx.send(job.initiator, std::move(msg));
     }
-    active_[write++] = s;
   }
-  active_.resize(write);
 }
 
-bool SqrtReplication::on_message(Vertex v, const Message& m) {
+bool SqrtReplication::on_message(Vertex v, const Message& m,
+                                 ShardContext& ctx) {
   switch (m.type) {
     case MsgType::kFloodData: {
       held_[v].insert(m.words[0]);
@@ -150,18 +169,22 @@ bool SqrtReplication::on_message(Vertex v, const Message& m) {
         hit.dst = m.src;
         hit.type = MsgType::kProbeHit;
         hit.words = m.words;
-        net().send(v, std::move(hit));
+        ctx.send(v, std::move(hit));
       }
       return true;
     }
     case MsgType::kProbeHit: {
+      // Only the search initiator's vertex receives hits for its sid, so
+      // the outcome record is exclusively this shard's to mutate.
       const auto it = outcomes_.find(m.words[1]);
       if (it == outcomes_.end()) return true;
       SearchOutcome& out = it->second;
       if (!out.done) {
         out.done = true;
         out.success = true;
-        out.rounds_taken = net().round() - start_round_[m.words[1]];
+        const auto sit = start_round_.find(m.words[1]);
+        out.rounds_taken =
+            net().round() - (sit == start_round_.end() ? 0 : sit->second);
       }
       return true;
     }

@@ -40,8 +40,15 @@ class SqrtReplication final : public Protocol, public StorageService {
     return "sqrt-replication";
   }
   void on_attach(Network& net) override;
+  /// Sharded round: the serial prologue handles per-search bookkeeping
+  /// (censoring, deadlines, compaction) and stages one probe job per live
+  /// search; the sharded phase sends each job's probes from the initiator
+  /// vertex's own shard through ctx.
+  [[nodiscard]] bool sharded_round() const noexcept override { return true; }
   void on_round_begin() override;
-  bool on_message(Vertex v, const Message& m) override;
+  void on_round_begin(std::uint32_t shard, ShardContext& ctx) override;
+  [[nodiscard]] bool sharded_dispatch() const noexcept override { return true; }
+  bool on_message(Vertex v, const Message& m, ShardContext& ctx) override;
   void on_churn(Vertex v, PeerId old_peer, PeerId new_peer) override;
 
   /// Place replicas from the creator's samples. Returns the number placed
@@ -93,6 +100,14 @@ class SqrtReplication final : public Protocol, public StorageService {
   std::vector<ActiveSearch> active_;
   std::unordered_map<std::uint64_t, SearchOutcome> outcomes_;
   std::unordered_map<std::uint64_t, Round> start_round_;
+  /// Probe jobs for this round, staged by the prologue; read-only in the
+  /// sharded phase (each shard sends the jobs owned by its vertices).
+  struct ProbeJob {
+    Vertex initiator;
+    ItemId item;
+    std::uint64_t sid;
+  };
+  std::vector<ProbeJob> probe_jobs_;
 };
 
 }  // namespace churnstore

@@ -43,15 +43,16 @@ CommitteeManager::CommitteeManager(Network& net_ref, TokenSoup& soup,
 void CommitteeManager::on_attach(Network& net_ref) {
   Protocol::on_attach(net_ref);
   const std::uint32_t n = net().n();
-  rng_ = net().protocol_rng().fork(0x636f6dULL);
+  stream_salt_ = net().protocol_rng().fork(0x636f6dULL).next();
   tau_ = soup_.tau();
   period_ = std::max<std::uint32_t>(
       8, static_cast<std::uint32_t>(config_.refresh_taus * tau_));
   target_ = committee_target(n, config_);
   state_.assign(n, {});
   pending_.assign(n, {});
-  active_.clear();
   active_flag_.assign(n, 0);
+  active_count_.assign(net().shards().count(), 0);
+  stage_.assign(net().shards().count(), {});
 }
 
 void CommitteeManager::on_churn(Vertex v, PeerId, PeerId) {
@@ -68,7 +69,7 @@ void CommitteeManager::expose_to_adaptive_adversary() {
 void CommitteeManager::mark_active(Vertex v) {
   if (!active_flag_[v]) {
     active_flag_[v] = 1;
-    active_.push_back(v);
+    ++active_count_[net().shards().shard_of(v)];
   }
 }
 
@@ -81,9 +82,8 @@ const Membership* CommitteeManager::membership_at(Vertex v,
 std::vector<Vertex> CommitteeManager::occupied_vertices(
     std::uint32_t max) const {
   std::vector<Vertex> out;
-  for (const Vertex v : active_) {
-    if (out.size() >= max) break;
-    if (!state_[v].empty()) out.push_back(v);
+  for (Vertex v = 0; v < net().n() && out.size() < max; ++v) {
+    if (active_flag_[v] && !state_[v].empty()) out.push_back(v);
   }
   return out;
 }
@@ -102,7 +102,8 @@ std::size_t CommitteeManager::alive_members(std::uint64_t kid) const {
 }
 
 std::vector<PeerId> CommitteeManager::pick_sources(Vertex v, Round anchor,
-                                                   std::uint32_t want) const {
+                                                   std::uint32_t want,
+                                                   Rng& rng) const {
   const PeerId self = net().peer_at(v);
   std::vector<PeerId> out;
   if (anchor >= 0) {
@@ -112,7 +113,7 @@ std::vector<PeerId> CommitteeManager::pick_sources(Vertex v, Round anchor,
     std::sort(pool.begin(), pool.end());
     pool.erase(std::unique(pool.begin(), pool.end()), pool.end());
     std::erase(pool, kNoPeer);
-    rng_.shuffle(pool);
+    rng.shuffle(pool);
     for (const PeerId p : pool) {
       if (out.size() >= want) break;
       out.push_back(p);
@@ -135,7 +136,8 @@ bool CommitteeManager::create(Vertex creator, std::uint64_t kid,
   const Round now = net().round();
   const auto want = static_cast<std::uint32_t>(
       std::max(1.0, config_.invite_oversample) * target_);
-  const std::vector<PeerId> members = pick_sources(creator, -1, want);
+  Rng rng = vertex_rng(creator, kid);
+  const std::vector<PeerId> members = pick_sources(creator, -1, want, rng);
   if (members.size() < 3) return false;
 
   const bool erasure =
@@ -184,11 +186,12 @@ bool CommitteeManager::create(Vertex creator, std::uint64_t kid,
 }
 
 void CommitteeManager::send_invites(Vertex v, Membership& m, Round now,
-                                    Round anchor) {
+                                    Round anchor, ShardContext& ctx) {
   (void)now;
   const auto want = static_cast<std::uint32_t>(
       std::max(1.0, config_.invite_oversample) * target_);
-  m.invited = pick_sources(v, anchor, want);
+  Rng rng = vertex_rng(v, m.kid);
+  m.invited = pick_sources(v, anchor, want, rng);
   const PeerId self = net().peer_at(v);
   for (const PeerId p : m.invited) {
     Message msg;
@@ -207,7 +210,7 @@ void CommitteeManager::send_invites(Vertex v, Membership& m, Round now,
                  m.ida_k,
                  m.original_size,
                  0 /*no member list yet; final list comes with confirm*/};
-    net().send(v, std::move(msg));
+    ctx.send(v, std::move(msg));
   }
   // Announce candidacy to the clique so outranked candidates stand down.
   for (const PeerId p : m.members) {
@@ -217,13 +220,14 @@ void CommitteeManager::send_invites(Vertex v, Membership& m, Round now,
     msg.dst = p;
     msg.type = MsgType::kCommitteeCandidateAlive;
     msg.words = {m.kid, m.my_rank};
-    net().send(v, std::move(msg));
+    ctx.send(v, std::move(msg));
   }
   m.best_alive_rank = std::min(m.best_alive_rank, m.my_rank);
 }
 
 void CommitteeManager::confirm_committee(Vertex v, Membership& m, Round now,
-                                         Round anchor) {
+                                         Round anchor, ShardContext& ctx,
+                                         ShardStage& stage) {
   const bool erasure =
       config_.use_erasure_coding && m.purpose == Purpose::kStorage;
   std::vector<IdaPiece> pieces;
@@ -239,7 +243,7 @@ void CommitteeManager::confirm_committee(Vertex v, Membership& m, Round now,
     if (!rebuilt) {
       // Too many pieces lost to churn within one refresh period: the item
       // cannot be re-dispersed. The committee (and the item) dies here.
-      net().metrics().count_committee_lost();
+      ++stage.lost;
       return;
     }
     full_payload = *rebuilt;
@@ -272,7 +276,7 @@ void CommitteeManager::confirm_committee(Vertex v, Membership& m, Round now,
     msg.words.push_back(m.accepted.size());
     msg.words.insert(msg.words.end(), m.accepted.begin(), m.accepted.end());
     msg.blob = (erasure && i < pieces.size()) ? pieces[i].bytes : full_payload;
-    net().send(v, std::move(msg));
+    ctx.send(v, std::move(msg));
   }
 
   // Tell the outgoing generation the handover succeeded so it can resign.
@@ -283,19 +287,20 @@ void CommitteeManager::confirm_committee(Vertex v, Membership& m, Round now,
     msg.dst = p;
     msg.type = MsgType::kCommitteeHandover;
     msg.words = {m.kid};
-    net().send(v, std::move(msg));
+    ctx.send(v, std::move(msg));
   }
   m.handover_seen = true;
 
-  Info& inf = registry_[m.kid];
-  inf.last_members = m.accepted;
-  ++inf.generations;
-  net().metrics().count_committee_formed();
+  // The god-view registry is global: stage the generation update for the
+  // serial merge.
+  stage.confirms.push_back(ShardStage::Confirm{m.kid, m.accepted});
+  ++stage.formed;
   (void)now;
 }
 
 void CommitteeManager::run_cycle_phase(Vertex v, Membership& m, Round now,
-                                       std::uint64_t t_mod, Round anchor) {
+                                       std::uint64_t t_mod, Round anchor,
+                                       ShardContext& ctx, ShardStage& stage) {
   const PeerId self = net().peer_at(v);
   const bool erasure =
       config_.use_erasure_coding && m.purpose == Purpose::kStorage;
@@ -324,7 +329,7 @@ void CommitteeManager::run_cycle_phase(Vertex v, Membership& m, Round now,
                              : kNoPiece,
                      m.ida_k, m.original_size};
         if (erasure && m.piece_index != kNoPiece) msg.blob = m.payload;
-        net().send(v, std::move(msg));
+        ctx.send(v, std::move(msg));
       }
       break;
     }
@@ -349,7 +354,7 @@ void CommitteeManager::run_cycle_phase(Vertex v, Membership& m, Round now,
       if (rank < config_.leader_redundancy) {
         m.candidate = true;
         m.my_rank = rank;
-        send_invites(v, m, now, anchor);
+        send_invites(v, m, now, anchor, ctx);
       }
       break;
     }
@@ -364,14 +369,14 @@ void CommitteeManager::run_cycle_phase(Vertex v, Membership& m, Round now,
           msg.dst = p;
           msg.type = MsgType::kCommitteeDissolve;
           msg.words = {m.kid, m.my_rank};
-          net().send(v, std::move(msg));
+          ctx.send(v, std::move(msg));
         }
       }
       break;
     }
     case 4: {
       if (m.candidate && !m.dissolved && !m.accepted.empty()) {
-        confirm_committee(v, m, now, anchor);
+        confirm_committee(v, m, now, anchor, ctx, stage);
       }
       break;
     }
@@ -380,15 +385,16 @@ void CommitteeManager::run_cycle_phase(Vertex v, Membership& m, Round now,
   }
 }
 
-void CommitteeManager::on_round_begin() {
+void CommitteeManager::on_round_begin(std::uint32_t shard, ShardContext& ctx) {
+  if (active_count_[shard] == 0) return;
   const Round now = net().round();
   const std::uint32_t rebuild = std::max<std::uint32_t>(
       4, static_cast<std::uint32_t>(config_.landmark_rebuild_taus * tau_));
+  ShardStage& stage = stage_[shard];
 
   std::vector<std::uint64_t> to_erase;
-  std::size_t write = 0;
-  for (std::size_t read = 0; read < active_.size(); ++read) {
-    const Vertex v = active_[read];
+  for (Vertex v = ctx.begin(); v < ctx.end(); ++v) {
+    if (!active_flag_[v]) continue;
     auto& st = state_[v];
     auto& pn = pending_[v];
 
@@ -401,7 +407,7 @@ void CommitteeManager::on_round_begin() {
         msg.dst = pj.candidate;
         msg.type = MsgType::kCommitteeAccept;
         msg.words = {pj.kid, pj.rank};
-        net().send(v, msg);
+        ctx.send(v, std::move(msg));
         pj.accept_sent = true;
         ++it;
       } else if (pj.received < now - 3) {
@@ -419,11 +425,13 @@ void CommitteeManager::on_round_begin() {
       }
       // First landmark wave right after creation (members install at the end
       // of epoch_base + 1, so their first active round is t == 2), then one
-      // wave per rebuild period aligned after each handover window.
+      // wave per rebuild period aligned after each handover window. The
+      // event channel is shared, so the request is staged (with a copy of
+      // the membership fields) and published at the merge.
       const std::int64_t t = now - m.epoch_base;
       if (t == 2 || (t >= 6 && (t - 6) % rebuild == 0)) {
-        LandmarkRebuildRequest req{v, &m};
-        net().events().publish(req);
+        stage.rebuilds.push_back(ShardStage::Rebuild{
+            v, kid, m.item, m.purpose, m.search_root, m.members});
       }
       if (t >= static_cast<std::int64_t>(period_)) {
         const std::uint64_t t_mod =
@@ -437,28 +445,51 @@ void CommitteeManager::on_round_begin() {
           if (m.handover_seen) {
             to_erase.push_back(kid);
           } else {
-            net().metrics().count_committee_lost();  // failed re-formation
+            ++stage.lost;  // failed re-formation
           }
           continue;
         }
         if (t_mod >= 1 && t_mod <= 4) {
           const Round anchor = now - static_cast<Round>(t_mod);
-          run_cycle_phase(v, m, now, t_mod, anchor);
+          run_cycle_phase(v, m, now, t_mod, anchor, ctx, stage);
         }
       }
     }
     for (const std::uint64_t kid : to_erase) st.erase(kid);
 
     if (st.empty() && pn.empty()) {
-      active_flag_[v] = 0;  // drop from the active list
-    } else {
-      active_[write++] = v;
+      active_flag_[v] = 0;
+      --active_count_[shard];
     }
   }
-  active_.resize(write);
 }
 
-bool CommitteeManager::on_message(Vertex v, const Message& m) {
+void CommitteeManager::on_round_merge() {
+  // Canonical order: ascending shard, staging order within a shard (which
+  // is ascending vertex) — the same stream a serial run produces.
+  for (ShardStage& stage : stage_) {
+    for (ShardStage::Confirm& c : stage.confirms) {
+      Info& inf = registry_[c.kid];
+      inf.last_members = std::move(c.members);
+      ++inf.generations;
+    }
+    stage.confirms.clear();
+    for (const ShardStage::Rebuild& r : stage.rebuilds) {
+      LandmarkRebuildRequest req{r.vertex,      r.kid,  r.item,
+                                 r.purpose,     r.search_root,
+                                 &r.members};
+      net().events().publish(req);
+    }
+    stage.rebuilds.clear();
+    net().metrics().count_committee_formed(stage.formed);
+    net().metrics().count_committee_lost(stage.lost);
+    stage.formed = stage.lost = 0;
+  }
+}
+
+bool CommitteeManager::on_message(Vertex v, const Message& m,
+                                  ShardContext& ctx) {
+  (void)ctx;  // handlers only mutate v-owned state (+ shard-local flags)
   switch (m.type) {
     case MsgType::kCommitteeInvite: {
       const std::uint64_t kid = m.words[0];

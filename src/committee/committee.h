@@ -75,10 +75,19 @@ struct Membership {
 /// Published (via Network::events()) for every confirmed member that should
 /// (re)build its landmark tree this round (creation and every rebuild
 /// period). LandmarkManager subscribes; the committee layer does not know
-/// the landmark layer exists.
+/// the landmark layer exists. Carries the membership fields by value/pointer
+/// into committee staging (not a Membership*): requests are staged per shard
+/// during the sharded round phase and published at the merge, after the
+/// phase may already have erased the membership they came from. `members`
+/// points into that staging and is valid ONLY for the duration of the
+/// synchronous publish — subscribers must copy, never retain the pointer.
 struct LandmarkRebuildRequest {
   Vertex vertex = 0;
-  const Membership* membership = nullptr;
+  std::uint64_t kid = 0;
+  ItemId item = 0;
+  Purpose purpose = Purpose::kStorage;
+  PeerId search_root = kNoPeer;
+  const std::vector<PeerId>* members = nullptr;
 };
 
 class CommitteeManager final : public Protocol {
@@ -92,8 +101,17 @@ class CommitteeManager final : public Protocol {
     return "committee";
   }
   void on_attach(Network& net) override;
-  void on_round_begin() override;
-  bool on_message(Vertex v, const Message& m) override;
+  /// Sharded round: every shard runs the refresh-cycle phases for its own
+  /// vertices (per-(round, vertex) RNG streams, sends through ctx); registry
+  /// updates, landmark-rebuild events, and committee counters are staged per
+  /// shard and applied at the merge in canonical order.
+  [[nodiscard]] bool sharded_round() const noexcept override { return true; }
+  void on_round_begin(std::uint32_t shard, ShardContext& ctx) override;
+  void on_round_merge() override;
+  /// Message handlers only touch the receiving vertex's maps (plus the
+  /// per-shard active flags), so dispatch may run sharded.
+  [[nodiscard]] bool sharded_dispatch() const noexcept override { return true; }
+  bool on_message(Vertex v, const Message& m, ShardContext& ctx) override;
   void on_churn(Vertex v, PeerId old_peer, PeerId new_peer) override;
 
   /// Create a committee entrusted with (purpose, item). Returns false when
@@ -154,17 +172,52 @@ class CommitteeManager final : public Protocol {
     bool accept_sent = false;
   };
 
+  /// Per-shard staging for cross-shard state the round phase may not touch
+  /// directly: the god-view registry, the landmark-rebuild event channel,
+  /// and the global committee counters. Applied in on_round_merge, scanning
+  /// shards in ascending order.
+  struct ShardStage {
+    struct Confirm {
+      std::uint64_t kid;
+      std::vector<PeerId> members;
+    };
+    struct Rebuild {
+      Vertex vertex;
+      std::uint64_t kid;
+      ItemId item;
+      Purpose purpose;
+      PeerId search_root;
+      std::vector<PeerId> members;
+    };
+    std::vector<Confirm> confirms;
+    std::vector<Rebuild> rebuilds;
+    std::uint64_t formed = 0;
+    std::uint64_t lost = 0;
+  };
+
   void run_cycle_phase(Vertex v, Membership& m, Round now, std::uint64_t t_mod,
-                       Round anchor);
-  void send_invites(Vertex v, Membership& m, Round now, Round anchor);
-  void confirm_committee(Vertex v, Membership& m, Round now, Round anchor);
+                       Round anchor, ShardContext& ctx, ShardStage& stage);
+  void send_invites(Vertex v, Membership& m, Round now, Round anchor,
+                    ShardContext& ctx);
+  void confirm_committee(Vertex v, Membership& m, Round now, Round anchor,
+                         ShardContext& ctx, ShardStage& stage);
+  /// Deterministic per-(round, vertex) sample pick; `rng` must be the
+  /// vertex's stream for this round (vertex_rng), never a shared sequence.
   [[nodiscard]] std::vector<PeerId> pick_sources(Vertex v, Round anchor,
-                                                 std::uint32_t want) const;
+                                                 std::uint32_t want,
+                                                 Rng& rng) const;
+  /// Stream keyed by (round, vertex, kid): a vertex creating or leading
+  /// several committees in one round draws independent randomness per kid.
+  [[nodiscard]] Rng vertex_rng(Vertex v, std::uint64_t kid) const {
+    return stream_rng(mix64(stream_salt_ ^ mix64(kid) ^
+                            static_cast<std::uint64_t>(net().round())),
+                      v);
+  }
 
   TokenSoup& soup_;
   ProtocolConfig config_;
   ErasurePolicy erasure_;
-  mutable Rng rng_;
+  std::uint64_t stream_salt_ = 0;
   std::uint32_t tau_ = 0;
   std::uint32_t period_ = 0;
   std::uint32_t target_ = 0;
@@ -172,10 +225,12 @@ class CommitteeManager final : public Protocol {
   std::vector<std::unordered_map<std::uint64_t, Membership>> state_;
   std::vector<std::unordered_map<std::uint64_t, PendingJoin>> pending_;
   std::unordered_map<std::uint64_t, Info> registry_;
-  /// Vertices that currently hold any membership/pending state, to avoid
-  /// scanning all n vertices every round.
-  std::vector<Vertex> active_;
+  /// Per-vertex "holds any membership/pending state" flags plus a per-shard
+  /// population count, so each shard's round task scans its vertex range
+  /// only when it has work (canonical ascending-vertex order either way).
   std::vector<std::uint8_t> active_flag_;
+  std::vector<std::uint32_t> active_count_;  ///< per shard
+  std::vector<ShardStage> stage_;            ///< per shard
 
   void mark_active(Vertex v);
 };

@@ -4,15 +4,38 @@
 // soup, committee, landmark, storage and search layers, and each baseline
 // (flooding, sqrt-replication, k-walker, Chord) — implements Protocol and
 // plugs into the one simulation driver (P2PSystem). The driver runs the
-// paper's synchronous round structure:
+// paper's synchronous round structure, sharded end to end:
 //
 //   net.begin_round()                  adversary fixes churn + G^r
-//   for p in protocols: p.on_round_begin()   per-round protocol work,
-//                                            registration order
+//   for p in protocols (registration order):
+//     p.on_round_begin()                      serial prologue
+//     if p.sharded_round():
+//       run_sharded(s -> p.on_round_begin(s, ctx))   per-shard round work
+//       p.on_round_merge()                    serial staging merge
+//       net.flush_shard_lanes()               canonical send/charge merge
 //   net.deliver()                      messages sent this round arrive
 //   for each vertex v, message m:      first protocol whose on_message
-//     for p in protocols: ...          returns true consumes m
+//     for p in protocols: ...          returns true consumes m — sharded by
+//                                      destination vertex when every
+//                                      protocol is sharded_dispatch()
+//   for p: p.on_dispatch_merge()       serial staging merge after dispatch
 //   for p in protocols: p.on_round_end()     end-of-round bookkeeping
+//
+// The ShardContext contract (what a sharded hook body may do):
+//   - read/write state owned by vertices in [ctx.begin(), ctx.end()) only,
+//     iterating them in ASCENDING order;
+//   - read any state that no protocol mutates during the current phase
+//     (the graph, peer table, sibling protocols' per-vertex state);
+//   - send through ctx.send and charge through ctx.charge — both stage
+//     into the shard's lane and merge in canonical (shard, vertex) order,
+//     so the observable stream is independent of the shard count;
+//   - stage every cross-shard mutation (global registries, index maps,
+//     global counters) per shard and apply it in on_round_merge /
+//     on_dispatch_merge, scanning shards in ascending order;
+//   - draw randomness from counter-based per-(round, vertex) streams
+//     (util/rng.h stream_rng), never from a shared sequential Rng.
+// Under that contract the SAME seed is bit-identical for EVERY shards=
+// value, serial or pooled (tests/sharded_engine_test.cpp).
 //
 // Attachment: on_attach(net) is called exactly once, before the first
 // round, in registration order. The base implementation records the network
@@ -29,6 +52,36 @@
 
 namespace churnstore {
 
+/// Handle a sharded hook receives: identifies the shard, exposes its vertex
+/// range, and routes sends/charges through the shard's staging lane.
+class ShardContext {
+ public:
+  ShardContext(Network& net, std::uint32_t shard) noexcept
+      : net_(net), shard_(shard) {}
+
+  [[nodiscard]] std::uint32_t shard() const noexcept { return shard_; }
+  [[nodiscard]] const ShardPlan& plan() const noexcept { return net_.shards(); }
+  /// The contiguous vertex range this shard owns.
+  [[nodiscard]] Vertex begin() const noexcept { return plan().begin(shard_); }
+  [[nodiscard]] Vertex end() const noexcept { return plan().end(shard_); }
+
+  [[nodiscard]] Network& net() const noexcept { return net_; }
+
+  /// Queue a message from the peer at `from` (staged on this shard's lane;
+  /// charged and merged canonically at the next lane flush).
+  void send(Vertex from, Message&& m) {
+    net_.send_sharded(shard_, from, std::move(m));
+  }
+  /// Charge processing bits to any vertex (deferred; cross-shard safe).
+  void charge(Vertex v, std::uint64_t bits) {
+    net_.charge_sharded(shard_, v, bits);
+  }
+
+ private:
+  Network& net_;
+  std::uint32_t shard_;
+};
+
 class Protocol {
  public:
   virtual ~Protocol() = default;
@@ -39,17 +92,58 @@ class Protocol {
   /// constants. Overrides must call Protocol::on_attach(net) first.
   virtual void on_attach(Network& net);
 
-  /// Per-round protocol work, after churn/edge dynamics fixed G^r and
-  /// before message delivery. Called in registration order.
+  /// --- round hooks --------------------------------------------------------
+  /// True when this protocol implements the sharded round hook below; the
+  /// driver then fans on_round_begin(shard, ctx) out over the shard plan
+  /// after the serial prologue. False (the default) is the serial fallback:
+  /// all round work happens in on_round_begin().
+  [[nodiscard]] virtual bool sharded_round() const noexcept { return false; }
+
+  /// Serial prologue (sharded protocols) or the whole per-round protocol
+  /// work (serial fallback), after churn/edge dynamics fixed G^r and before
+  /// message delivery. Called in registration order.
   virtual void on_round_begin() {}
 
+  /// Per-shard round work (see the ShardContext contract above). Runs once
+  /// per shard, possibly concurrently, between on_round_begin() and
+  /// on_round_merge().
+  virtual void on_round_begin(std::uint32_t shard, ShardContext& ctx) {
+    (void)shard;
+    (void)ctx;
+  }
+
+  /// Serial epilogue after every shard of on_round_begin(shard, ctx)
+  /// returned: apply staged cross-shard mutations in canonical order.
+  virtual void on_round_merge() {}
+
+  /// --- message dispatch ---------------------------------------------------
+  /// True when on_message only touches state owned by the receiving vertex
+  /// (plus per-shard staging) and sends through ctx — i.e. the driver may
+  /// dispatch this protocol's inbound messages concurrently by destination
+  /// shard. One false in a stack forces serial dispatch for the whole
+  /// stack (the consume chain is shared).
+  [[nodiscard]] virtual bool sharded_dispatch() const noexcept { return false; }
+
   /// Offered every message delivered to vertex `v` this round; return true
-  /// to consume it (stops the chain).
+  /// to consume it (stops the chain). ctx is bound to v's shard; handlers
+  /// must send replies through it. The default forwards to the legacy
+  /// serial overload so unported protocols keep working (serially).
+  virtual bool on_message(Vertex v, const Message& m, ShardContext& ctx) {
+    (void)ctx;
+    return on_message(v, m);
+  }
+
+  /// Legacy serial handler; only called through the default 3-arg
+  /// on_message above. Ported protocols override the 3-arg form directly.
   virtual bool on_message(Vertex v, const Message& m) {
     (void)v;
     (void)m;
     return false;
   }
+
+  /// Serial epilogue after all inboxes dispatched: apply staged cross-shard
+  /// mutations from on_message in canonical order.
+  virtual void on_dispatch_merge() {}
 
   /// The peer occupying `v` was replaced by a fresh one; drop the lost
   /// peer's state. Dispatched through the PeerChurned event channel.

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <iomanip>
+#include <set>
 #include <ostream>
 #include <sstream>
 #include <stdexcept>
@@ -26,8 +27,9 @@ std::string fmt_n_list(const std::vector<std::uint32_t>& ns) {
   return out;
 }
 
-/// Keys the common spec models; everything else lands in `extras`. The
-/// driver's own switches (scenario, list, help) are never spec keys.
+/// Keys the common spec models; everything else must be a registered extra.
+/// The driver's own switches (scenario, list, stacks, help) count as known
+/// so a spec parsed from the driver's argv validates cleanly.
 const char* const kKnownKeys[] = {
     "protocol",   "workload",   "n",             "degree",
     "seed",       "trials",     "churn",         "churn-mult",
@@ -40,17 +42,43 @@ const char* const kKnownKeys[] = {
     "item-bits",  "erasure",    "ida-surplus",   "items",
     "searches",   "batches",    "age-taus",      "threads",
     "parallel",   "shards",     "csv",           "json",
-    "scenario",   "list",       "help",
+    "scenario",   "list",       "stacks",        "help",
 };
+
+/// Scenario-/stack-specific knobs shipped in-tree; out-of-tree code extends
+/// the set through ScenarioSpec::accept_extra_key.
+std::set<std::string>& extra_key_registry() {
+  static std::set<std::string> keys = {
+      // scenario knobs
+      "horizon-taus", "measure-rounds", "periods", "probes", "shard-sweep",
+      "steps",
+      // stack knobs (core/stacks.cpp builders)
+      "chord-replication", "chord-stabilize", "flood-refresh",
+      "probes-per-round", "replication", "replication-mult", "walkers",
+  };
+  return keys;
+}
 
 bool is_known_key(const std::string& key) {
   for (const char* k : kKnownKeys) {
     if (key == k) return true;
   }
-  return false;
+  return extra_key_registry().count(key) > 0;
 }
 
 }  // namespace
+
+void ScenarioSpec::accept_extra_key(const std::string& key) {
+  extra_key_registry().insert(key);
+}
+
+std::vector<std::string> ScenarioSpec::accepted_keys() {
+  std::vector<std::string> out(std::begin(kKnownKeys), std::end(kKnownKeys));
+  out.insert(out.end(), extra_key_registry().begin(),
+             extra_key_registry().end());
+  std::sort(out.begin(), out.end());
+  return out;
+}
 
 std::string_view to_name(AdversaryKind kind) noexcept {
   switch (kind) {
@@ -163,7 +191,13 @@ ScenarioSpec ScenarioSpec::from_cli(const Cli& cli) {
   spec.json = cli.get_bool("json", spec.json);
 
   for (const auto& [key, value] : cli.flags()) {
-    if (!is_known_key(key)) spec.extras[key] = value;
+    if (!is_known_key(key)) {
+      std::string msg = "unknown spec key '" + key + "'; accepted keys:";
+      for (const std::string& k : accepted_keys()) msg += " " + k;
+      throw std::invalid_argument(msg);
+    }
+    // Registered extras ride along for the scenario/stack that owns them.
+    if (extra_key_registry().count(key)) spec.extras[key] = value;
   }
   return spec;
 }

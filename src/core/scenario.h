@@ -82,7 +82,19 @@ struct ScenarioSpec {
   /// (e.g. chord-stabilize=8, flood-refresh=8, walkers=16).
   std::map<std::string, std::string> extras;
 
+  /// Parses a spec from key=value flags. Every key must be either a common
+  /// spec key or a registered scenario/stack extra: an unknown key (e.g. the
+  /// typo `shard=4`) throws std::invalid_argument listing the accepted keys
+  /// instead of being silently ignored.
   [[nodiscard]] static ScenarioSpec from_cli(const Cli& cli);
+
+  /// Registers an extra key (scenario- or stack-specific knob) as accepted
+  /// by from_cli. Built-in extras (chord-stabilize, walkers, shard-sweep,
+  /// ...) are pre-registered; out-of-tree scenarios call this for theirs.
+  static void accept_extra_key(const std::string& key);
+  /// All keys from_cli accepts (common spec keys + registered extras),
+  /// sorted; the validation error lists these.
+  [[nodiscard]] static std::vector<std::string> accepted_keys();
 
   /// Canonical key=value form; from_cli(Cli(to_key_values())) round-trips.
   [[nodiscard]] std::vector<std::string> to_key_values() const;

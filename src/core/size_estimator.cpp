@@ -19,6 +19,7 @@ void SizeEstimator::on_attach(Network& net_ref) {
   mins_.assign(static_cast<std::size_t>(net().n()) * k_, 0.0);
   last_.assign(mins_.size(), 0.0);
   scratch_.assign(mins_.size(), 0.0);
+  scratch2_.assign(mins_.size(), 0.0);
   for (Vertex v = 0; v < net().n(); ++v) fresh_draws(v);
   std::copy(mins_.begin(), mins_.end(), last_.begin());
 }
@@ -40,13 +41,15 @@ void SizeEstimator::on_churn(Vertex v, PeerId, PeerId) {
             std::numeric_limits<double>::infinity());
 }
 
-void SizeEstimator::flood_min(std::vector<double>& field) {
+void SizeEstimator::gather_min(const std::vector<double>& field,
+                               std::vector<double>& out, Vertex from,
+                               Vertex to) {
   const RegularGraph& g = net().graph();
-  const Vertex n = g.n();
   const std::uint32_t d = g.degree();
-  std::copy(field.begin(), field.end(), scratch_.begin());
-  for (Vertex v = 0; v < n; ++v) {
-    double* dst = scratch_.data() + static_cast<std::size_t>(v) * k_;
+  for (Vertex v = from; v < to; ++v) {
+    double* dst = out.data() + static_cast<std::size_t>(v) * k_;
+    const double* own = field.data() + static_cast<std::size_t>(v) * k_;
+    std::copy(own, own + k_, dst);
     for (std::uint32_t e = 0; e < d; ++e) {
       const double* src =
           field.data() + static_cast<std::size_t>(g.neighbor(v, e)) * k_;
@@ -55,28 +58,47 @@ void SizeEstimator::flood_min(std::vector<double>& field) {
       }
     }
   }
-  field.swap(scratch_);
 }
 
-void SizeEstimator::step() {
+void SizeEstimator::on_round_begin() {
   // Epoch restart: without it, every churned-in peer adds fresh draws and
   // the all-time minimum ratchets downward, inflating the estimate without
   // bound. Each epoch aggregates only the draws of peers present during
-  // that epoch; reads are served from the last completed epoch.
+  // that epoch; reads are served from the last completed epoch. Serial: the
+  // draws come from the protocol's sequential stream.
   const auto epoch_len = static_cast<Round>(epoch_rounds());
   if (net().round() % epoch_len == 0) {
     last_.swap(mins_);
     for (Vertex v = 0; v < net().n(); ++v) fresh_draws(v);
     ++epochs_completed_;
   }
+}
+
+void SizeEstimator::on_round_begin(std::uint32_t shard, ShardContext& ctx) {
   // Both fields keep flooding: the running epoch converges, the completed
-  // epoch's result reaches freshly churned-in peers.
-  flood_min(mins_);
-  flood_min(last_);
+  // epoch's result reaches freshly churned-in peers. Each shard writes its
+  // own vertices' scratch rows, reading the whole previous-round fields.
+  (void)shard;
+  gather_min(mins_, scratch_, ctx.begin(), ctx.end());
+  gather_min(last_, scratch2_, ctx.begin(), ctx.end());
+}
+
+void SizeEstimator::on_round_merge() {
+  mins_.swap(scratch_);
+  last_.swap(scratch2_);
   // Each node sends both k-vectors to each neighbor once per round.
   const std::uint64_t bits =
       static_cast<std::uint64_t>(net().graph().degree()) * 2 * k_ * 64;
   for (Vertex v = 0; v < net().n(); ++v) net().charge_processing(v, bits);
+}
+
+void SizeEstimator::step() {
+  on_round_begin();
+  net().run_sharded([this](std::uint32_t s) {
+    ShardContext ctx(net(), s);
+    on_round_begin(s, ctx);
+  });
+  on_round_merge();
 }
 
 double SizeEstimator::estimate(Vertex v) const {

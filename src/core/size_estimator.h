@@ -33,7 +33,17 @@ class SizeEstimator final : public Protocol {
     return "size-estimator";
   }
   void on_attach(Network& net) override;
-  void on_round_begin() override { step(); }
+  /// Sharded round: the neighbor min-gather is embarrassingly parallel over
+  /// destination vertices (each shard writes only its own scratch rows,
+  /// reading the previous round's field). Epoch restarts stay serial in the
+  /// prologue; the field swap and traffic charges land in the merge.
+  [[nodiscard]] bool sharded_round() const noexcept override { return true; }
+  void on_round_begin() override;
+  void on_round_begin(std::uint32_t shard, ShardContext& ctx) override;
+  void on_round_merge() override;
+  [[nodiscard]] bool sharded_dispatch() const noexcept override {
+    return true;  // no on_message at all
+  }
   void on_churn(Vertex v, PeerId old_peer, PeerId new_peer) override;
 
   /// One round of neighbor min-exchange. Call between begin_round() and
@@ -56,7 +66,10 @@ class SizeEstimator final : public Protocol {
 
  private:
   void fresh_draws(Vertex v);
-  void flood_min(std::vector<double>& field);
+  /// Gather component-wise neighbor minima of `field` into `out` for the
+  /// vertex range [from, to).
+  void gather_min(const std::vector<double>& field, std::vector<double>& out,
+                  Vertex from, Vertex to);
 
   std::uint32_t k_;
   Rng rng_;
@@ -64,7 +77,8 @@ class SizeEstimator final : public Protocol {
   std::vector<double> mins_;
   /// Minima of the last completed epoch (what estimate() reads).
   std::vector<double> last_;
-  std::vector<double> scratch_;
+  std::vector<double> scratch_;   ///< next mins_
+  std::vector<double> scratch2_;  ///< next last_
   std::uint64_t epochs_completed_ = 0;
 };
 

@@ -51,10 +51,40 @@ void P2PSystem::enable_adaptive_adversary() {
 }
 
 void P2PSystem::run_round() {
+  using clock = std::chrono::steady_clock;
+  const bool timed = phase_timers_.enabled;
+  clock::time_point t0;
+  if (timed) t0 = clock::now();
+  auto lap = [&](double RoundPhaseTimers::*field) {
+    if (!timed) return;
+    const auto t1 = clock::now();
+    phase_timers_.*field += std::chrono::duration<double>(t1 - t0).count();
+    t0 = t1;
+  };
+
   net_->begin_round();  // adversary: churn + edge dynamics
-  for (const auto& p : protocols_) p->on_round_begin();
+  lap(&RoundPhaseTimers::churn_secs);
+  for (const auto& p : protocols_) {
+    p->on_round_begin();  // serial prologue (or whole round work)
+    if (p->sharded_round()) {
+      Protocol* raw = p.get();
+      net_->run_sharded([this, raw](std::uint32_t s) {
+        ShardContext ctx(*net_, s);
+        raw->on_round_begin(s, ctx);
+      });
+      raw->on_round_merge();
+      net_->flush_shard_lanes();
+    }
+    if (timed) {
+      lap(p.get() == static_cast<Protocol*>(soup_)
+              ? &RoundPhaseTimers::soup_secs
+              : &RoundPhaseTimers::handler_secs);
+    }
+  }
   net_->deliver();      // messages sent this round arrive
+  lap(&RoundPhaseTimers::deliver_secs);
   dispatch_inboxes();   // receivers process them
+  lap(&RoundPhaseTimers::dispatch_secs);
   for (const auto& p : protocols_) p->on_round_end();
 }
 
@@ -63,14 +93,37 @@ void P2PSystem::run_rounds(std::uint32_t k) {
 }
 
 void P2PSystem::dispatch_inboxes() {
-  const Vertex n = net_->n();
-  for (Vertex v = 0; v < n; ++v) {
-    for (const Message& m : net_->inbox(v)) {
-      for (const auto& p : protocols_) {
-        if (p->on_message(v, m)) break;
+  // One unported protocol forces the serial path for the whole stack (the
+  // consume chain is shared); the orderings are identical either way — a
+  // vertex's messages are always handled in inbox order by the shard (or
+  // the loop) owning that vertex.
+  bool sharded = true;
+  for (const auto& p : protocols_) sharded = sharded && p->sharded_dispatch();
+
+  auto dispatch_shard = [this](std::uint32_t s) {
+    ShardContext ctx(*net_, s);
+    const ShardPlan& plan = net_->shards();
+    for (Vertex v = plan.begin(s); v < plan.end(s); ++v) {
+      for (const Message& m : net_->inbox(v)) {
+        for (const auto& p : protocols_) {
+          if (p->on_message(v, m, ctx)) break;
+        }
       }
     }
+  };
+  if (sharded) {
+    net_->run_sharded(dispatch_shard);
+  } else {
+    const std::uint32_t count = net_->shards().count();
+    for (std::uint32_t s = 0; s < count; ++s) dispatch_shard(s);
   }
+  for (const auto& p : protocols_) p->on_dispatch_merge();
+  // Flush the reply lanes NOW so next round's first protocol phase never
+  // shares a lane with this round's replies (sharing would interleave the
+  // two streams per shard, an S-dependent order). The charges land after
+  // end_round, i.e. on the next round — exactly where the serial engine
+  // charged dispatch-time sends.
+  net_->flush_shard_lanes();
 }
 
 bool P2PSystem::store_item(Vertex creator, ItemId item) {

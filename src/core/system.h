@@ -21,6 +21,7 @@
 //   auto sys2 = P2PSystem::with_protocols(cfg, std::move(mods));
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <memory>
 #include <string_view>
@@ -41,6 +42,20 @@ struct SystemConfig {
   SimConfig sim{};
   WalkConfig walk{};
   ProtocolConfig protocol{};
+};
+
+/// Cumulative wall-clock seconds per round phase (capacity scenario: where
+/// does a round actually go — soup vs protocol handlers vs delivery?).
+/// Zero-cost unless enabled via P2PSystem::enable_phase_timing.
+struct RoundPhaseTimers {
+  bool enabled = false;
+  double churn_secs = 0;     ///< begin_round: adversary churn + edges
+  double soup_secs = 0;      ///< TokenSoup round work (sharded token moves)
+  double handler_secs = 0;   ///< every other protocol's round hooks
+  double deliver_secs = 0;   ///< outbox flush + inbox fill
+  double dispatch_secs = 0;  ///< on_message dispatch over all inboxes
+
+  void reset() noexcept { *this = RoundPhaseTimers{.enabled = enabled}; }
 };
 
 class P2PSystem {
@@ -83,6 +98,15 @@ class P2PSystem {
   void set_shard_pool(ThreadPool* pool) noexcept {
     net_->set_worker_pool(pool);
   }
+
+  /// Per-phase round timing (off by default; ~2 clock reads per phase when
+  /// on). The capacity scenario uses this to report soup vs handler vs
+  /// delivery rounds/sec in isolation.
+  void enable_phase_timing(bool on) noexcept { phase_timers_.enabled = on; }
+  [[nodiscard]] const RoundPhaseTimers& phase_timers() const noexcept {
+    return phase_timers_;
+  }
+  void reset_phase_timers() noexcept { phase_timers_.reset(); }
 
   /// Rounds of warm-up needed before sample buffers are useful (~2 tau).
   [[nodiscard]] std::uint32_t warmup_rounds() const noexcept {
@@ -164,6 +188,7 @@ class P2PSystem {
   SystemConfig config_;
   std::unique_ptr<Network> net_;
   std::vector<std::unique_ptr<Protocol>> protocols_;
+  RoundPhaseTimers phase_timers_;
 
   // Cached paper-stack modules (null when absent from a custom stack).
   TokenSoup* soup_ = nullptr;

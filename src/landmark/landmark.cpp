@@ -30,9 +30,11 @@ void LandmarkManager::on_attach(Network& net_ref) {
       4, static_cast<std::uint32_t>(config_.landmark_ttl_taus *
                                     committees_.tau()));
   state_.assign(net().n(), {});
+  stage_.assign(net().shards().count(), {});
   net().events().subscribe<LandmarkRebuildRequest>(
       [this](LandmarkRebuildRequest& req) {
-        start_tree(req.vertex, *req.membership);
+        start_tree(req.vertex, req.kid, req.item, req.purpose,
+                   req.search_root, *req.members);
       });
 }
 
@@ -58,7 +60,8 @@ std::size_t LandmarkManager::live_count(std::uint64_t kid) const {
   return alive;
 }
 
-void LandmarkManager::grow_children(Vertex v, LandmarkState& st) {
+void LandmarkManager::grow_children(Vertex v, LandmarkState& st,
+                                    ShardContext* ctx) {
   const PeerId self = net().peer_at(v);
   const auto children = soup_.samples(v).recent_distinct(
       config_.tree_fanout, {self});
@@ -76,58 +79,80 @@ void LandmarkManager::grow_children(Vertex v, LandmarkState& st) {
                  st.committee.size()};
     msg.words.insert(msg.words.end(), st.committee.begin(),
                      st.committee.end());
-    net().send(v, std::move(msg));
+    if (ctx != nullptr) {
+      ctx->send(v, std::move(msg));
+    } else {
+      net().send(v, std::move(msg));
+    }
   }
   st.pending_depth = 0;
 }
 
 void LandmarkManager::start_tree(Vertex v, const Membership& m) {
+  start_tree(v, m.kid, m.item, m.purpose, m.search_root, m.members);
+}
+
+void LandmarkManager::start_tree(Vertex v, std::uint64_t kid, ItemId item,
+                                 Purpose purpose, PeerId search_root,
+                                 const std::vector<PeerId>& members) {
   // The member acts as the tree root: it is not itself a landmark (it is
   // better — it holds the item), it just recruits the first level.
   LandmarkState root;
-  root.kid = m.kid;
-  root.item = m.item;
-  root.purpose = m.purpose;
-  root.search_root = m.search_root;
-  root.committee = m.members;
+  root.kid = kid;
+  root.item = item;
+  root.purpose = purpose;
+  root.search_root = search_root;
+  root.committee = members;
   root.wave = static_cast<std::uint64_t>(net().round());
   root.pending_depth = depth_;
-  grow_children(v, root);
+  grow_children(v, root, nullptr);
 }
 
-void LandmarkManager::on_round_begin() {
+void LandmarkManager::on_round_begin(std::uint32_t shard, ShardContext& ctx) {
   // Grow one tree level: every vertex with pending depth recruits children.
+  // The queue was staged by this shard's own dispatch task last round, in
+  // ascending vertex order.
+  ShardStage& stage = stage_[shard];
   std::vector<Vertex> queue;
-  queue.swap(grow_queue_);
+  queue.swap(stage.grow_queue);
   for (const Vertex v : queue) {
     for (auto& [kid, st] : state_[v]) {
-      if (st.pending_depth > 0) grow_children(v, st);
+      if (st.pending_depth > 0) grow_children(v, st, &ctx);
     }
   }
 
   // Periodic garbage collection of expired landmark state ("discards any
-  // information about I" after the TTL, per Algorithm 2 step 4).
+  // information about I" after the TTL, per Algorithm 2 step 4); this
+  // shard's vertex slice only — the global index sweeps at the merge.
   const Round now = net().round();
   if (now % ttl_ == 0) {
-    for (auto& st_map : state_) {
+    for (Vertex v = ctx.begin(); v < ctx.end(); ++v) {
+      auto& st_map = state_[v];
       for (auto it = st_map.begin(); it != st_map.end();) {
         it = (it->second.expiry < now) ? st_map.erase(it) : std::next(it);
       }
     }
-    for (auto it = index_.begin(); it != index_.end();) {
-      auto& verts = it->second;
-      std::size_t write = 0;
-      for (const Vertex v : verts) {
-        if (state_[v].count(it->first)) verts[write++] = v;
-      }
-      verts.resize(write);
-      it = verts.empty() ? index_.erase(it) : std::next(it);
-    }
   }
 }
 
-bool LandmarkManager::on_message(Vertex v, const Message& m) {
+void LandmarkManager::on_round_merge() {
+  const Round now = net().round();
+  if (now % ttl_ != 0) return;
+  for (auto it = index_.begin(); it != index_.end();) {
+    auto& verts = it->second;
+    std::size_t write = 0;
+    for (const Vertex v : verts) {
+      if (state_[v].count(it->first)) verts[write++] = v;
+    }
+    verts.resize(write);
+    it = verts.empty() ? index_.erase(it) : std::next(it);
+  }
+}
+
+bool LandmarkManager::on_message(Vertex v, const Message& m,
+                                 ShardContext& ctx) {
   if (m.type != MsgType::kLandmarkGrow) return false;
+  ShardStage& stage = stage_[ctx.shard()];
   const std::uint64_t kid = m.words[0];
   const std::uint64_t wave = m.words[5];
   auto& st_map = state_[v];
@@ -136,7 +161,7 @@ bool LandmarkManager::on_message(Vertex v, const Message& m) {
       it->second.expiry >= net().round()) {
     // Already recruited into this wave's tree ("unused" check of the paper,
     // resolved at the child): the branch dies here.
-    net().metrics().count_landmark_collision();
+    ++stage.collisions;
     return true;
   }
   LandmarkState st;
@@ -154,10 +179,23 @@ bool LandmarkManager::on_message(Vertex v, const Message& m) {
   st.pending_depth = depth > 1 ? depth - 1 : 0;
   const bool was_absent = (it == st_map.end());
   st_map[kid] = std::move(st);
-  if (st_map[kid].pending_depth > 0) grow_queue_.push_back(v);
-  if (was_absent) index_[kid].push_back(v);
-  net().metrics().count_landmark_created();
+  if (st_map[kid].pending_depth > 0) stage.grow_queue.push_back(v);
+  if (was_absent) stage.index_add.emplace_back(kid, v);
+  ++stage.created;
   return true;
+}
+
+void LandmarkManager::on_dispatch_merge() {
+  // Ascending shard order + ascending vertex order within a shard's
+  // dispatch = the index receives vertices in ascending global order, as a
+  // serial dispatch would have inserted them.
+  for (ShardStage& stage : stage_) {
+    for (const auto& [kid, v] : stage.index_add) index_[kid].push_back(v);
+    stage.index_add.clear();
+    net().metrics().count_landmark_created(stage.created);
+    net().metrics().count_landmark_collision(stage.collisions);
+    stage.created = stage.collisions = 0;
+  }
 }
 
 }  // namespace churnstore

@@ -48,15 +48,24 @@ class LandmarkManager final : public Protocol {
   /// Subscribes to LandmarkRebuildRequest: committee members trigger tree
   /// (re)builds through the event bus, not a direct dependency.
   void on_attach(Network& net) override;
-  /// Grow pending tree levels and sweep expired landmarks.
-  void on_round_begin() override;
-  /// Routes kLandmarkGrow; returns true if consumed.
-  bool on_message(Vertex v, const Message& m) override;
+  /// Sharded round: each shard grows its own vertices' pending tree levels
+  /// (per-shard grow queues, sends through ctx) and sweeps its slice of
+  /// expired landmark state; the kid -> vertices index sweeps at the merge.
+  [[nodiscard]] bool sharded_round() const noexcept override { return true; }
+  void on_round_begin(std::uint32_t shard, ShardContext& ctx) override;
+  void on_round_merge() override;
+  /// Routes kLandmarkGrow; touches only the receiving vertex's state plus
+  /// per-shard staging (grow queue, index additions, counters).
+  [[nodiscard]] bool sharded_dispatch() const noexcept override { return true; }
+  bool on_message(Vertex v, const Message& m, ShardContext& ctx) override;
+  void on_dispatch_merge() override;
   void on_churn(Vertex v, PeerId old_peer, PeerId new_peer) override;
 
   /// Start a new tree rooted at committee member `v` (also reachable by
-  /// publishing LandmarkRebuildRequest).
+  /// publishing LandmarkRebuildRequest). Serial context only.
   void start_tree(Vertex v, const Membership& m);
+  void start_tree(Vertex v, std::uint64_t kid, ItemId item, Purpose purpose,
+                  PeerId search_root, const std::vector<PeerId>& members);
 
   /// Landmark state at vertex v for committee kid (nullptr if none/expired).
   [[nodiscard]] const LandmarkState* state_at(Vertex v, std::uint64_t kid) const;
@@ -86,7 +95,8 @@ class LandmarkManager final : public Protocol {
   [[nodiscard]] std::uint32_t ttl() const noexcept { return ttl_; }
 
  private:
-  void grow_children(Vertex v, LandmarkState& st);
+  /// Sends through ctx when given (sharded round phase), else serially.
+  void grow_children(Vertex v, LandmarkState& st, ShardContext* ctx);
 
   TokenSoup& soup_;
   CommitteeManager& committees_;
@@ -96,9 +106,16 @@ class LandmarkManager final : public Protocol {
 
   std::vector<std::unordered_map<std::uint64_t, LandmarkState>> state_;
   /// kid -> vertices that (may) hold a landmark for it; validated lazily.
+  /// Global map: only mutated from serial context (merge hooks).
   std::unordered_map<std::uint64_t, std::vector<Vertex>> index_;
-  /// Vertices with pending growth this round.
-  std::vector<Vertex> grow_queue_;
+  /// Per-shard staging, applied in ascending shard order at the merges.
+  struct ShardStage {
+    std::vector<Vertex> grow_queue;  ///< vertices with pending growth
+    std::vector<std::pair<std::uint64_t, Vertex>> index_add;
+    std::uint64_t created = 0;
+    std::uint64_t collisions = 0;
+  };
+  std::vector<ShardStage> stage_;
 };
 
 }  // namespace churnstore

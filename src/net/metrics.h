@@ -21,16 +21,31 @@ class Metrics {
     bits_this_round_[v] += bits;
     total_bits_ += bits;
   }
+  /// Shard-task variant: touches only v's per-round counter (safe when the
+  /// caller owns v's shard). The caller accounts the global total
+  /// separately via add_total_bits from serial context.
+  void charge_bits_local(Vertex v, std::uint64_t bits) noexcept {
+    bits_this_round_[v] += bits;
+  }
+  void add_total_bits(std::uint64_t bits) noexcept { total_bits_ += bits; }
   void count_message() noexcept { ++total_messages_; }
   void count_dropped() noexcept { ++dropped_messages_; }
   void count_tokens_lost(std::uint64_t k) noexcept { tokens_lost_ += k; }
   void count_tokens_completed(std::uint64_t k) noexcept { tokens_completed_ += k; }
   void count_tokens_spawned(std::uint64_t k) noexcept { tokens_spawned_ += k; }
   void count_tokens_queued(std::uint64_t k) noexcept { tokens_queued_ += k; }
-  void count_committee_formed() noexcept { ++committees_formed_; }
-  void count_committee_lost() noexcept { ++committees_lost_; }
-  void count_landmark_created() noexcept { ++landmarks_created_; }
-  void count_landmark_collision() noexcept { ++landmark_collisions_; }
+  void count_committee_formed(std::uint64_t k = 1) noexcept {
+    committees_formed_ += k;
+  }
+  void count_committee_lost(std::uint64_t k = 1) noexcept {
+    committees_lost_ += k;
+  }
+  void count_landmark_created(std::uint64_t k = 1) noexcept {
+    landmarks_created_ += k;
+  }
+  void count_landmark_collision(std::uint64_t k = 1) noexcept {
+    landmark_collisions_ += k;
+  }
 
   /// Finalize per-round counters; call once per round after delivery.
   void end_round() noexcept {

@@ -31,12 +31,18 @@ Network::Network(const SimConfig& config)
       adversary_(config.churn.kind, config.n, churn_rng_.fork(0x6164)),
       peer_at_(config.n, kNoPeer),
       birth_(config.n, 0),
-      inbox_(config.n),
-      metrics_(config.n),
       shards_(config.n, config.shards != 0
                             ? config.shards
-                            : std::max(1u, std::thread::hardware_concurrency())) {
-  shard_lanes_.resize(shards_.count());
+                            : std::max(1u, std::thread::hardware_concurrency())),
+      inbox_(config.n),
+      metrics_(config.n) {
+  arenas_.reserve(shards_.count());
+  shard_lanes_.reserve(shards_.count());
+  deliver_buckets_.resize(shards_.count());
+  for (std::uint32_t s = 0; s < shards_.count(); ++s) {
+    arenas_.push_back(std::make_unique<Arena>());
+    shard_lanes_.emplace_back(arenas_.back().get());
+  }
   vertex_of_.reserve(config.n * 2);
   for (Vertex v = 0; v < config_.n; ++v) {
     peer_at_[v] = next_peer_++;
@@ -135,10 +141,10 @@ void Network::run_sharded(const std::function<void(std::uint32_t)>& fn) {
       count, [&fn](std::size_t s) { fn(static_cast<std::uint32_t>(s)); });
 }
 
-void Network::deliver() {
-  // Merge shard lanes behind the serial outbox in ascending shard order and
-  // settle their deferred charges; see send_sharded for why this order makes
-  // delivery independent of the shard count.
+void Network::flush_shard_lanes() {
+  // Ascending shard order + ascending vertex iteration inside each shard
+  // task = merged stream in ascending global sender order, independent of
+  // the shard count (see send_sharded).
   for (OutLane& lane : shard_lanes_) {
     for (std::size_t i = 0; i < lane.msgs.size(); ++i) {
       metrics_.charge_bits(lane.froms[i], lane.msgs[i].size_bits());
@@ -147,18 +153,40 @@ void Network::deliver() {
     }
     lane.msgs.clear();
     lane.froms.clear();
+    for (const auto& [v, bits] : lane.charges) metrics_.charge_bits(v, bits);
+    lane.charges.clear();
   }
-  for (auto& m : outbox_) {
-    const std::optional<Vertex> v = find_vertex(m.dst);
+}
+
+void Network::deliver() {
+  flush_shard_lanes();
+
+  // Serial pass: resolve destinations, count drops, account the global bit
+  // total, and bucket surviving messages by destination shard.
+  for (auto& bucket : deliver_buckets_) bucket.clear();
+  for (std::size_t i = 0; i < outbox_.size(); ++i) {
+    const std::optional<Vertex> v = find_vertex(outbox_[i].dst);
     if (!v) {
       metrics_.count_dropped();
       continue;
     }
-    // Receiving also costs processing; charge the receiver symmetrically so
-    // the per-node bound covers both directions.
-    metrics_.charge_bits(*v, m.size_bits());
-    inbox_[*v].push_back(std::move(m));
+    metrics_.add_total_bits(outbox_[i].size_bits());
+    deliver_buckets_[shards_.shard_of(*v)].emplace_back(
+        static_cast<std::uint32_t>(i), *v);
   }
+
+  // Sharded pass: each destination shard files its own messages, scanning
+  // its bucket in staging (= outbox = sender) order, so every per-vertex
+  // inbox sequence equals the serial one. Receiving also costs processing;
+  // charge the receiver symmetrically so the per-node bound covers both
+  // directions.
+  run_sharded([this](std::uint32_t s) {
+    for (const auto& [i, v] : deliver_buckets_[s]) {
+      Message& m = outbox_[i];
+      metrics_.charge_bits_local(v, m.size_bits());
+      inbox_[v].push_back(std::move(m));
+    }
+  });
   outbox_.clear();
   metrics_.end_round();
 }

@@ -24,8 +24,10 @@
 #pragma once
 
 #include <functional>
+#include <memory>
 #include <optional>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "graph/graph.h"
@@ -36,6 +38,7 @@
 #include "net/message.h"
 #include "net/metrics.h"
 #include "net/types.h"
+#include "util/arena.h"
 #include "util/rng.h"
 #include "util/sharding.h"
 
@@ -99,8 +102,25 @@ class Network {
   /// ascending global vertex order — independent of shard count.
   void send_sharded(std::uint32_t shard, Vertex from, Message&& m);
 
+  /// Charge processing bits to `v` from shard task `shard`. Deferred like
+  /// send_sharded (the per-vertex counters are not safe to touch for
+  /// vertices outside the calling shard); settled at the next lane flush.
+  void charge_sharded(std::uint32_t shard, Vertex v, std::uint64_t bits) {
+    shard_lanes_[shard].charges.emplace_back(v, bits);
+  }
+
+  /// Merge the shard lanes behind the serial outbox in ascending shard
+  /// order and settle their deferred charges. The round driver calls this
+  /// after EACH protocol's sharded phase: flushing per phase keeps the
+  /// global outbox ordered [protocol A in vertex order, protocol B in
+  /// vertex order, ...] for every shard count — lanes never interleave two
+  /// protocols' sends. deliver() flushes once more for stragglers.
+  void flush_shard_lanes();
+
   /// Deliver all queued messages into per-vertex inboxes; drops messages
-  /// whose destination peer is gone. Ends per-round metric accounting.
+  /// whose destination peer is gone. Inbox fill runs sharded by destination
+  /// (per-vertex order is the outbox order either way). Ends per-round
+  /// metric accounting.
   void deliver();
 
   [[nodiscard]] const std::vector<Message>& inbox(Vertex v) const noexcept {
@@ -141,6 +161,13 @@ class Network {
   /// shard (or per-shard staging buffers).
   void run_sharded(const std::function<void(std::uint32_t)>& fn);
 
+  /// Shard-local slab allocator (util/arena.h). Only shard `s`'s task may
+  /// allocate/free through it during a sharded phase; serial context may
+  /// touch any arena between phases.
+  [[nodiscard]] Arena& shard_arena(std::uint32_t s) noexcept {
+    return *arenas_[s];
+  }
+
  private:
   void churn_vertex(Vertex v);
 
@@ -162,19 +189,35 @@ class Network {
   std::vector<Vertex> last_churned_;
   EventBus events_;
 
+  ShardPlan shards_;
+  /// One arena per shard. Declared before every arena-backed container so
+  /// the containers are destroyed first (they return blocks to the arenas).
+  std::vector<std::unique_ptr<Arena>> arenas_;
+
   std::vector<Message> outbox_;
-  /// One lane per shard for send_sharded; sender vertices ride along so the
-  /// deferred metrics charge lands on the right node at deliver() time.
+  /// One lane per shard for send_sharded / charge_sharded; sender vertices
+  /// ride along so the deferred metrics charge lands on the right node at
+  /// flush time. The lane vectors themselves are arena-backed: they churn
+  /// every round and the shard's own task does all the growing.
   struct OutLane {
-    std::vector<Message> msgs;
-    std::vector<Vertex> froms;
+    std::vector<Message, ArenaAllocator<Message>> msgs;
+    std::vector<Vertex, ArenaAllocator<Vertex>> froms;
+    std::vector<std::pair<Vertex, std::uint64_t>,
+                ArenaAllocator<std::pair<Vertex, std::uint64_t>>>
+        charges;
+
+    explicit OutLane(Arena* a) : msgs(ArenaAllocator<Message>(a)),
+                                 froms(ArenaAllocator<Vertex>(a)),
+                                 charges(ArenaAllocator<std::pair<Vertex, std::uint64_t>>(a)) {}
   };
   std::vector<OutLane> shard_lanes_;
   std::vector<std::vector<Message>> inbox_;
+  /// Destination-shard buckets of (outbox index, dest vertex), reused
+  /// across rounds.
+  std::vector<std::vector<std::pair<std::uint32_t, Vertex>>> deliver_buckets_;
   Metrics metrics_;
   std::uint64_t churn_events_ = 0;
 
-  ShardPlan shards_;
   ThreadPool* worker_pool_ = nullptr;
 };
 

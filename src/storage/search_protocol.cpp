@@ -36,7 +36,6 @@ SearchManager::SearchManager(Network& net_ref, TokenSoup& soup,
 
 void SearchManager::on_attach(Network& net_ref) {
   Protocol::on_attach(net_ref);
-  rng_ = net().protocol_rng().fork(0x73656172ULL);
   timeout_ = std::max<std::uint32_t>(
       8, static_cast<std::uint32_t>(config_.search_timeout_taus *
                                     committees_.tau()));
@@ -79,7 +78,7 @@ void SearchManager::finish(std::uint64_t sid) {
 }
 
 void SearchManager::reply_if_holder(Vertex v, ItemId item, std::uint64_t sid,
-                                    PeerId to) {
+                                    PeerId to, ShardContext& ctx) {
   const std::vector<PeerId>* holders = nullptr;
   if (const Membership* mem = committees_.membership_at(v, item);
       mem && mem->purpose == Purpose::kStorage) {
@@ -95,7 +94,7 @@ void SearchManager::reply_if_holder(Vertex v, ItemId item, std::uint64_t sid,
   msg.type = MsgType::kInquiryHit;
   msg.words = {item, sid, holders->size()};
   msg.words.insert(msg.words.end(), holders->begin(), holders->end());
-  net().send(v, std::move(msg));
+  ctx.send(v, std::move(msg));
 }
 
 void SearchManager::issue_fetches(Vertex v, InitiatorState& st) {
@@ -115,6 +114,7 @@ void SearchManager::issue_fetches(Vertex v, InitiatorState& st) {
 
 void SearchManager::on_round_begin() {
   const Round now = net().round();
+  inquiry_jobs_.clear();
   std::size_t write = 0;
   for (std::size_t read = 0; read < active_.size(); ++read) {
     const std::uint64_t sid = active_[read];
@@ -148,25 +148,11 @@ void SearchManager::on_round_begin() {
       }
     }
 
-    // Drive search landmarks: each contacts the sources of the walks it
-    // received last round and inquires about the item (Algorithm 4 step 2).
-    landmarks_.for_each_landmark(sid, [&](Vertex w, LandmarkState& lm) {
-      // A search landmark that itself knows the item reports immediately.
-      reply_if_holder(w, lm.item, sid, lm.search_root);
-      const auto& sources = soup_.samples(w).at(now - 1);
-      const std::size_t cap = config_.inquiry_cap == 0
-                                  ? sources.size()
-                                  : std::min<std::size_t>(config_.inquiry_cap,
-                                                          sources.size());
-      const PeerId self = net().peer_at(w);
-      for (std::size_t i = 0; i < cap; ++i) {
-        Message msg;
-        msg.src = self;
-        msg.dst = sources[i];
-        msg.type = MsgType::kInquiry;
-        msg.words = {lm.item, sid};
-        net().send(w, std::move(msg));
-      }
+    // The landmark-driven inquiry fan-out happens in the sharded phase;
+    // collect this search's live landmarks here (for_each_landmark also
+    // lazily compacts the index).
+    landmarks_.for_each_landmark(sid, [this, sid](Vertex w, LandmarkState& lm) {
+      if (lm.purpose == Purpose::kSearch) inquiry_jobs_.emplace_back(w, sid);
     });
 
     // Fetch from reported holders once located.
@@ -178,12 +164,56 @@ void SearchManager::on_round_begin() {
     active_[write++] = sid;
   }
   active_.resize(write);
+  // Canonical job order: ascending landmark vertex, stable for multiple
+  // searches at one vertex.
+  std::stable_sort(inquiry_jobs_.begin(), inquiry_jobs_.end(),
+                   [](const auto& a, const auto& b) {
+                     return a.first < b.first;
+                   });
 }
 
-bool SearchManager::on_message(Vertex v, const Message& m) {
+void SearchManager::on_round_begin(std::uint32_t shard, ShardContext& ctx) {
+  // Drive search landmarks: each contacts the sources of the walks it
+  // received last round and inquires about the item (Algorithm 4 step 2).
+  // Fanned out over the landmark vertices' own shards (each shard owns a
+  // contiguous run of the sorted job list); everything read here
+  // (landmark/committee state, samples) is stable during the phase, and
+  // all sends stage through ctx.
+  (void)shard;
+  if (inquiry_jobs_.empty()) return;
+  const Round now = net().round();
+  const auto lo = std::lower_bound(
+      inquiry_jobs_.begin(), inquiry_jobs_.end(), ctx.begin(),
+      [](const auto& job, Vertex v) { return job.first < v; });
+  for (auto it = lo; it != inquiry_jobs_.end() && it->first < ctx.end();
+       ++it) {
+    const auto [w, sid] = *it;
+    const LandmarkState* lm = landmarks_.state_at(w, sid);
+    if (lm == nullptr) continue;
+    // A search landmark that itself knows the item reports immediately.
+    reply_if_holder(w, lm->item, sid, lm->search_root, ctx);
+    const auto& sources = soup_.samples(w).at(now - 1);
+    const std::size_t cap = config_.inquiry_cap == 0
+                                ? sources.size()
+                                : std::min<std::size_t>(config_.inquiry_cap,
+                                                        sources.size());
+    const PeerId self = net().peer_at(w);
+    for (std::size_t i = 0; i < cap; ++i) {
+      Message msg;
+      msg.src = self;
+      msg.dst = sources[i];
+      msg.type = MsgType::kInquiry;
+      msg.words = {lm->item, sid};
+      ctx.send(w, std::move(msg));
+    }
+  }
+}
+
+bool SearchManager::on_message(Vertex v, const Message& m,
+                               ShardContext& ctx) {
   switch (m.type) {
     case MsgType::kInquiry: {
-      reply_if_holder(v, m.words[0], m.words[1], m.src);
+      reply_if_holder(v, m.words[0], m.words[1], m.src, ctx);
       return true;
     }
     case MsgType::kInquiryHit: {
@@ -196,7 +226,7 @@ bool SearchManager::on_message(Vertex v, const Message& m) {
       fwd.dst = lm->search_root;
       fwd.type = MsgType::kReport;
       fwd.words = m.words;
-      net().send(v, std::move(fwd));
+      ctx.send(v, std::move(fwd));
       return true;
     }
     case MsgType::kReport: {
@@ -204,7 +234,9 @@ bool SearchManager::on_message(Vertex v, const Message& m) {
       const auto sit = initiator_[v].find(sid);
       if (sit == initiator_[v].end()) return true;
       InitiatorState& st = sit->second;
-      SearchStatus& status = status_[sid];
+      const auto stat_it = status_.find(sid);
+      if (stat_it == status_.end()) return true;
+      SearchStatus& status = stat_it->second;
       const std::uint64_t count = m.words[2];
       for (std::uint64_t i = 0; i < count; ++i) {
         const PeerId h = m.words[kHoldersAt + i];
@@ -236,7 +268,7 @@ bool SearchManager::on_message(Vertex v, const Message& m) {
       reply.words.insert(reply.words.end(), mem->members.begin(),
                          mem->members.end());
       reply.blob = mem->payload;
-      net().send(v, std::move(reply));
+      ctx.send(v, std::move(reply));
       return true;
     }
     case MsgType::kFetchReply: {
@@ -244,7 +276,9 @@ bool SearchManager::on_message(Vertex v, const Message& m) {
       const auto sit = initiator_[v].find(sid);
       if (sit == initiator_[v].end()) return true;
       InitiatorState& st = sit->second;
-      SearchStatus& status = status_[sid];
+      const auto stat_it = status_.find(sid);
+      if (stat_it == status_.end()) return true;
+      SearchStatus& status = stat_it->second;
       if (status.fetched >= 0) return true;
 
       const auto piece_index = static_cast<std::uint32_t>(m.words[2]);

@@ -68,11 +68,20 @@ class SearchManager final : public Protocol {
   /// search id (always succeeds; committee creation retries internally).
   std::uint64_t start_search(Vertex initiator, ItemId item);
 
-  /// Drive all active searches (after CommitteeManager in the round order).
+  /// Sharded round. Serial prologue: per-search bookkeeping (deadlines,
+  /// censoring, committee creation, fetch issuance) — O(active searches).
+  /// Sharded phase: the heavy part — every search landmark contacts the
+  /// sources of the walks it received last round (Algorithm 4 step 2),
+  /// fanned out over the landmark vertices' shards.
+  [[nodiscard]] bool sharded_round() const noexcept override { return true; }
   void on_round_begin() override;
+  void on_round_begin(std::uint32_t shard, ShardContext& ctx) override;
 
   /// Routes kInquiry / kInquiryHit / kReport / kFetch*; true if consumed.
-  bool on_message(Vertex v, const Message& m) override;
+  /// Handlers touch the receiving vertex's state and the per-search status
+  /// record (owned by the initiator's vertex), and reply through ctx.
+  [[nodiscard]] bool sharded_dispatch() const noexcept override { return true; }
+  bool on_message(Vertex v, const Message& m, ShardContext& ctx) override;
   void on_churn(Vertex v, PeerId old_peer, PeerId new_peer) override;
 
   [[nodiscard]] const SearchStatus* status(std::uint64_t sid) const;
@@ -93,7 +102,8 @@ class SearchManager final : public Protocol {
   };
 
   void finish(std::uint64_t sid);
-  void reply_if_holder(Vertex v, ItemId item, std::uint64_t sid, PeerId to);
+  void reply_if_holder(Vertex v, ItemId item, std::uint64_t sid, PeerId to,
+                       ShardContext& ctx);
   void issue_fetches(Vertex v, InitiatorState& st);
 
   TokenSoup& soup_;
@@ -101,12 +111,16 @@ class SearchManager final : public Protocol {
   LandmarkManager& landmarks_;
   StoreManager& store_;
   ProtocolConfig config_;
-  Rng rng_;
   std::uint32_t timeout_ = 0;
   std::uint64_t next_sid_ = 1;
 
   std::unordered_map<std::uint64_t, SearchStatus> status_;
   std::vector<std::uint64_t> active_;
+  /// This round's (landmark vertex, sid) inquiry jobs, collected by the
+  /// serial prologue from the landmark index (O(live landmarks), not
+  /// O(n)) and stably sorted by vertex: each shard owns a contiguous run,
+  /// and the merged inquiry stream is identical for every shard count.
+  std::vector<std::pair<Vertex, std::uint64_t>> inquiry_jobs_;
   /// Initiator-side state, held at the initiator's vertex.
   std::vector<std::unordered_map<std::uint64_t, InitiatorState>> initiator_;
 };

@@ -25,11 +25,28 @@ void TokenSoup::on_attach(Network& net_ref) {
   cap_ = churnstore::forward_cap(n, config_);
   tau_ = churnstore::tau_rounds(n, config_);
   window_ = static_cast<Round>(config_.window_mult * tau_) + 2;
-  cur_.assign(n, {});
-  next_.assign(n, {});
+  const ShardPlan& plan = net().shards();
+  const std::uint32_t shards = plan.count();
+  // Token queues and handoff buckets are arena-backed: a queue draws from
+  // the arena of the shard owning its vertex, a bucket from its SOURCE
+  // shard's arena — always the task that grows it.
+  cur_.clear();
+  next_.clear();
+  cur_.reserve(n);
+  next_.reserve(n);
+  for (Vertex v = 0; v < n; ++v) {
+    Arena* a = &net().shard_arena(plan.shard_of(v));
+    cur_.emplace_back(ArenaAllocator<Token>(a));
+    next_.emplace_back(ArenaAllocator<Token>(a));
+  }
   samples_.assign(n, SampleBuffer{});
-  const std::uint32_t shards = net().shards().count();
-  moves_.assign(static_cast<std::size_t>(shards) * shards, {});
+  moves_.clear();
+  moves_.reserve(static_cast<std::size_t>(shards) * shards);
+  for (std::uint32_t src = 0; src < shards; ++src) {
+    for (std::uint32_t dst = 0; dst < shards; ++dst) {
+      moves_.emplace_back(ArenaAllocator<Handoff>(&net().shard_arena(src)));
+    }
+  }
   probes_.assign(shards, {});
   counters_.assign(shards, {});
   fwd_count_.assign(n, 0);
@@ -53,71 +70,74 @@ std::size_t TokenSoup::tokens_alive() const noexcept {
   return acc;
 }
 
-void TokenSoup::step() {
-  const Round r = net().round();
-  const RegularGraph& g = net().graph();
-  const std::uint32_t d = g.degree();
-  const Vertex n = g.n();
-  const ShardPlan& plan = net().shards();
-  const std::uint32_t shards = plan.count();
-
+void TokenSoup::on_round_begin() {
   // Every vertex draws from its own stream, keyed by (attach-time salt,
   // round, vertex) — a pure function of the seed, so the walk trajectories
   // are independent of shard count and of which thread runs which shard.
-  const std::uint64_t round_key =
-      mix64(stream_salt_ ^ static_cast<std::uint64_t>(r));
+  round_key_ = mix64(stream_salt_ ^ static_cast<std::uint64_t>(net().round()));
+  arrivals_.reset(net().shards().count());
+}
 
-  arrivals_.reset(shards);
-
-  // Phase 1 (parallel over source shards): spawn this round's fresh walks
-  // (paper: every node initiates alpha log n walks every round; spawned
-  // tokens join the back of the queue so older, possibly cap-delayed tokens
-  // go first), then forward up to cap_ tokens per vertex to uniform random
-  // current neighbors. Handoffs, completions, and probe finishes are staged
-  // per (source, destination) shard; nothing outside the shard's own
-  // vertices is mutated.
-  net().run_sharded([&](std::uint32_t s) {
-    ShardCounters& counters = counters_[s];
-    for (Vertex v = plan.begin(s); v < plan.end(s); ++v) {
-      auto& q = cur_[v];
-      if (spawning_) {
-        const PeerId self = net().peer_at(v);
-        for (std::uint32_t i = 0; i < walks_; ++i) {
-          q.push_back(Token{self, static_cast<std::uint16_t>(length_), 0});
-        }
+// Phase 1 (parallel over source shards): spawn this round's fresh walks
+// (paper: every node initiates alpha log n walks every round; spawned
+// tokens join the back of the queue so older, possibly cap-delayed tokens
+// go first), then forward up to cap_ tokens per vertex to uniform random
+// current neighbors. Handoffs, completions, and probe finishes are staged
+// per (source, destination) shard; nothing outside the shard's own
+// vertices is mutated.
+void TokenSoup::on_round_begin(std::uint32_t s, ShardContext& ctx) {
+  (void)ctx;  // tokens hand off through moves_/arrivals_, not messages
+  const RegularGraph& g = net().graph();
+  const std::uint32_t d = g.degree();
+  const ShardPlan& plan = net().shards();
+  const std::uint32_t shards = plan.count();
+  ShardCounters& counters = counters_[s];
+  for (Vertex v = plan.begin(s); v < plan.end(s); ++v) {
+    auto& q = cur_[v];
+    if (spawning_) {
+      const PeerId self = net().peer_at(v);
+      for (std::uint32_t i = 0; i < walks_; ++i) {
+        q.push_back(Token{self, static_cast<std::uint16_t>(length_), 0});
       }
-      const std::size_t fwd = std::min<std::size_t>(q.size(), cap_);
-      if (fwd > 0) {
-        Rng rng = stream_rng(round_key, v);
-        for (std::size_t j = 0; j < fwd; ++j) {
-          Token t = q[j];
-          const Vertex u =
-              g.neighbor(v, static_cast<std::uint32_t>(rng.next_below(d)));
-          --t.steps_left;
-          if (t.steps_left == 0) {
-            ++counters.completed;
-            if (t.probe) {
-              probes_[s].push_back(ProbeDone{t.src_or_tag, u});
-            } else {
-              arrivals_.stage(s, plan.shard_of(u), u, t.src_or_tag);
-            }
-          } else {
-            moves_[static_cast<std::size_t>(s) * shards + plan.shard_of(u)]
-                .push_back(Handoff{u, t});
-          }
-        }
-      }
-      if (fwd < q.size()) {
-        counters.queued += q.size() - fwd;
-        for (std::size_t j = fwd; j < q.size(); ++j) {
-          moves_[static_cast<std::size_t>(s) * shards + s].push_back(
-              Handoff{v, q[j]});
-        }
-      }
-      fwd_count_[v] = static_cast<std::uint32_t>(fwd);
-      q.clear();
     }
-  });
+    const std::size_t fwd = std::min<std::size_t>(q.size(), cap_);
+    if (fwd > 0) {
+      Rng rng = stream_rng(round_key_, v);
+      for (std::size_t j = 0; j < fwd; ++j) {
+        Token t = q[j];
+        const Vertex u =
+            g.neighbor(v, static_cast<std::uint32_t>(rng.next_below(d)));
+        --t.steps_left;
+        if (t.steps_left == 0) {
+          ++counters.completed;
+          if (t.probe) {
+            probes_[s].push_back(ProbeDone{t.src_or_tag, u});
+          } else {
+            arrivals_.stage(s, plan.shard_of(u), u, t.src_or_tag);
+          }
+        } else {
+          moves_[static_cast<std::size_t>(s) * shards + plan.shard_of(u)]
+              .push_back(Handoff{u, t});
+        }
+      }
+    }
+    if (fwd < q.size()) {
+      counters.queued += q.size() - fwd;
+      for (std::size_t j = fwd; j < q.size(); ++j) {
+        moves_[static_cast<std::size_t>(s) * shards + s].push_back(
+            Handoff{v, q[j]});
+      }
+    }
+    fwd_count_[v] = static_cast<std::uint32_t>(fwd);
+    q.clear();
+  }
+}
+
+void TokenSoup::on_round_merge() {
+  const Round r = net().round();
+  const Vertex n = net().n();
+  const ShardPlan& plan = net().shards();
+  const std::uint32_t shards = plan.count();
 
   // Phase 2 (parallel over destination shards): merge the staged handoffs
   // and sample deliveries addressed to this shard, scanning source shards
@@ -161,6 +181,15 @@ void TokenSoup::step() {
   }
   net().metrics().count_tokens_completed(completed);
   net().metrics().count_tokens_queued(queued);
+}
+
+void TokenSoup::step() {
+  on_round_begin();
+  net().run_sharded([this](std::uint32_t s) {
+    ShardContext ctx(net(), s);
+    on_round_begin(s, ctx);
+  });
+  on_round_merge();
 }
 
 }  // namespace churnstore

@@ -24,6 +24,7 @@
 #include "core/protocol.h"
 #include "net/config.h"
 #include "net/network.h"
+#include "util/arena.h"
 #include "util/rng.h"
 #include "walk/sampler.h"
 
@@ -39,12 +40,22 @@ class TokenSoup final : public Protocol {
     return "token-soup";
   }
   void on_attach(Network& net) override;
-  void on_round_begin() override { step(); }
+
+  /// Sharded round hooks: the driver runs the serial prologue, fans the
+  /// spawn/forward phase out per shard, then merges. Standalone benches
+  /// call step(), which drives the same three stages inline.
+  [[nodiscard]] bool sharded_round() const noexcept override { return true; }
+  void on_round_begin() override;
+  void on_round_begin(std::uint32_t shard, ShardContext& ctx) override;
+  void on_round_merge() override;
+  [[nodiscard]] bool sharded_dispatch() const noexcept override {
+    return true;  // no on_message at all
+  }
   void on_churn(Vertex v, PeerId old_peer, PeerId new_peer) override;
 
   /// Advance one round: spawn new walks, move tokens, deliver completions.
   /// Call once per round after Network::begin_round() (the driver does this
-  /// through on_round_begin()).
+  /// through the round hooks).
   ///
   /// Sharded execution: the vertex range is partitioned by the Network's
   /// ShardPlan and each shard moves its own vertices' tokens concurrently,
@@ -53,7 +64,8 @@ class TokenSoup final : public Protocol {
   /// shard and merged in canonical (shard, vertex) order behind a barrier,
   /// so the result is bit-identical for every shard count, serial or on a
   /// ThreadPool. Probe hooks fire after the merge, in ascending source-
-  /// vertex order.
+  /// vertex order. Token queues and handoff buckets live in the per-shard
+  /// arenas (util/arena.h), so the steady state performs no heap calls.
   void step();
 
   /// Turn automatic per-round spawning on/off (benches that only study
@@ -87,6 +99,8 @@ class TokenSoup final : public Protocol {
     std::uint16_t steps_left;
     std::uint16_t probe;  ///< 1 if probe token
   };
+  /// Arena-backed queue: bound to the arena of the shard owning its vertex.
+  using TokenQueue = std::vector<Token, ArenaAllocator<Token>>;
 
   WalkConfig config_;
   /// Salt of the per-(round, vertex) RNG streams; forked once at attach
@@ -94,6 +108,7 @@ class TokenSoup final : public Protocol {
   /// Rounds derive a key from (salt, round) and vertices fork counter-based
   /// streams off that key — see step().
   std::uint64_t stream_salt_ = 0;
+  std::uint64_t round_key_ = 0;  ///< mix of (salt, round), set each prologue
   std::uint32_t walks_ = 0;
   std::uint32_t length_ = 0;
   std::uint32_t cap_ = 0;
@@ -101,8 +116,8 @@ class TokenSoup final : public Protocol {
   Round window_ = 0;
   bool spawning_ = true;
 
-  std::vector<std::vector<Token>> cur_;
-  std::vector<std::vector<Token>> next_;
+  std::vector<TokenQueue> cur_;
+  std::vector<TokenQueue> next_;
   std::vector<SampleBuffer> samples_;
   ProbeHook probe_hook_;
 
@@ -119,7 +134,10 @@ class TokenSoup final : public Protocol {
     std::uint64_t completed = 0;
     std::uint64_t queued = 0;
   };
-  std::vector<std::vector<Handoff>> moves_;  ///< [src_shard * S + dst_shard]
+  /// [src_shard * S + dst_shard]; each bucket allocates from its SOURCE
+  /// shard's arena (the source task does all the growing).
+  using HandoffVec = std::vector<Handoff, ArenaAllocator<Handoff>>;
+  std::vector<HandoffVec> moves_;
   ShardedArrivals arrivals_;
   std::vector<std::vector<ProbeDone>> probes_;  ///< per source shard
   std::vector<ShardCounters> counters_;         ///< per source shard

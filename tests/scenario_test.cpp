@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "core/stacks.h"
 
 namespace churnstore {
@@ -51,6 +53,35 @@ TEST(ScenarioSpec, RoundTripsThroughKeyValues) {
   EXPECT_FALSE(reparsed.parallel);
   EXPECT_EQ(reparsed.threads, 2u);
   EXPECT_EQ(reparsed.extra_int("walkers", 0), 8);
+}
+
+TEST(ScenarioSpec, UnknownKeysErrorOutWithAcceptedList) {
+  // The classic typo: `shard=4` instead of `shards=4`. Silent acceptance
+  // used to run the wrong experiment; now it throws and names the options.
+  try {
+    (void)ScenarioSpec::from_cli(Cli({"n=128", "shard=4"}));
+    FAIL() << "unknown key must not parse";
+  } catch (const std::invalid_argument& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("shard"), std::string::npos);
+    EXPECT_NE(msg.find("accepted keys"), std::string::npos);
+    EXPECT_NE(msg.find("shards"), std::string::npos) << msg;
+  }
+  // Registered extras still parse (stack and scenario knobs).
+  EXPECT_NO_THROW((void)ScenarioSpec::from_cli(
+      Cli({"walkers=8", "chord-stabilize=4", "shard-sweep=1,4"})));
+}
+
+TEST(ScenarioSpec, AcceptExtraKeyRegistersNewKnobs) {
+  EXPECT_THROW((void)ScenarioSpec::from_cli(Cli({"my-plugin-knob=1"})),
+               std::invalid_argument);
+  ScenarioSpec::accept_extra_key("my-plugin-knob");
+  const ScenarioSpec spec =
+      ScenarioSpec::from_cli(Cli({"my-plugin-knob=42"}));
+  EXPECT_EQ(spec.extra_int("my-plugin-knob", 0), 42);
+  const auto keys = ScenarioSpec::accepted_keys();
+  EXPECT_NE(std::find(keys.begin(), keys.end(), "my-plugin-knob"),
+            keys.end());
 }
 
 TEST(ScenarioSpec, SystemConfigReflectsSpec) {

@@ -201,6 +201,126 @@ TEST(ShardedOutbox, LanesMergeInCanonicalOrderAndChargeSenders) {
   EXPECT_EQ(net.metrics().total_messages(), 5u);
 }
 
+/// Everything observable from a full churnstore-stack run: protocol metric
+/// counters, per-search outcomes, god-view item state, and the per-node
+/// traffic distribution. Bit-equality of this struct across shard counts is
+/// the tentpole contract: committees, landmarks, store, search, and
+/// delivery all execute on shard lanes, and none of it may depend on S.
+struct StackRun {
+  std::uint64_t committees_formed = 0, committees_lost = 0;
+  std::uint64_t landmarks_created = 0, landmark_collisions = 0;
+  std::uint64_t total_messages = 0, dropped = 0, total_bits = 0;
+  std::uint64_t tokens_completed = 0;
+  std::vector<std::tuple<Round, Round, bool>> searches;  ///< located/fetched/ok
+  std::vector<std::size_t> copies;                       ///< per item
+  std::vector<bool> available;
+  RunningStat max_bits;
+};
+
+StackRun run_full_stack(std::uint32_t n, std::uint32_t shards,
+                        ThreadPool* pool, bool erasure) {
+  SystemConfig cfg;
+  cfg.sim.n = n;
+  cfg.sim.degree = 8;
+  cfg.sim.seed = 23;
+  cfg.sim.churn.kind = AdversaryKind::kUniform;
+  cfg.sim.churn.absolute = n / 24;
+  cfg.sim.edge_dynamics = EdgeDynamics::kRewire;
+  cfg.sim.shards = shards;
+  cfg.protocol.use_erasure_coding = erasure;
+  P2PSystem sys(cfg);
+  sys.set_shard_pool(pool);
+
+  Rng workload(99);
+  sys.run_rounds(sys.warmup_rounds());
+  std::vector<ItemId> items;
+  for (std::uint32_t i = 0; i < 3; ++i) {
+    const ItemId item = 1000 + i;
+    for (int attempt = 0; attempt < 16; ++attempt) {
+      const auto creator = static_cast<Vertex>(workload.next_below(n));
+      if (sys.store_item(creator, item)) {
+        items.push_back(item);
+        break;
+      }
+      sys.run_round();
+    }
+  }
+  sys.run_rounds(sys.tau());
+
+  std::vector<std::uint64_t> sids;
+  for (std::uint32_t i = 0; i < 6 && !items.empty(); ++i) {
+    const ItemId item = items[workload.next_below(items.size())];
+    const auto initiator = static_cast<Vertex>(workload.next_below(n));
+    sids.push_back(sys.search(initiator, item));
+  }
+  sys.run_rounds(sys.search_timeout() + 4);
+
+  StackRun run;
+  const Metrics& m = sys.metrics();
+  run.committees_formed = m.committees_formed();
+  run.committees_lost = m.committees_lost();
+  run.landmarks_created = m.landmarks_created();
+  run.landmark_collisions = m.landmark_collisions();
+  run.total_messages = m.total_messages();
+  run.dropped = m.dropped_messages();
+  run.total_bits = m.total_bits();
+  run.tokens_completed = m.tokens_completed();
+  run.max_bits = m.max_bits_per_node_round();
+  for (const std::uint64_t sid : sids) {
+    const SearchStatus* st = sys.search_status(sid);
+    run.searches.emplace_back(st->located, st->fetched, st->fetch_ok);
+  }
+  for (const ItemId item : items) {
+    run.copies.push_back(sys.store().copies_alive(item));
+    run.available.push_back(sys.store().is_available(item));
+  }
+  return run;
+}
+
+void expect_identical(const StackRun& a, const StackRun& b) {
+  EXPECT_EQ(a.committees_formed, b.committees_formed);
+  EXPECT_EQ(a.committees_lost, b.committees_lost);
+  EXPECT_EQ(a.landmarks_created, b.landmarks_created);
+  EXPECT_EQ(a.landmark_collisions, b.landmark_collisions);
+  EXPECT_EQ(a.total_messages, b.total_messages);
+  EXPECT_EQ(a.dropped, b.dropped);
+  EXPECT_EQ(a.total_bits, b.total_bits);
+  EXPECT_EQ(a.tokens_completed, b.tokens_completed);
+  EXPECT_DOUBLE_EQ(a.max_bits.mean(), b.max_bits.mean());
+  EXPECT_DOUBLE_EQ(a.max_bits.max(), b.max_bits.max());
+  EXPECT_EQ(a.searches, b.searches) << "search outcomes diverged";
+  EXPECT_EQ(a.copies, b.copies);
+  EXPECT_EQ(a.available, b.available);
+}
+
+TEST(ShardedFullStack, CommitteesLandmarksSearchAreShardCountInvariant) {
+  // The whole churnstore stack — soup, committee refresh cycles, landmark
+  // trees, store/search messaging — under churn, S in {1, 3, 16} with a
+  // real pool and an uneven shard count (n % 3 != 0, n % 16 != 0).
+  ThreadPool pool(4);
+  const StackRun s1 = run_full_stack(194, 1, nullptr, false);
+  ASSERT_FALSE(s1.searches.empty());
+  ASSERT_GT(s1.committees_formed, 0u);
+  ASSERT_GT(s1.landmarks_created, 0u);
+  std::uint64_t located = 0;
+  for (const auto& [loc, fetch, ok] : s1.searches) located += loc >= 0;
+  EXPECT_GT(located, 0u) << "no search located anything; test is too weak";
+  const StackRun s3 = run_full_stack(194, 3, &pool, false);
+  const StackRun s16 = run_full_stack(194, 16, &pool, false);
+  expect_identical(s1, s3);
+  expect_identical(s1, s16);
+}
+
+TEST(ShardedFullStack, ErasureCodedStoreIsShardCountInvariant) {
+  // IDA piece exchange rides the committee count/confirm messages; the
+  // sharded refresh cycle must reproduce it bit for bit.
+  ThreadPool pool(4);
+  const StackRun s1 = run_full_stack(160, 1, nullptr, true);
+  const StackRun s16 = run_full_stack(160, 16, &pool, true);
+  ASSERT_GT(s1.committees_formed, 0u);
+  expect_identical(s1, s16);
+}
+
 ScenarioSpec sharded_spec(std::uint32_t shards) {
   ScenarioSpec spec = ScenarioSpec::from_cli(
       Cli({"n=128", "trials=2", "items=1", "searches=3", "batches=1",
@@ -221,6 +341,27 @@ void expect_identical_results(const StoreSearchResult& a,
   EXPECT_DOUBLE_EQ(a.bits_node_round_max.mean(), b.bits_node_round_max.mean());
   EXPECT_DOUBLE_EQ(a.bits_node_round_mean.mean(),
                    b.bits_node_round_mean.mean());
+}
+
+TEST(ShardedBaselines, EveryStackIsShardCountInvariantThroughTheRunner) {
+  // flooding / k-walker / sqrt-replication run their round work and message
+  // handlers on the shard lanes; chord exercises the serial-dispatch
+  // fallback under a pool. All must be S-invariant end to end.
+  for (const char* protocol :
+       {"flooding", "k-walker", "sqrt-replication", "chord"}) {
+    ScenarioSpec base = ScenarioSpec::from_cli(
+        Cli({"n=128", "trials=2", "items=1", "searches=3", "batches=1",
+             "age-taus=1"}));
+    base.protocol = protocol;
+    ScenarioSpec s16 = base;
+    s16.shards = 16;
+    Runner serial(RunnerOptions{.threads = 1, .parallel = false});
+    Runner nested(RunnerOptions{.threads = 4, .parallel = true});
+    const StoreSearchResult a = serial.store_search(base);
+    const StoreSearchResult b = nested.store_search(s16);
+    EXPECT_GT(a.searches, 0u) << protocol;
+    expect_identical_results(a, b);
+  }
 }
 
 TEST(ShardedRunner, FullStackStoreSearchIsShardCountInvariant) {
