@@ -19,6 +19,7 @@
 #include <chrono>
 
 #include "scenario_common.h"
+#include "util/resource.h"
 #include "util/thread_pool.h"
 
 namespace churnstore {
@@ -51,7 +52,7 @@ CHURNSTORE_SCENARIO(capacity,
   // measurable separately from the soup's.
   Table t({"n", "shards", "churn/rd", "rounds/sec", "speedup", "soup r/s",
            "handler r/s", "deliver r/s", "tokens", "searches",
-           "locate rate"});
+           "locate rate", "maxrss MB"});
   for (const std::uint32_t n : base.ns) {
     double baseline_rps = 0.0;
     for (const std::uint32_t shards : sweep) {
@@ -125,7 +126,8 @@ CHURNSTORE_SCENARIO(capacity,
           .cell(sids.empty() ? 0.0
                              : static_cast<double>(located) /
                                    static_cast<double>(sids.size()),
-                3);
+                3)
+          .cell(static_cast<double>(peak_rss_bytes()) / (1024.0 * 1024.0), 1);
     }
   }
   emit(t, base);

@@ -13,8 +13,10 @@
 // the same kernel lives in bench_micro (BM_SoupStepSharded).
 #include <algorithm>
 #include <chrono>
+#include <stdexcept>
 
 #include "scenario_common.h"
+#include "util/resource.h"
 #include "util/thread_pool.h"
 #include "walk/token_soup.h"
 
@@ -32,21 +34,39 @@ CHURNSTORE_SCENARIO(soup_step,
       static_cast<std::uint32_t>(cli.get_int("steps", 128));
   // Big-n memory guard: the steady state holds ~ n * walks * length tokens
   // (x2 transiently during the handoff merge) plus the sample-buffer
-  // window, which at the default soup density is tens of GB for n=1M.
-  // Unless the caller picks the density explicitly, large runs default to
-  // a thinner soup so n=1M stays inside a 4 GB host — the arena-backed
-  // engine then sustains it without fragmentation-driven growth.
+  // window, which at the default soup density is tens of GB for n=1M. Large
+  // runs therefore use a thinner soup so n=1M stays inside a 4 GB host.
+  // The thinning is NOT silent: the applied density is a table/JSON column
+  // ("walk-rate"/"thinned"), and explicit user-set densities at this scale
+  // are rejected up front — running them would either blow the memory
+  // budget or mislabel the workload, and the guard must never silently
+  // substitute its own numbers for the caller's.
   const std::uint32_t big_n =
       *std::max_element(base.ns.begin(), base.ns.end());
-  if (big_n >= 500000) {
-    if (!cli.has("walk-rate")) base.walk.rate_mult = 0.25;
-    if (!cli.has("walk-t")) base.walk.t_mult = 0.75;
-    if (!cli.has("walk-window")) base.walk.window_mult = 1.0;
+  const bool thinned = big_n >= 500000;
+  if (thinned) {
+    if (cli.has("walk-rate") || cli.has("walk-t") || cli.has("walk-window")) {
+      throw std::invalid_argument(
+          "soup_step: explicit walk-rate/walk-t/walk-window are not "
+          "honored at n >= 500000 — the big-n memory guard pins the soup "
+          "density (walk-rate=0.25 walk-t=0.75 walk-window=1.0, reported "
+          "in the walk-rate/thinned columns). Run n < 500000 to sweep "
+          "densities, or drop the density keys.");
+    }
+    base.walk.rate_mult = 0.25;
+    base.walk.t_mult = 0.75;
+    base.walk.window_mult = 1.0;
   }
 
   banner(base, "M2 soup_step — sharded soup-step throughput",
          "steady-state token moves per second vs shard count; >= 2x at 4+ "
          "shards on a multi-core host is the engine's acceptance bar");
+  if (thinned && !base.csv && !base.json) {
+    std::printf(
+        "NOTE: n >= 500000 — soup density thinned to walk-rate=%.2f "
+        "walk-t=%.2f walk-window=%.2f (big-n memory guard)\n\n",
+        base.walk.rate_mult, base.walk.t_mult, base.walk.window_mult);
+  }
 
   std::vector<std::uint32_t> sweep;
   for (const std::int64_t s : cli.get_int_list("shard-sweep", {1, 4, 16})) {
@@ -54,7 +74,8 @@ CHURNSTORE_SCENARIO(soup_step,
   }
 
   ThreadPool pool(base.threads);
-  Table t({"n", "shards", "threads", "steps/sec", "Mtokens/sec", "speedup"});
+  Table t({"n", "shards", "threads", "steps/sec", "Mtokens/sec", "speedup",
+           "walk-rate", "thinned", "maxrss MB"});
   for (const std::uint32_t n : base.ns) {
     double baseline_sps = 0.0;
     for (const std::uint32_t shards : sweep) {
@@ -87,7 +108,10 @@ CHURNSTORE_SCENARIO(soup_step,
           .cell(static_cast<std::int64_t>(pool.size()))
           .cell(sps, 2)
           .cell(sps * tokens_per_step / 1e6, 2)
-          .cell(baseline_sps > 0.0 ? sps / baseline_sps : 0.0, 2);
+          .cell(baseline_sps > 0.0 ? sps / baseline_sps : 0.0, 2)
+          .cell(base.walk.rate_mult, 2)
+          .cell(static_cast<std::int64_t>(thinned ? 1 : 0))
+          .cell(static_cast<double>(peak_rss_bytes()) / (1024.0 * 1024.0), 1);
     }
   }
   emit(t, base);

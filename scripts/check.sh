@@ -6,6 +6,10 @@
 #   scripts/check.sh --tsan     # ThreadSanitizer build of the sharded
 #                               # engine tests (build-tsan/, race checks on
 #                               # the concurrent round path)
+#   scripts/check.sh --asan     # ASan+UBSan build of the same suite
+#                               # (build-asan/, leak/lifetime checks on the
+#                               # arena-backed containers: SmallVec spill,
+#                               # sample cohorts, token queues, lanes)
 #   BUILD_DIR=out scripts/check.sh
 set -euo pipefail
 
@@ -13,14 +17,37 @@ cd "$(dirname "$0")/.."
 JOBS="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
 
 TSAN=0
+ASAN=0
 if [[ "${1:-}" == "--tsan" ]]; then
   TSAN=1
+  shift
+elif [[ "${1:-}" == "--asan" ]]; then
+  ASAN=1
   shift
 fi
 
 GENERATOR_ARGS=()
 if command -v ninja >/dev/null 2>&1; then
   GENERATOR_ARGS+=(-G Ninja)
+fi
+
+SANITIZED_FILTER='Sharded*:ThreadPool*:Arena*:ShardPlan*:SampleBuffer*:SampleCohorts*:ShardedArrivals*:SmallVec*:Message*:Mixed*:BitCharge*'
+
+if [[ "$ASAN" == "1" ]]; then
+  # ASan+UBSan build: every arena-backed container (SmallVec message
+  # words/blobs, sample cohort blocks, token queues, outbox lanes) is
+  # exercised by the sharded suite; leaks (blocks that never return to
+  # their arena) and lifetime/UB bugs fail the run.
+  BUILD_DIR="${BUILD_DIR:-build-asan}"
+  cmake -B "$BUILD_DIR" -S . "${GENERATOR_ARGS[@]}" \
+    -DCHURNSTORE_WARNINGS_AS_ERRORS=ON -DCHURNSTORE_ASAN=ON
+  cmake --build "$BUILD_DIR" -j "$JOBS" --target churnstore_tests
+  ASAN_OPTIONS="detect_leaks=1:halt_on_error=1" \
+  UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1" \
+    "$BUILD_DIR"/churnstore_tests --gtest_filter="$SANITIZED_FILTER"
+  echo
+  echo "check.sh --asan: arena-backed containers leak/UB-free"
+  exit 0
 fi
 
 if [[ "$TSAN" == "1" ]]; then
@@ -32,8 +59,7 @@ if [[ "$TSAN" == "1" ]]; then
     -DCHURNSTORE_WARNINGS_AS_ERRORS=ON -DCHURNSTORE_TSAN=ON
   cmake --build "$BUILD_DIR" -j "$JOBS" --target churnstore_tests
   TSAN_OPTIONS="halt_on_error=1" \
-    "$BUILD_DIR"/churnstore_tests \
-    --gtest_filter='Sharded*:ThreadPool*:Arena*:ShardPlan*'
+    "$BUILD_DIR"/churnstore_tests --gtest_filter="$SANITIZED_FILTER"
   echo
   echo "check.sh --tsan: sharded engine race-free"
   exit 0

@@ -107,11 +107,13 @@ class ChordBaseline final : public Protocol, public StorageService {
   }
   void on_attach(Network& net) override;
   /// Round work runs in the ring sim, NOT on the sharded vertex engine —
-  /// Chord keeps its idealized-routing adapter (serial round fallback). It
-  /// consumes no Network messages, so it never forces a stack's dispatch
-  /// onto the serial path either.
+  /// Chord keeps its idealized-routing adapter (serial round fallback), and
+  /// honestly reports the serial default for dispatch too. With per-protocol
+  /// dispatch gating that costs nothing: only messages whose consume chain
+  /// actually reaches Chord (none — it consumes no Network messages) drain
+  /// serially, while committee/landmark/store/search in a mixed stack keep
+  /// dispatching on their shard lanes.
   void on_round_begin() override;
-  [[nodiscard]] bool sharded_dispatch() const noexcept override { return true; }
 
   [[nodiscard]] ChordSim& sim() noexcept { return *sim_; }
 

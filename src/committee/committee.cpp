@@ -109,7 +109,8 @@ std::vector<PeerId> CommitteeManager::pick_sources(Vertex v, Round anchor,
   if (anchor >= 0) {
     // Paper: the leader uses the walks that stopped at it in the anchor
     // round; we dedupe sources and draw `want` of them.
-    std::vector<PeerId> pool = soup_.samples(v).at(anchor);
+    const SampleView anchor_samples = soup_.samples(v).at(anchor);
+    std::vector<PeerId> pool(anchor_samples.begin(), anchor_samples.end());
     std::sort(pool.begin(), pool.end());
     pool.erase(std::unique(pool.begin(), pool.end()), pool.end());
     std::erase(pool, kNoPeer);
@@ -509,7 +510,7 @@ bool CommitteeManager::on_message(Vertex v, const Message& m,
         mem.members.assign(m.words.begin() + kMembersAt,
                            m.words.begin() + kMembersAt +
                                static_cast<std::ptrdiff_t>(count));
-        mem.payload = m.blob;
+        mem.payload.assign(m.blob.begin(), m.blob.end());
         state_[v][kid] = std::move(mem);
         mark_active(v);
       } else {
@@ -539,7 +540,7 @@ bool CommitteeManager::on_message(Vertex v, const Message& m,
                               static_cast<std::uint32_t>(m.words[1]));
       const auto piece_index = static_cast<std::uint32_t>(m.words[2]);
       if (piece_index != kNoPiece) {
-        mem.gathered_pieces.push_back(IdaPiece{piece_index, m.blob});
+        mem.gathered_pieces.push_back(IdaPiece{piece_index, m.blob.to_vector()});
       }
       return true;
     }
@@ -585,7 +586,7 @@ bool CommitteeManager::on_message(Vertex v, const Message& m,
       mem.members.assign(
           m.words.begin() + kMembersAt,
           m.words.begin() + kMembersAt + static_cast<std::ptrdiff_t>(count));
-      mem.payload = m.blob;
+      mem.payload.assign(m.blob.begin(), m.blob.end());
       state_[v][kid] = std::move(mem);
       pending_[v].erase(kid);
       mark_active(v);

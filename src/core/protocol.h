@@ -120,8 +120,13 @@ class Protocol {
   /// True when on_message only touches state owned by the receiving vertex
   /// (plus per-shard staging) and sends through ctx — i.e. the driver may
   /// dispatch this protocol's inbound messages concurrently by destination
-  /// shard. One false in a stack forces serial dispatch for the whole
-  /// stack (the consume chain is shared).
+  /// shard. A false gates only THIS protocol: a message whose consume chain
+  /// reaches it is staged and resumed serially (in canonical shard/vertex/
+  /// inbox order) after the sharded pass; earlier sharded protocols in the
+  /// chain still run on the shard lanes. Register serial protocols AFTER
+  /// the sharded ones — a sharded handler resumed behind a serial one runs
+  /// (correctly, but) serially, and its per-shard staging then merges
+  /// behind the sharded pass's.
   [[nodiscard]] virtual bool sharded_dispatch() const noexcept { return false; }
 
   /// Offered every message delivered to vertex `v` this round; return true

@@ -179,6 +179,15 @@ class P2PSystem {
  private:
   void dispatch_inboxes();
 
+  /// A message whose consume chain reached a serial-dispatch protocol
+  /// during the sharded pass: resume serially at `protocol`, in canonical
+  /// (shard, vertex, inbox) order.
+  struct PendingDispatch {
+    Vertex vertex;
+    std::uint32_t msg;       ///< index into inbox(vertex)
+    std::uint32_t protocol;  ///< chain resume position
+  };
+
   template <typename P>
   static P* checked(P* p) noexcept {
     assert(p != nullptr && "module absent from this protocol stack");
@@ -189,6 +198,8 @@ class P2PSystem {
   std::unique_ptr<Network> net_;
   std::vector<std::unique_ptr<Protocol>> protocols_;
   RoundPhaseTimers phase_timers_;
+  /// Per-shard lists of paused dispatch chains (reused across rounds).
+  std::vector<std::vector<PendingDispatch>> dispatch_pending_;
 
   // Cached paper-stack modules (null when absent from a custom stack).
   TokenSoup* soup_ = nullptr;

@@ -16,9 +16,9 @@
 #pragma once
 
 #include <cstdint>
-#include <vector>
 
 #include "net/types.h"
+#include "util/small_vec.h"
 
 namespace churnstore {
 
@@ -46,15 +46,24 @@ enum class MsgType : std::uint32_t {
   kProbeHit,
 };
 
+/// Inline word capacity. Every fixed-layout message in the repo — committee
+/// count/accept/alive/handover/dissolve, re-formation invites (12 words),
+/// landmark grow headers, inquiries, probes, fetch requests — fits without
+/// touching an allocator; only member/holder list tails spill, and those go
+/// to the sending shard's arena (Arena::current()), not the global heap.
+inline constexpr std::size_t kInlineWords = 12;
+/// Inline blob capacity; real item payloads/IDA pieces spill to the arena.
+inline constexpr std::size_t kInlineBlobBytes = 16;
+
 struct Message {
   PeerId src = kNoPeer;
   PeerId dst = kNoPeer;
   MsgType type = MsgType::kNone;
   /// Protocol-defined scalar fields (ids, rounds, ranks, list payloads).
-  std::vector<std::uint64_t> words;
+  SmallVec<std::uint64_t, kInlineWords> words;
   /// Data bytes carried by the message (item payloads, IDA pieces). Carried
   /// for real so end-to-end integrity is testable, and charged bit-exactly.
-  std::vector<std::uint8_t> blob;
+  SmallVec<std::uint8_t, kInlineBlobBytes> blob;
   /// Additional opaque bits charged but not materialized.
   std::uint64_t payload_bits = 0;
 

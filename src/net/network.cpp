@@ -133,12 +133,19 @@ void Network::send_sharded(std::uint32_t shard, Vertex from, Message&& m) {
 
 void Network::run_sharded(const std::function<void(std::uint32_t)>& fn) {
   const std::uint32_t count = shards_.count();
+  // Each task runs with its shard's arena bound as the thread's SmallVec
+  // spill target, so messages built inside the task (including their
+  // spilled word/blob tails) draw from the shard arena, not the heap.
+  auto task = [this, &fn](std::uint32_t s) {
+    ScopedArenaBind bind(arenas_[s].get());
+    fn(s);
+  };
   if (count <= 1 || worker_pool_ == nullptr) {
-    for (std::uint32_t s = 0; s < count; ++s) fn(s);
+    for (std::uint32_t s = 0; s < count; ++s) task(s);
     return;
   }
   worker_pool_->for_each_helping(
-      count, [&fn](std::size_t s) { fn(static_cast<std::uint32_t>(s)); });
+      count, [&task](std::size_t s) { task(static_cast<std::uint32_t>(s)); });
 }
 
 void Network::flush_shard_lanes() {

@@ -2,13 +2,17 @@
 
 namespace churnstore {
 
-std::uint64_t content_hash(const std::vector<std::uint8_t>& data) {
+std::uint64_t content_hash(const std::uint8_t* data, std::size_t len) {
   std::uint64_t h = 0xcbf29ce484222325ULL;
-  for (const std::uint8_t b : data) {
-    h ^= b;
+  for (std::size_t i = 0; i < len; ++i) {
+    h ^= data[i];
     h *= 0x100000001b3ULL;
   }
   return h;
+}
+
+std::uint64_t content_hash(const std::vector<std::uint8_t>& data) {
+  return content_hash(data.data(), data.size());
 }
 
 std::vector<std::uint8_t> make_payload(ItemId id, std::uint64_t bits) {

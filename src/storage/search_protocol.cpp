@@ -285,8 +285,9 @@ bool SearchManager::on_message(Vertex v, const Message& m,
       const ItemRecord* rec = store_.record(st.item);
       if (piece_index == kNoPiece) {
         status.fetched = net().round();
-        status.fetch_ok = rec && content_hash(m.blob) == rec->hash;
-        status.fetched_data = m.blob;
+        status.fetch_ok =
+            rec && content_hash(m.blob.data(), m.blob.size()) == rec->hash;
+        status.fetched_data.assign(m.blob.begin(), m.blob.end());
         return true;
       }
       // Erasure mode: gather distinct pieces; holders list in the reply
@@ -299,7 +300,7 @@ bool SearchManager::on_message(Vertex v, const Message& m,
         }
       }
       if (st.piece_indices.insert(piece_index).second) {
-        st.pieces.push_back(IdaPiece{piece_index, m.blob});
+        st.pieces.push_back(IdaPiece{piece_index, m.blob.to_vector()});
       }
       const auto ida_k = static_cast<std::uint32_t>(m.words[3]);
       const auto original_size = static_cast<std::size_t>(m.words[4]);

@@ -81,6 +81,22 @@ class Arena {
     bump_at_ = bump_end_ = nullptr;
   }
 
+  /// --- thread-bound spill target ----------------------------------------
+  /// SmallVec (inline-word messages, util/small_vec.h) spills into the
+  /// arena bound to the current thread, so message building inside a shard
+  /// task draws from that shard's arena without threading an allocator
+  /// through every protocol signature. Network::run_sharded binds each
+  /// task's shard arena for the task's duration (ScopedArenaBind below);
+  /// unbound contexts (serial prologues, tests) spill to the global heap.
+  [[nodiscard]] static Arena* current() noexcept { return current_; }
+  /// Installs `a` as the current thread's spill arena; returns the previous
+  /// binding so scopes nest.
+  static Arena* bind_current(Arena* a) noexcept {
+    Arena* prev = current_;
+    current_ = a;
+    return prev;
+  }
+
   /// --- stats (the arena unit test and capacity bench read these) --------
   [[nodiscard]] std::size_t bytes_reserved() const noexcept {
     return slabs_.size() * slab_bytes_;
@@ -134,6 +150,22 @@ class Arena {
   std::uint64_t reused_blocks_ = 0;
   std::uint64_t fresh_blocks_ = 0;
   std::size_t oversize_live_ = 0;
+
+  inline static thread_local Arena* current_ = nullptr;
+};
+
+/// RAII binding of Arena::current() for the enclosing scope (exception-safe
+/// restore; Network::run_sharded wraps every shard task in one).
+class ScopedArenaBind {
+ public:
+  explicit ScopedArenaBind(Arena* a) noexcept
+      : prev_(Arena::bind_current(a)) {}
+  ~ScopedArenaBind() { Arena::bind_current(prev_); }
+  ScopedArenaBind(const ScopedArenaBind&) = delete;
+  ScopedArenaBind& operator=(const ScopedArenaBind&) = delete;
+
+ private:
+  Arena* prev_;
 };
 
 /// STL allocator adapter: std::vector<T, ArenaAllocator<T>> draws from (and

@@ -1,0 +1,38 @@
+// Process resource introspection for the bench layer.
+//
+// The n=1M memory work (ROADMAP) was measured by hand with /usr/bin/time;
+// that made regressions invisible to the recorded BENCH_*.json baselines.
+// peak_rss_bytes() puts the number in the tables themselves: capacity and
+// soup_step emit a "maxrss MB" column, so a memory regression shows up in
+// the same diff as a throughput regression.
+//
+// Note the value is the PROCESS peak (getrusage ru_maxrss), so within one
+// table it is monotone across rows — read the last row of a sweep as "the
+// whole sweep fit in this much".
+#pragma once
+
+#include <cstdint>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
+
+namespace churnstore {
+
+/// Peak resident set size of this process in bytes; 0 when the platform
+/// does not expose it.
+[[nodiscard]] inline std::uint64_t peak_rss_bytes() noexcept {
+#if defined(__unix__) || defined(__APPLE__)
+  struct rusage ru {};
+  if (getrusage(RUSAGE_SELF, &ru) != 0) return 0;
+#if defined(__APPLE__)
+  return static_cast<std::uint64_t>(ru.ru_maxrss);  // bytes on macOS
+#else
+  return static_cast<std::uint64_t>(ru.ru_maxrss) * 1024;  // KiB on Linux
+#endif
+#else
+  return 0;
+#endif
+}
+
+}  // namespace churnstore

@@ -1,43 +1,176 @@
 #include "walk/sampler.h"
 
-#include <algorithm>
+#include <cstring>
+#include <new>
 #include <unordered_set>
 
 namespace churnstore {
 
 namespace {
-const std::vector<PeerId> kEmpty;
+/// Group block size when the cohort was not announced (serial add() path,
+/// unit tests): grows by doubling, so the constant only matters for tiny
+/// buffers.
+constexpr std::uint32_t kUnannouncedCap = 4;
+constexpr std::uint32_t kInitialDirectoryCap = 4;
+}  // namespace
+
+void SampleBuffer::set_arena(Arena* arena) noexcept {
+  // Rebinding with live blocks would return them to the wrong allocator.
+  assert(gcount_ == 0 && groups_ == nullptr &&
+         "set_arena on a non-empty buffer");
+  arena_ = arena;
+}
+
+void* SampleBuffer::alloc(std::size_t bytes) const {
+  return arena_ != nullptr ? arena_->allocate(bytes) : ::operator new(bytes);
+}
+
+void SampleBuffer::dealloc(void* p, std::size_t bytes) const noexcept {
+  if (p == nullptr) return;
+  if (arena_ != nullptr) {
+    arena_->deallocate(p, bytes);
+  } else {
+    ::operator delete(p);
+  }
+}
+
+void SampleBuffer::push_group(Round r, std::uint32_t cap) {
+  if (ghead_ + gcount_ == gcap_) {
+    if (ghead_ > 0) {
+      // Head space from pruned rounds: compact instead of growing. The
+      // steady state (one new round in, one pruned out) stabilizes at a
+      // directory of window-many slots, memmoved once per round.
+      std::memmove(groups_, groups_ + ghead_, gcount_ * sizeof(Group));
+      ghead_ = 0;
+    } else {
+      const std::uint32_t new_cap =
+          gcap_ == 0 ? kInitialDirectoryCap : 2 * gcap_;
+      auto* nd = static_cast<Group*>(alloc(new_cap * sizeof(Group)));
+      if (gcount_ != 0) {
+        std::memcpy(nd, groups_ + ghead_, gcount_ * sizeof(Group));
+      }
+      dealloc(groups_, gcap_ * sizeof(Group));
+      groups_ = nd;
+      ghead_ = 0;
+      gcap_ = new_cap;
+    }
+  }
+  Group& g = groups_[ghead_ + gcount_];
+  g.round = r;
+  g.cap = cap > 0 ? cap : 1;
+  g.size = 0;
+  g.sources = static_cast<PeerId*>(alloc(g.cap * sizeof(PeerId)));
+  ++gcount_;
+}
+
+void SampleBuffer::reserve_rounds(std::uint32_t rounds) {
+  if (rounds <= gcap_) return;
+  auto* nd = static_cast<Group*>(alloc(rounds * sizeof(Group)));
+  if (gcount_ != 0) {
+    std::memcpy(nd, groups_ + ghead_, gcount_ * sizeof(Group));
+  }
+  dealloc(groups_, gcap_ * sizeof(Group));
+  groups_ = nd;
+  ghead_ = 0;
+  gcap_ = rounds;
+}
+
+void SampleBuffer::grow_group(Group& g) {
+  const std::uint32_t new_cap = 2 * g.cap;
+  auto* nd = static_cast<PeerId*>(alloc(new_cap * sizeof(PeerId)));
+  std::memcpy(nd, g.sources, g.size * sizeof(PeerId));
+  dealloc(g.sources, g.cap * sizeof(PeerId));
+  g.sources = nd;
+  g.cap = new_cap;
 }
 
 void SampleBuffer::add(Round r, PeerId source) {
-  if (groups_.empty() || groups_.back().round != r) {
-    groups_.push_back(Group{r, {}});
+  Group* back = gcount_ != 0 ? &groups_[ghead_ + gcount_ - 1] : nullptr;
+  if (back == nullptr || back->round != r) {
+    // First sample of a new cohort: everything announced for this round
+    // shares this one block.
+    const std::uint32_t cap = pending_ > 0 ? pending_ : kUnannouncedCap;
+    pending_ = 0;
+    push_group(r, cap);
+    back = &groups_[ghead_ + gcount_ - 1];
   }
-  groups_.back().sources.push_back(source);
+  if (back->size == back->cap) grow_group(*back);
+  back->sources[back->size++] = source;
 }
 
 void SampleBuffer::prune(Round keep_from) {
-  while (!groups_.empty() && groups_.front().round < keep_from) {
-    groups_.pop_front();
+  while (gcount_ != 0 && groups_[ghead_].round < keep_from) {
+    Group& g = groups_[ghead_];
+    dealloc(g.sources, g.cap * sizeof(PeerId));
+    ++ghead_;
+    --gcount_;
+  }
+  if (gcount_ == 0) ghead_ = 0;
+}
+
+void SampleBuffer::clear() noexcept {
+  for (std::uint32_t i = 0; i < gcount_; ++i) {
+    Group& g = groups_[ghead_ + i];
+    dealloc(g.sources, g.cap * sizeof(PeerId));
+  }
+  gcount_ = 0;
+  ghead_ = 0;
+  pending_ = 0;
+}
+
+void SampleBuffer::destroy() noexcept {
+  clear();
+  dealloc(groups_, gcap_ * sizeof(Group));
+  groups_ = nullptr;
+  gcap_ = 0;
+}
+
+void SampleBuffer::copy_from(const SampleBuffer& o) {
+  // Heap-backed copy: snapshots must outlive the source's Network/arenas.
+  arena_ = nullptr;
+  groups_ = nullptr;
+  ghead_ = gcount_ = gcap_ = 0;
+  pending_ = 0;
+  for (std::uint32_t i = 0; i < o.gcount_; ++i) {
+    const Group& g = o.groups()[i];
+    push_group(g.round, g.size != 0 ? g.size : 1);
+    Group& mine = groups_[ghead_ + gcount_ - 1];
+    std::memcpy(mine.sources, g.sources, g.size * sizeof(PeerId));
+    mine.size = g.size;
   }
 }
 
-const std::vector<PeerId>& SampleBuffer::at(Round r) const {
+void SampleBuffer::steal(SampleBuffer& o) noexcept {
+  groups_ = o.groups_;
+  ghead_ = o.ghead_;
+  gcount_ = o.gcount_;
+  gcap_ = o.gcap_;
+  pending_ = o.pending_;
+  arena_ = o.arena_;
+  o.groups_ = nullptr;
+  o.ghead_ = o.gcount_ = o.gcap_ = 0;
+  o.pending_ = 0;
+}
+
+SampleView SampleBuffer::at(Round r) const noexcept {
   // Groups are few (one per retained round); linear scan from the back is
   // cheap and the common query is the most recent round.
-  for (auto it = groups_.rbegin(); it != groups_.rend(); ++it) {
-    if (it->round == r) return it->sources;
-    if (it->round < r) break;
+  for (std::uint32_t i = gcount_; i-- > 0;) {
+    const Group& g = groups()[i];
+    if (g.round == r) return SampleView{g.sources, g.size};
+    if (g.round < r) break;
   }
-  return kEmpty;
+  return SampleView{};
 }
 
 std::vector<PeerId> SampleBuffer::recent_distinct(
     std::size_t k, const std::vector<PeerId>& exclude) const {
   std::vector<PeerId> out;
   std::unordered_set<PeerId> seen(exclude.begin(), exclude.end());
-  for (auto it = groups_.rbegin(); it != groups_.rend(); ++it) {
-    for (const PeerId s : it->sources) {
+  for (std::uint32_t i = gcount_; i-- > 0;) {
+    const Group& g = groups()[i];
+    for (std::uint32_t j = 0; j < g.size; ++j) {
+      const PeerId s = g.sources[j];
       if (!seen.insert(s).second) continue;
       out.push_back(s);
       if (k != 0 && out.size() >= k) return out;
@@ -48,8 +181,21 @@ std::vector<PeerId> SampleBuffer::recent_distinct(
 
 std::size_t SampleBuffer::total() const noexcept {
   std::size_t acc = 0;
-  for (const auto& g : groups_) acc += g.sources.size();
+  for (std::uint32_t i = 0; i < gcount_; ++i) acc += groups()[i].size;
   return acc;
+}
+
+bool SampleBuffer::equals(const SampleBuffer& o) const noexcept {
+  if (gcount_ != o.gcount_) return false;
+  for (std::uint32_t i = 0; i < gcount_; ++i) {
+    const Group& a = groups()[i];
+    const Group& b = o.groups()[i];
+    if (a.round != b.round || a.size != b.size) return false;
+    if (std::memcmp(a.sources, b.sources, a.size * sizeof(PeerId)) != 0) {
+      return false;
+    }
+  }
+  return true;
 }
 
 void ShardedArrivals::reset(std::uint32_t shards) {
@@ -66,6 +212,13 @@ void ShardedArrivals::stage(std::uint32_t src_shard, std::uint32_t dst_shard,
 
 void ShardedArrivals::apply_to(std::uint32_t dst_shard, Round r,
                                std::vector<SampleBuffer>& buffers) const {
+  // Pass 1: announce cohort sizes so pass 2 lands every (round, vertex)
+  // cohort in a single exact-size block of the destination shard's arena.
+  for (std::uint32_t src = 0; src < shards_; ++src) {
+    const auto& bucket =
+        buckets_[static_cast<std::size_t>(src) * shards_ + dst_shard];
+    for (const Arrival& a : bucket) buffers[a.dst].announce(1);
+  }
   for (std::uint32_t src = 0; src < shards_; ++src) {
     const auto& bucket =
         buckets_[static_cast<std::size_t>(src) * shards_ + dst_shard];

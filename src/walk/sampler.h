@@ -6,30 +6,87 @@
 // leader re-formation, landmark child selection, search inquiries) draws
 // from this buffer. Samples are grouped by arrival round because Algorithm 1
 // counts and consumes "the random walks received in round r" specifically.
+//
+// Representation: cohort groups on the per-shard arena. The n=1M profile
+// showed the former deque<Group{vector<PeerId>}> costing ~2 GB in pure
+// container overhead (512-byte deque chunks, one malloc per round-group).
+// Now every (round, vertex) cohort — all tokens that completed in the same
+// round at the same vertex — shares ONE arena block sized exactly to the
+// cohort (ShardedArrivals announces the count before filling), and the
+// group directory itself is a single compacting arena array. A buffer is
+// bound to the arena of the shard owning its vertex (set_arena), so the
+// engine's growth (dst-shard task), pruning (dst-shard task) and churn
+// clears (serial context) all follow the arena ownership discipline.
+// Unbound buffers (unit tests, copies) use the global heap.
 #pragma once
 
+#include <cassert>
 #include <cstdint>
-#include <deque>
+#include <span>
 #include <vector>
 
 #include "net/types.h"
+#include "util/arena.h"
 #include "util/sharding.h"
 
 namespace churnstore {
 
+/// Non-owning view of one round-cohort's source list.
+using SampleView = std::span<const PeerId>;
+
 class SampleBuffer {
  public:
+  SampleBuffer() noexcept = default;
+  ~SampleBuffer() { destroy(); }
+
+  /// Deep copies are heap-backed (arena unbound): tests snapshot buffers
+  /// past the owning Network's lifetime.
+  SampleBuffer(const SampleBuffer& o) { copy_from(o); }
+  SampleBuffer& operator=(const SampleBuffer& o) {
+    if (this != &o) {
+      destroy();
+      copy_from(o);
+    }
+    return *this;
+  }
+  SampleBuffer(SampleBuffer&& o) noexcept { steal(o); }
+  SampleBuffer& operator=(SampleBuffer&& o) noexcept {
+    if (this != &o) {
+      destroy();
+      steal(o);
+    }
+    return *this;
+  }
+
+  /// Bind the arena all groups allocate from (the owning shard's arena).
+  /// Only valid while the buffer is empty.
+  void set_arena(Arena* arena) noexcept;
+
+  /// Pre-announce `k` samples of the NEXT cohort: the first add() of a new
+  /// round-group sizes its block to everything announced, so a cohort costs
+  /// exactly one allocation (ShardedArrivals counts, then fills).
+  void announce(std::uint32_t k) noexcept { pending_ += k; }
+
+  /// Pre-size the group directory for a retention window of `rounds`
+  /// groups in one exact allocation. Without it, every buffer grows its
+  /// directory through the same doubling chain during warm-up — in
+  /// lockstep across n vertices — stranding each abandoned size class in
+  /// the freelists.
+  void reserve_rounds(std::uint32_t rounds);
+
   void add(Round r, PeerId source);
 
   /// Drop groups with round < keep_from.
   void prune(Round keep_from);
 
-  void clear() noexcept { groups_.clear(); }
+  void clear() noexcept;
 
   /// Sources of walks that completed exactly in round r (empty if none).
-  [[nodiscard]] const std::vector<PeerId>& at(Round r) const;
+  [[nodiscard]] SampleView at(Round r) const noexcept;
 
-  [[nodiscard]] std::size_t count_at(Round r) const { return at(r).size(); }
+  [[nodiscard]] std::size_t count_at(Round r) const noexcept {
+    return at(r).size();
+  }
 
   /// Up to `k` distinct most-recent sources (newest rounds first), skipping
   /// ids in `exclude`. Pass k = 0 for "all distinct".
@@ -37,25 +94,44 @@ class SampleBuffer {
       std::size_t k, const std::vector<PeerId>& exclude = {}) const;
 
   [[nodiscard]] std::size_t total() const noexcept;
-  [[nodiscard]] bool empty() const noexcept { return groups_.empty(); }
+  [[nodiscard]] bool empty() const noexcept { return gcount_ == 0; }
 
   /// Exact equality, including per-group insertion order — the determinism
   /// tests compare whole buffers across shard counts with this.
   [[nodiscard]] friend bool operator==(const SampleBuffer& a,
-                                       const SampleBuffer& b) {
-    return a.groups_ == b.groups_;
+                                       const SampleBuffer& b) noexcept {
+    return a.equals(b);
   }
 
  private:
+  /// One arrival-round cohort: every source shares the single `sources`
+  /// block (exact-size when announced, doubling otherwise).
   struct Group {
     Round round;
-    std::vector<PeerId> sources;
-
-    [[nodiscard]] friend bool operator==(const Group& x, const Group& y) {
-      return x.round == y.round && x.sources == y.sources;
-    }
+    PeerId* sources;
+    std::uint32_t size;
+    std::uint32_t cap;
   };
-  std::deque<Group> groups_;  ///< ascending by round
+
+  [[nodiscard]] Group* groups() noexcept { return groups_ + ghead_; }
+  [[nodiscard]] const Group* groups() const noexcept { return groups_ + ghead_; }
+
+  [[nodiscard]] void* alloc(std::size_t bytes) const;
+  void dealloc(void* p, std::size_t bytes) const noexcept;
+
+  void push_group(Round r, std::uint32_t cap);
+  void grow_group(Group& g);
+  void destroy() noexcept;
+  void copy_from(const SampleBuffer& o);
+  void steal(SampleBuffer& o) noexcept;
+  [[nodiscard]] bool equals(const SampleBuffer& o) const noexcept;
+
+  Group* groups_ = nullptr;  ///< directory block: [ghead_, ghead_+gcount_)
+  std::uint32_t ghead_ = 0;
+  std::uint32_t gcount_ = 0;
+  std::uint32_t gcap_ = 0;
+  std::uint32_t pending_ = 0;  ///< announced size of the next cohort
+  Arena* arena_ = nullptr;
 };
 
 /// Per-shard staging of walk completions for the sharded round engine.
@@ -80,8 +156,10 @@ class ShardedArrivals {
              PeerId source);
 
   /// Apply every bucket addressed to `dst_shard` into `buffers` (indexed by
-  /// vertex) as round-`r` samples, in canonical source order. Only
-  /// `dst_shard`'s task may call this.
+  /// vertex) as round-`r` samples, in canonical source order. Runs two
+  /// passes: announce per-vertex cohort sizes, then fill — so each cohort
+  /// lands in one exact-size arena block. Only `dst_shard`'s task may call
+  /// this.
   void apply_to(std::uint32_t dst_shard, Round r,
                 std::vector<SampleBuffer>& buffers) const;
 

@@ -29,17 +29,29 @@ void TokenSoup::on_attach(Network& net_ref) {
   const std::uint32_t shards = plan.count();
   // Token queues and handoff buckets are arena-backed: a queue draws from
   // the arena of the shard owning its vertex, a bucket from its SOURCE
-  // shard's arena — always the task that grows it.
+  // shard's arena — always the task that grows it. Queues are pre-sized to
+  // the expected steady load (walks * length tokens in flight per vertex):
+  // without this, warm-up grows every queue through the same doubling
+  // chain in lockstep, stranding each abandoned size class in the
+  // freelists (~0.5 GB of dead blocks at n=1M).
   cur_.clear();
-  next_.clear();
   cur_.reserve(n);
-  next_.reserve(n);
   for (Vertex v = 0; v < n; ++v) {
     Arena* a = &net().shard_arena(plan.shard_of(v));
     cur_.emplace_back(ArenaAllocator<Token>(a));
-    next_.emplace_back(ArenaAllocator<Token>(a));
+    cur_.back().reserve(static_cast<std::size_t>(walks_) * length_);
   }
+  // Sample buffers allocate their cohort groups from the arena of the
+  // shard owning their vertex: growth happens on the destination shard's
+  // task (ShardedArrivals::apply_to), pruning in the same task's merge
+  // slice, churn clears in serial context — always the arena's owner.
   samples_.assign(n, SampleBuffer{});
+  for (Vertex v = 0; v < n; ++v) {
+    samples_[v].set_arena(&net().shard_arena(plan.shard_of(v)));
+    // Retention holds window_+1 round-groups, +1 for the round that lands
+    // before the next prune.
+    samples_[v].reserve_rounds(static_cast<std::uint32_t>(window_) + 2);
+  }
   moves_.clear();
   moves_.reserve(static_cast<std::size_t>(shards) * shards);
   for (std::uint32_t src = 0; src < shards; ++src) {
@@ -117,15 +129,16 @@ void TokenSoup::on_round_begin(std::uint32_t s, ShardContext& ctx) {
           }
         } else {
           moves_[static_cast<std::size_t>(s) * shards + plan.shard_of(u)]
-              .push_back(Handoff{u, t});
+              .push_back(Handoff{t.src_or_tag, u, t.steps_left, t.probe});
         }
       }
     }
     if (fwd < q.size()) {
       counters.queued += q.size() - fwd;
       for (std::size_t j = fwd; j < q.size(); ++j) {
+        const Token& t = q[j];
         moves_[static_cast<std::size_t>(s) * shards + s].push_back(
-            Handoff{v, q[j]});
+            Handoff{t.src_or_tag, v, t.steps_left, t.probe});
       }
     }
     fwd_count_[v] = static_cast<std::uint32_t>(fwd);
@@ -144,13 +157,18 @@ void TokenSoup::on_round_merge() {
   // in ascending order. With contiguous shards scanned in ascending vertex
   // order, the merged stream equals the ascending global source-vertex
   // order for EVERY shard count — token queue order and sample insertion
-  // order are bit-identical serial or parallel. Retire samples that have
-  // aged out of the retention window while we own the shard.
+  // order are bit-identical serial or parallel. The handoffs refill cur_
+  // in place: phase 1 cleared every queue, and a queue's vertex belongs to
+  // exactly this destination shard, so single-buffering is race-free.
+  // Retire samples that have aged out of the retention window while we own
+  // the shard.
   const Round keep_from = r - window_;
   net().run_sharded([&](std::uint32_t dst) {
     for (std::uint32_t src = 0; src < shards; ++src) {
       auto& bucket = moves_[static_cast<std::size_t>(src) * shards + dst];
-      for (const Handoff& h : bucket) next_[h.dst].push_back(h.t);
+      for (const Handoff& h : bucket) {
+        cur_[h.dst].push_back(Token{h.src_or_tag, h.steps_left, h.probe});
+      }
       bucket.clear();
     }
     arrivals_.apply_to(dst, r, samples_);
@@ -158,7 +176,6 @@ void TokenSoup::on_round_merge() {
       samples_[v].prune(keep_from);
     }
   });
-  cur_.swap(next_);
 
   // Serial epilogue: user-facing probe hooks (canonical source order — the
   // hook may touch arbitrary shared state) and metrics.

@@ -116,15 +116,23 @@ class TokenSoup final : public Protocol {
   Round window_ = 0;
   bool spawning_ = true;
 
+  /// Single-buffered: phase 1 drains and clears each vertex's queue (its
+  /// own shard's task), phase 2 refills it from the staged handoffs (the
+  /// SAME shard's task, since the queue's vertex is the handoff target) —
+  /// so no second queue array is needed. At n=1M that halves queue memory.
   std::vector<TokenQueue> cur_;
-  std::vector<TokenQueue> next_;
   std::vector<SampleBuffer> samples_;
   ProbeHook probe_hook_;
 
   /// --- per-round sharded staging (reused across rounds) -------------------
+  /// Flat 16-byte layout (vs 24 for {Vertex, Token}): the handoff buckets
+  /// transiently hold every moving token, so the padding was ~250 MB at
+  /// n=1M.
   struct Handoff {
+    std::uint64_t src_or_tag;
     Vertex dst;
-    Token t;
+    std::uint16_t steps_left;
+    std::uint16_t probe;
   };
   struct ProbeDone {
     std::uint64_t tag;

@@ -7,6 +7,9 @@
 #include <cstring>
 #include <vector>
 
+#include "net/network.h"
+#include "walk/token_soup.h"
+
 namespace churnstore {
 namespace {
 
@@ -124,6 +127,58 @@ TEST(ArenaAllocator, TravelsWithSwapAndMove) {
   std::vector<int, ArenaAllocator<int>> moved = std::move(v1);
   EXPECT_EQ(moved.get_allocator().arena(), &a0);
   EXPECT_EQ(moved.size(), 100u);
+}
+
+TEST(ArenaSteadyState, HighWaterStaysFlatAcrossSteadyStateSoupRounds) {
+  // The whole point of the arena story: once the soup (token queues,
+  // handoff buckets, sample cohorts) reaches steady state, every round is
+  // served from recycled blocks — the high-water mark must stop moving.
+  SimConfig cfg;
+  cfg.n = 256;
+  cfg.degree = 8;
+  cfg.seed = 31;
+  cfg.churn.kind = AdversaryKind::kUniform;
+  cfg.churn.absolute = cfg.n / 16;
+  cfg.edge_dynamics = EdgeDynamics::kRewire;
+  cfg.shards = 4;
+  Network net(cfg);
+  TokenSoup soup(net, WalkConfig{});
+  auto run = [&](std::uint32_t rounds) {
+    for (std::uint32_t i = 0; i < rounds; ++i) {
+      net.begin_round();
+      soup.step();
+      net.deliver();
+    }
+  };
+  auto high_water = [&] {
+    std::size_t acc = 0;
+    for (std::uint32_t s = 0; s < net.shards().count(); ++s) {
+      acc += net.shard_arena(s).high_water();
+    }
+    return acc;
+  };
+  auto reserved = [&] {
+    std::size_t acc = 0;
+    for (std::uint32_t s = 0; s < net.shards().count(); ++s) {
+      acc += net.shard_arena(s).bytes_reserved();
+    }
+    return acc;
+  };
+  run(4 * soup.tau());  // warm to steady state
+  const std::size_t settled_hw = high_water();
+  const std::size_t settled_slabs = reserved();
+  ASSERT_GT(settled_hw, 0u);
+  run(2 * soup.tau());
+  // Churn keeps re-skewing the per-vertex token/cohort distribution, so the
+  // PEAK demand may still drift by a few percent — but a leak (an
+  // allocation escaping the recycle path) grows linearly with rounds, and
+  // new slab reservations would be its first symptom.
+  EXPECT_EQ(reserved(), settled_slabs)
+      << "steady-state rounds reserved new slabs: an allocation is "
+         "escaping the recycle path";
+  EXPECT_LT(static_cast<double>(high_water() - settled_hw),
+            0.05 * static_cast<double>(settled_hw))
+      << "high-water keeps climbing well past steady state";
 }
 
 }  // namespace

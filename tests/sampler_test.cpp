@@ -69,5 +69,104 @@ TEST(SampleBuffer, ClearEmpties) {
   EXPECT_TRUE(buf.recent_distinct(5).empty());
 }
 
+TEST(SampleBuffer, AnnouncedCohortEqualsUnannouncedAdds) {
+  // The engine pre-announces cohort sizes (one exact-size block per round);
+  // the serial add() path grows by doubling. Same observable buffer.
+  SampleBuffer announced;
+  announced.announce(5);
+  for (PeerId p = 10; p < 15; ++p) announced.add(7, p);
+  announced.announce(2);
+  for (PeerId p = 20; p < 22; ++p) announced.add(8, p);
+
+  SampleBuffer plain;
+  for (PeerId p = 10; p < 15; ++p) plain.add(7, p);
+  for (PeerId p = 20; p < 22; ++p) plain.add(8, p);
+
+  EXPECT_TRUE(announced == plain);
+  EXPECT_EQ(announced.count_at(7), 5u);
+  EXPECT_EQ(announced.at(8)[1], 21u);
+}
+
+TEST(SampleBuffer, ArenaBoundBufferReturnsBlocksOnPruneAndClear) {
+  Arena arena;
+  {
+    SampleBuffer buf;
+    buf.set_arena(&arena);
+    for (Round r = 1; r <= 8; ++r) {
+      buf.announce(3);
+      for (PeerId p = 0; p < 3; ++p) buf.add(r, 100 * r + p);
+    }
+    EXPECT_GT(arena.bytes_in_use(), 0u);
+    buf.prune(5);
+    EXPECT_EQ(buf.total(), 4 * 3u);
+    buf.clear();
+    EXPECT_TRUE(buf.empty());
+    // Only the group directory block may remain live after clear().
+  }
+  EXPECT_EQ(arena.bytes_in_use(), 0u);
+  EXPECT_GT(arena.reused_blocks() + arena.fresh_blocks(), 0u);
+}
+
+TEST(SampleBuffer, CopiesAreHeapBackedDeepAndEqual) {
+  Arena arena;
+  SampleBuffer buf;
+  buf.set_arena(&arena);
+  for (Round r = 1; r <= 4; ++r) {
+    for (PeerId p = 0; p < 4; ++p) buf.add(r, 10 * r + p);
+  }
+  const SampleBuffer copy(buf);  // deep, heap-backed: outlives the arena
+  EXPECT_TRUE(copy == buf);
+  buf.clear();
+  EXPECT_FALSE(copy == buf);
+  EXPECT_EQ(copy.count_at(3), 4u);
+  EXPECT_EQ(copy.at(2)[1], 21u);
+}
+
+TEST(SampleBuffer, EqualityIsOrderSensitive) {
+  SampleBuffer a, b;
+  a.add(1, 5);
+  a.add(1, 6);
+  b.add(1, 6);
+  b.add(1, 5);
+  EXPECT_FALSE(a == b) << "per-group insertion order must be compared";
+}
+
+TEST(SampleBuffer, LongRunningWindowSteadyState) {
+  // Rolling window: one round in, one pruned out, hundreds of times — the
+  // compacting directory must keep every query exact throughout.
+  SampleBuffer buf;
+  const Round window = 16;
+  for (Round r = 1; r <= 500; ++r) {
+    buf.announce(2);
+    buf.add(r, static_cast<PeerId>(2 * r));
+    buf.add(r, static_cast<PeerId>(2 * r + 1));
+    buf.prune(r - window + 1);
+  }
+  EXPECT_EQ(buf.total(), static_cast<std::size_t>(2 * window));
+  EXPECT_EQ(buf.count_at(500), 2u);
+  EXPECT_EQ(buf.count_at(500 - window), 0u);
+  EXPECT_EQ(buf.at(490)[0], 980u);
+}
+
+TEST(ShardedArrivalsCohorts, ApplyMergesInCanonicalSourceOrder) {
+  ShardedArrivals arr;
+  arr.reset(3);
+  std::vector<SampleBuffer> buffers(4);
+  // Same destination vertex fed from three source shards; canonical order
+  // is ascending source shard, staging order within a shard.
+  arr.stage(2, 0, /*dst=*/1, /*source=*/300);
+  arr.stage(0, 0, 1, 100);
+  arr.stage(0, 0, 1, 101);
+  arr.stage(1, 0, 1, 200);
+  EXPECT_EQ(arr.staged_total(), 4u);
+  arr.apply_to(0, /*r=*/9, buffers);
+  ASSERT_EQ(buffers[1].count_at(9), 4u);
+  const SampleView got = buffers[1].at(9);
+  EXPECT_EQ(got[0], 100u);
+  EXPECT_EQ(got[1], 101u);
+  EXPECT_EQ(got[2], 200u);
+  EXPECT_EQ(got[3], 300u);
+}
+
 }  // namespace
 }  // namespace churnstore

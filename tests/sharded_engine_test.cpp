@@ -9,6 +9,7 @@
 #include <tuple>
 #include <vector>
 
+#include "baseline/chord.h"
 #include "core/experiment.h"
 #include "core/runner.h"
 #include "core/system.h"
@@ -169,6 +170,20 @@ TEST(ShardedSoup, UnevenShardCountIsBitIdentical) {
   expect_identical(a, b);
 }
 
+TEST(SampleCohorts, BuffersAreBitIdenticalForSInOneThreeSixteen) {
+  // The cohort representation (shared exact-size arena blocks per
+  // (round, vertex) cohort) must be invisible: whole-buffer equality —
+  // group rounds, sizes, AND per-group insertion order — across S in
+  // {1, 3, 16}, serial and pooled.
+  ThreadPool pool(4);
+  const SoupRun s1 = run_soup(192, 1, nullptr);
+  const SoupRun s3 = run_soup(192, 3, &pool);
+  const SoupRun s16 = run_soup(192, 16, &pool);
+  ASSERT_GT(s1.completed, 0u);
+  expect_identical(s1, s3);
+  expect_identical(s1, s16);
+}
+
 TEST(ShardedOutbox, LanesMergeInCanonicalOrderAndChargeSenders) {
   SimConfig cfg = soup_config(64, 4);
   cfg.churn.kind = AdversaryKind::kNone;
@@ -311,6 +326,21 @@ TEST(ShardedFullStack, CommitteesLandmarksSearchAreShardCountInvariant) {
   expect_identical(s1, s16);
 }
 
+TEST(BitChargeConservation, TotalsMatchThePreInlineWordRepresentation) {
+  // Golden totals recorded with the heap-vector Message representation
+  // (before inline words + arena blob spill) on exactly the
+  // run_full_stack configs. The storage change must be invisible to the
+  // charge model: same total bits, same message count, same drops.
+  const StackRun plain = run_full_stack(194, 1, nullptr, false);
+  EXPECT_EQ(plain.total_bits, 145997040u);
+  EXPECT_EQ(plain.total_messages, 9238u);
+  EXPECT_EQ(plain.dropped, 3677u);
+  const StackRun erasure = run_full_stack(160, 1, nullptr, true);
+  EXPECT_EQ(erasure.total_bits, 156117296u);
+  EXPECT_EQ(erasure.total_messages, 32915u);
+  EXPECT_EQ(erasure.dropped, 8770u);
+}
+
 TEST(ShardedFullStack, ErasureCodedStoreIsShardCountInvariant) {
   // IDA piece exchange rides the committee count/confirm messages; the
   // sharded refresh cycle must reproduce it bit for bit.
@@ -319,6 +349,123 @@ TEST(ShardedFullStack, ErasureCodedStoreIsShardCountInvariant) {
   const StackRun s16 = run_full_stack(160, 16, &pool, true);
   ASSERT_GT(s1.committees_formed, 0u);
   expect_identical(s1, s16);
+}
+
+/// Serial-dispatch protocol for the mixed-stack case: consumes kProbe
+/// messages (nothing in the paper stack sends or handles them) and records
+/// their arrival order. sharded_dispatch() stays at the serial default, so
+/// its messages PAUSE at its chain position and drain in canonical order
+/// after the sharded pass — while committee/landmark/store/search ahead of
+/// it keep dispatching on their shard lanes.
+class SerialProbeTap final : public Protocol {
+ public:
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "serial-tap";
+  }
+  void on_round_begin() override {
+    for (Vertex v = 0; v < net().n(); v += 37) {
+      Message m;
+      m.src = net().peer_at(v);
+      m.dst = net().peer_at((v + 1) % net().n());
+      m.type = MsgType::kProbe;
+      m.words = {static_cast<std::uint64_t>(v)};
+      net().send(v, std::move(m));
+    }
+  }
+  bool on_message(Vertex v, const Message& m) override {
+    if (m.type != MsgType::kProbe) return false;
+    ++seen_;
+    order_hash_ = mix64(order_hash_ ^ (static_cast<std::uint64_t>(v) << 20) ^
+                        m.words[0]);
+    return true;
+  }
+  [[nodiscard]] std::uint64_t seen() const noexcept { return seen_; }
+  [[nodiscard]] std::uint64_t order_hash() const noexcept {
+    return order_hash_;
+  }
+
+ private:
+  std::uint64_t seen_ = 0;
+  std::uint64_t order_hash_ = 0;
+};
+
+struct MixedRun {
+  StackRun stack;  ///< reuses only the metric fields (no searches driven)
+  std::uint64_t tap_seen = 0;
+  std::uint64_t tap_order = 0;
+};
+
+MixedRun run_mixed_chord_stack(std::uint32_t n, std::uint32_t shards,
+                               ThreadPool* pool) {
+  SystemConfig cfg;
+  cfg.sim.n = n;
+  cfg.sim.degree = 8;
+  cfg.sim.seed = 41;
+  cfg.sim.churn.kind = AdversaryKind::kUniform;
+  cfg.sim.churn.absolute = n / 24;
+  cfg.sim.edge_dynamics = EdgeDynamics::kRewire;
+  cfg.sim.shards = shards;
+  auto mods = P2PSystem::paper_protocols(cfg);
+  mods.push_back(std::make_unique<ChordBaseline>());
+  auto tap = std::make_unique<SerialProbeTap>();
+  SerialProbeTap* tap_raw = tap.get();
+  mods.push_back(std::move(tap));
+  P2PSystem sys(cfg, std::move(mods));
+  sys.set_shard_pool(pool);
+
+  Rng workload(55);
+  sys.run_rounds(sys.warmup_rounds());
+  for (std::uint32_t i = 0; i < 2; ++i) {
+    const ItemId item = 2000 + i;
+    for (int attempt = 0; attempt < 16; ++attempt) {
+      const auto creator = static_cast<Vertex>(workload.next_below(n));
+      if (sys.store_item(creator, item)) break;
+      sys.run_round();
+    }
+  }
+  sys.run_rounds(2 * sys.tau());
+
+  MixedRun run;
+  const Metrics& m = sys.metrics();
+  run.stack.committees_formed = m.committees_formed();
+  run.stack.landmarks_created = m.landmarks_created();
+  run.stack.total_messages = m.total_messages();
+  run.stack.dropped = m.dropped_messages();
+  run.stack.total_bits = m.total_bits();
+  run.stack.tokens_completed = m.tokens_completed();
+  run.stack.max_bits = m.max_bits_per_node_round();
+  run.tap_seen = tap_raw->seen();
+  run.tap_order = tap_raw->order_hash();
+  return run;
+}
+
+TEST(MixedDispatchStack, ChordPlusChurnstoreKeepsShardLanesAndStaysInvariant) {
+  // One serial-dispatch protocol used to force the WHOLE stack onto the
+  // serial dispatch path. With per-protocol gating, only the tap's probes
+  // drain serially; the churnstore handlers ahead of it stay on shard
+  // lanes — and everything (metrics, tap count, tap ORDER) must still be
+  // bit-identical for S in {1, 3, 16}, serial or pooled.
+  ThreadPool pool(4);
+  const MixedRun s1 = run_mixed_chord_stack(194, 1, nullptr);
+  ASSERT_GT(s1.tap_seen, 0u) << "serial tap never saw its probes";
+  ASSERT_GT(s1.stack.committees_formed, 0u);
+  ASSERT_GT(s1.stack.total_messages, s1.tap_seen)
+      << "no sharded-protocol traffic; the mixed case is vacuous";
+  const MixedRun s3 = run_mixed_chord_stack(194, 3, &pool);
+  const MixedRun s16 = run_mixed_chord_stack(194, 16, &pool);
+  for (const MixedRun* other : {&s3, &s16}) {
+    EXPECT_EQ(s1.tap_seen, other->tap_seen);
+    EXPECT_EQ(s1.tap_order, other->tap_order)
+        << "serial continuation ran in a shard-count-dependent order";
+    EXPECT_EQ(s1.stack.committees_formed, other->stack.committees_formed);
+    EXPECT_EQ(s1.stack.landmarks_created, other->stack.landmarks_created);
+    EXPECT_EQ(s1.stack.total_messages, other->stack.total_messages);
+    EXPECT_EQ(s1.stack.dropped, other->stack.dropped);
+    EXPECT_EQ(s1.stack.total_bits, other->stack.total_bits);
+    EXPECT_EQ(s1.stack.tokens_completed, other->stack.tokens_completed);
+    EXPECT_DOUBLE_EQ(s1.stack.max_bits.mean(), other->stack.max_bits.mean());
+    EXPECT_DOUBLE_EQ(s1.stack.max_bits.max(), other->stack.max_bits.max());
+  }
 }
 
 ScenarioSpec sharded_spec(std::uint32_t shards) {

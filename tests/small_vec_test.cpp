@@ -1,0 +1,153 @@
+// SmallVec: inline storage for the common case, arena spill for the rest,
+// and bit-exact message size accounting on top of it.
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "net/message.h"
+#include "util/arena.h"
+#include "util/small_vec.h"
+
+namespace churnstore {
+namespace {
+
+TEST(SmallVec, InlineUpToCapacityWithoutSpilling) {
+  SmallVec<std::uint64_t, 4> v;
+  EXPECT_TRUE(v.empty());
+  for (std::uint64_t i = 0; i < 4; ++i) v.push_back(i);
+  EXPECT_FALSE(v.spilled());
+  EXPECT_EQ(v.size(), 4u);
+  for (std::uint64_t i = 0; i < 4; ++i) EXPECT_EQ(v[i], i);
+}
+
+TEST(SmallVec, SpillsPastInlineCapacityAndKeepsContents) {
+  SmallVec<std::uint64_t, 4> v;
+  for (std::uint64_t i = 0; i < 100; ++i) v.push_back(i);
+  EXPECT_TRUE(v.spilled());
+  ASSERT_EQ(v.size(), 100u);
+  for (std::uint64_t i = 0; i < 100; ++i) EXPECT_EQ(v[i], i);
+}
+
+TEST(SmallVec, InitializerListAndVectorAssignment) {
+  SmallVec<std::uint64_t, 4> v;
+  v = {7, 8, 9};
+  ASSERT_EQ(v.size(), 3u);
+  EXPECT_EQ(v[2], 9u);
+
+  std::vector<std::uint64_t> big(40);
+  std::iota(big.begin(), big.end(), 1);
+  v = big;
+  EXPECT_TRUE(v.spilled());
+  ASSERT_EQ(v.size(), 40u);
+  EXPECT_EQ(v[39], 40u);
+  EXPECT_EQ(v.to_vector(), big);
+
+  v = {1};  // shrink keeps the spill block but logical size drops
+  ASSERT_EQ(v.size(), 1u);
+  EXPECT_EQ(v[0], 1u);
+}
+
+TEST(SmallVec, EndInsertAppendsRanges) {
+  SmallVec<std::uint64_t, 4> v{1, 2};
+  const std::vector<std::uint64_t> tail = {3, 4, 5, 6, 7};
+  v.insert(v.end(), tail.begin(), tail.end());
+  ASSERT_EQ(v.size(), 7u);
+  EXPECT_TRUE(v.spilled());
+  EXPECT_EQ(v[0], 1u);
+  EXPECT_EQ(v[6], 7u);
+}
+
+TEST(SmallVec, CopyAndMovePreserveContentsAndEmptyTheMovedFrom) {
+  SmallVec<std::uint64_t, 4> v;
+  for (std::uint64_t i = 0; i < 32; ++i) v.push_back(i);
+  SmallVec<std::uint64_t, 4> copy(v);
+  EXPECT_TRUE(copy == v);
+
+  SmallVec<std::uint64_t, 4> moved(std::move(v));
+  EXPECT_TRUE(moved == copy);
+  EXPECT_TRUE(v.empty());      // NOLINT(bugprone-use-after-move)
+  EXPECT_FALSE(v.spilled());   // moved-from resets to inline empty
+
+  SmallVec<std::uint64_t, 4> inline_src{1, 2, 3};
+  SmallVec<std::uint64_t, 4> inline_moved(std::move(inline_src));
+  ASSERT_EQ(inline_moved.size(), 3u);
+  EXPECT_EQ(inline_moved[1], 2u);
+}
+
+TEST(SmallVec, SpillsIntoTheBoundArenaAndReturnsBlocksOnDestruction) {
+  Arena arena;
+  {
+    ScopedArenaBind bind(&arena);
+    SmallVec<std::uint64_t, 4> v;
+    for (std::uint64_t i = 0; i < 64; ++i) v.push_back(i);
+    EXPECT_TRUE(v.spilled());
+    EXPECT_GT(arena.bytes_in_use(), 0u);
+    EXPECT_EQ(v[63], 63u);
+  }
+  // Destruction returned every block to the arena's freelists.
+  EXPECT_EQ(arena.bytes_in_use(), 0u);
+  EXPECT_GT(arena.high_water(), 0u);
+}
+
+TEST(SmallVec, UnboundContextsSpillToTheHeap) {
+  ASSERT_EQ(Arena::current(), nullptr);
+  SmallVec<std::uint64_t, 4> v;
+  for (std::uint64_t i = 0; i < 64; ++i) v.push_back(i);
+  EXPECT_TRUE(v.spilled());
+  EXPECT_EQ(v.to_vector().size(), 64u);
+}
+
+TEST(SmallVec, ScopedBindNestsAndRestores) {
+  Arena a, b;
+  EXPECT_EQ(Arena::current(), nullptr);
+  {
+    ScopedArenaBind outer(&a);
+    EXPECT_EQ(Arena::current(), &a);
+    {
+      ScopedArenaBind inner(&b);
+      EXPECT_EQ(Arena::current(), &b);
+    }
+    EXPECT_EQ(Arena::current(), &a);
+  }
+  EXPECT_EQ(Arena::current(), nullptr);
+}
+
+TEST(MessageSizeBits, AccountingIsIdenticalForInlineAndSpilledStorage) {
+  // The paper's charge model: header (src+dst+type) + 64 bits per word +
+  // 8 per blob byte + opaque payload bits — regardless of where the words
+  // physically live.
+  Message small;
+  small.words = {1, 2, 3};
+  small.payload_bits = 17;
+  EXPECT_FALSE(small.words.spilled());
+  EXPECT_EQ(small.size_bits(), 3 * 64 + 3 * 64 + 17u);
+
+  Message big;
+  for (std::uint64_t i = 0; i < 50; ++i) big.words.push_back(i);
+  big.blob.assign(100, std::uint8_t{0xAB});
+  EXPECT_TRUE(big.words.spilled());
+  EXPECT_TRUE(big.blob.spilled());
+  EXPECT_EQ(big.size_bits(), 3 * 64 + 50 * 64 + 100 * 8u);
+
+  // Copies and moves never change the charge.
+  const Message copy = big;
+  EXPECT_EQ(copy.size_bits(), big.size_bits());
+  const Message moved = std::move(big);
+  EXPECT_EQ(moved.size_bits(), copy.size_bits());
+}
+
+TEST(MessageSizeBits, CommonProtocolShapesStayInline) {
+  // Re-formation invites are the largest fixed-layout message (12 words);
+  // everything smaller — counts, accepts, inquiries, probes — must not
+  // touch an allocator at all.
+  Message invite;
+  invite.words = {1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12};
+  EXPECT_FALSE(invite.words.spilled());
+  Message inquiry;
+  inquiry.words = {42, 77};
+  EXPECT_FALSE(inquiry.words.spilled());
+}
+
+}  // namespace
+}  // namespace churnstore
