@@ -47,7 +47,7 @@ CHURNSTORE_SCENARIO(baselines,
 
   Runner runner(base);
   Table t({"system", "n", "churn/rd", "locate rate", "censored", "avail",
-           "avail ci95", "mean bits/node/rd"});
+           "avail ci95", "locate rds", "mean bits/node/rd"});
   for (const std::uint32_t n : base.ns) {
     for (const double cm : {0.0, 0.25, base.churn.multiplier,
                             2 * base.churn.multiplier}) {
@@ -63,11 +63,15 @@ CHURNSTORE_SCENARIO(baselines,
             .cell(res.locate_rate(), 3)
             .cell(res.censored)
             .cell(res.availability.mean(), 3)
-            .cell(res.availability.ci95_halfwidth(), 3);
-        if (stack == "chord") {
-          // ChordSim routes in its own ring simulator; its overlay traffic
-          // is not charged to Network metrics, so a 0 here would read as
-          // "free" next to the accounted stacks.
+            .cell(res.availability.ci95_halfwidth(), 3)
+            .cell(res.locate_rounds.count() ? res.locate_rounds.mean() : 0.0,
+                  1);
+        if (stack == "chord" && cell.extra("chord", "net") == "ring") {
+          // The legacy ring sim routes in its own simulator; its overlay
+          // traffic is not charged to Network metrics, so a 0 here would
+          // read as "free" next to the accounted stacks. chord=net (the
+          // default) charges every lookup/stabilize/transfer for real and
+          // reports measured bits like everyone else.
           t.cell("n/a (overlay msgs)");
         } else {
           t.cell(res.bits_node_round_mean.mean(), 0);

@@ -10,6 +10,7 @@
 //
 //   bench_driver --scenario=capacity                         # n=100000
 //   bench_driver --scenario=capacity n=16384 shard-sweep=1,4,16
+//   bench_driver --scenario=capacity protocol=chord n=100000  # DHT at scale
 //
 // Keys: shard-sweep (default 1,4,16), measure-rounds (default 2 tau),
 // items, searches; threads caps the pool (0 = hardware). Besides total
@@ -58,9 +59,12 @@ CHURNSTORE_SCENARIO(capacity,
     for (const std::uint32_t shards : sweep) {
       SystemConfig cfg = base.with_n(n).system_config();
       cfg.sim.shards = shards;
-      P2PSystem sys(cfg);
+      // Any registered stack runs here (protocol=chord measures the DHT at
+      // capacity scale); the soup phase column is 0 for soup-less stacks.
+      BuiltSystem built = build_stack(base.protocol, cfg, base.extras);
+      P2PSystem& sys = *built.system;
       if (shards != 1 && base.parallel) sys.set_shard_pool(&pool);
-      ChurnstoreService svc(sys);
+      StorageService& svc = *built.service;
       Rng workload(mix64(base.seed ^ 0x63617061ULL));
 
       sys.run_rounds(sys.warmup_rounds());
@@ -121,7 +125,10 @@ CHURNSTORE_SCENARIO(capacity,
           .cell(phase_rps(ph.soup_secs), 2)
           .cell(phase_rps(ph.handler_secs), 2)
           .cell(phase_rps(ph.deliver_secs + ph.dispatch_secs), 2)
-          .cell(static_cast<std::uint64_t>(sys.soup().tokens_alive()))
+          .cell(static_cast<std::uint64_t>(
+              sys.find_protocol<TokenSoup>() != nullptr
+                  ? sys.soup().tokens_alive()
+                  : 0))
           .cell(static_cast<std::uint64_t>(sids.size()))
           .cell(sids.empty() ? 0.0
                              : static_cast<double>(located) /

@@ -5,6 +5,12 @@
 // record per-node per-round bit counts across an n sweep. If traffic were
 // linear in n the bits/ln^2(n) column would blow up with n; polylog keeps
 // it near-constant (the soup's Theta(log^2 n) token forwarding dominates).
+//
+// `protocol=` swaps the stack under the same measurement: protocol=chord
+// (chord=net) charges its lookup/stabilize/transfer messages through the
+// same Network path, so the DHT's maintenance cost curve is measured
+// like-for-like against the paper stack — the comparison the old ring-sim
+// Chord could only estimate.
 #include <cmath>
 
 #include "scenario_common.h"

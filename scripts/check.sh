@@ -10,6 +10,10 @@
 #                               # (build-asan/, leak/lifetime checks on the
 #                               # arena-backed containers: SmallVec spill,
 #                               # sample cohorts, token queues, lanes)
+#   scripts/check.sh --smoke    # run EVERY registered scenario once at tiny
+#                               # n (<= 2k, trials=1) so a scenario that
+#                               # crashes or rejects its own spec fails CI,
+#                               # not the next person's experiment sweep
 #   BUILD_DIR=out scripts/check.sh
 set -euo pipefail
 
@@ -18,11 +22,15 @@ JOBS="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
 
 TSAN=0
 ASAN=0
+SMOKE=0
 if [[ "${1:-}" == "--tsan" ]]; then
   TSAN=1
   shift
 elif [[ "${1:-}" == "--asan" ]]; then
   ASAN=1
+  shift
+elif [[ "${1:-}" == "--smoke" ]]; then
+  SMOKE=1
   shift
 fi
 
@@ -31,7 +39,44 @@ if command -v ninja >/dev/null 2>&1; then
   GENERATOR_ARGS+=(-G Ninja)
 fi
 
-SANITIZED_FILTER='Sharded*:ThreadPool*:Arena*:ShardPlan*:SampleBuffer*:SampleCohorts*:ShardedArrivals*:SmallVec*:Message*:Mixed*:BitCharge*'
+SANITIZED_FILTER='Sharded*:ThreadPool*:Arena*:ShardPlan*:SampleBuffer*:SampleCohorts*:ShardedArrivals*:SmallVec*:Message*:Mixed*:BitCharge*:ChordNet*'
+
+if [[ "$SMOKE" == "1" ]]; then
+  # Scenario smoke: every registered scenario once, tiny spec (n <= 2k,
+  # trials=1). Scenario-level regressions (a crash, a spec-validation
+  # failure, a scenario that stopped registering) fail here instead of in
+  # someone's experiment sweep. Per-scenario overrides keep the expensive
+  # defaults (capacity n=100k, soup_step n=16k, storage 20-tau horizons)
+  # down at smoke scale.
+  BUILD_DIR="${BUILD_DIR:-build}"
+  cmake -B "$BUILD_DIR" -S . "${GENERATOR_ARGS[@]}" \
+    -DCHURNSTORE_WARNINGS_AS_ERRORS=ON
+  cmake --build "$BUILD_DIR" -j "$JOBS" --target bench_driver
+  DRIVER="$BUILD_DIR/bench_driver"
+  TINY="n=256 trials=1 items=1 searches=3 batches=1 age-taus=0.5"
+  SCENARIOS="$("$DRIVER" --list | awk '/^  /{print $1}')"
+  [[ -n "$SCENARIOS" ]] || { echo "smoke: no scenarios registered"; exit 1; }
+  for sc in $SCENARIOS; do
+    EXTRA=""
+    case "$sc" in
+      capacity)  EXTRA="shard-sweep=1,2 measure-rounds=8" ;;
+      chord)     EXTRA="chord=both" ;;
+      committee) EXTRA="periods=2" ;;
+      mixing)    EXTRA="probes=2000" ;;
+      soup)      EXTRA="probes=4" ;;
+      soup_step) EXTRA="steps=8 shard-sweep=1,2" ;;
+      storage)   EXTRA="horizon-taus=2" ;;
+      survival)  EXTRA="probes=4" ;;
+      churn_limit) EXTRA="steps=2" ;;
+    esac
+    echo "== smoke: $sc $TINY $EXTRA"
+    # shellcheck disable=SC2086
+    "$DRIVER" --scenario="$sc" $TINY $EXTRA >/dev/null
+  done
+  echo
+  echo "check.sh --smoke: every registered scenario ran at tiny n"
+  exit 0
+fi
 
 if [[ "$ASAN" == "1" ]]; then
   # ASan+UBSan build: every arena-backed container (SmallVec message

@@ -83,7 +83,10 @@ class ChordSim {
   std::uint64_t stabilize_messages_ = 0;
 };
 
-/// Chord on the shared simulation driver. The ring simulator keeps its own
+/// Chord on the shared simulation driver — the LEGACY `chord=ring` stack
+/// variant (the default `chord=net` is the message-accurate
+/// baseline/chord_net/ subsystem, whose lookup-success numbers this
+/// adapter matches at zero churn). The ring simulator keeps its own
 /// idealized routing (see ChordSim above) and ignores the expander topology;
 /// what the adapter synchronizes is the ROUND CLOCK and the churn VOLUME:
 /// every network round advances the ring one round with the same per-round

@@ -6,6 +6,7 @@
 #include <string>
 #include <unordered_map>
 
+#include "baseline/chord_net/chord_net.h"
 #include "core/kv_store.h"
 #include "core/runner.h"
 #include "core/stacks.h"
@@ -198,14 +199,72 @@ class KvWorkloadService final : public StorageService {
   std::unordered_map<std::uint64_t, Round> start_round_;
 };
 
+/// workload=kv over the Chord stack: string keys hash to item ids, puts
+/// carry real payload bytes, and gets route through iterative
+/// find_successor lookups — `fetched` means the returned bytes
+/// hash-verified against the stored value.
+class ChordKvWorkloadService final : public StorageService {
+ public:
+  explicit ChordKvWorkloadService(ChordNetProtocol& chord,
+                                  std::uint64_t item_bits)
+      : chord_(chord), item_bits_(item_bits) {}
+
+  bool try_store(Vertex creator, ItemId item) override {
+    // Same "not ready" gate as ChordNetProtocol::try_store: an unjoined
+    // creator cannot route the placement, and counting it as stored would
+    // deflate workload=kv availability relative to store-search.
+    if (!chord_.is_joined(creator)) return false;
+    const ItemId id = key_to_item(item);
+    return chord_.put(creator, id, make_payload(id, item_bits_));
+  }
+  [[nodiscard]] std::uint64_t begin_search(Vertex initiator,
+                                           ItemId item) override {
+    return chord_.get(initiator, key_to_item(item));
+  }
+  [[nodiscard]] WorkloadOutcome search_outcome(
+      std::uint64_t sid) const override {
+    return chord_.search_outcome(sid);
+  }
+  [[nodiscard]] std::uint32_t search_timeout() const override {
+    return chord_.search_timeout();
+  }
+  [[nodiscard]] std::size_t copies_alive(ItemId item) const override {
+    return chord_.copies_alive(key_to_item(item));
+  }
+
+ private:
+  /// Content addressing like KvStore: key string -> item id.
+  [[nodiscard]] static ItemId key_to_item(ItemId item) {
+    return KvStore::key_to_item("item/" + std::to_string(item));
+  }
+
+  ChordNetProtocol& chord_;
+  std::uint64_t item_bits_;
+};
+
 }  // namespace
 
 StoreSearchResult run_store_search_trial(const ScenarioSpec& spec,
                                          ThreadPool* shard_pool) {
   if (spec.workload_kind == "kv") {
+    if (spec.protocol == "chord") {
+      // Verified fetches route through Chord find_successor lookups.
+      BuiltSystem built =
+          build_stack(spec.protocol, spec.system_config(), spec.extras);
+      auto* chord = built.system->find_protocol<ChordNetProtocol>();
+      if (chord == nullptr) {
+        throw std::invalid_argument(
+            "workload=kv with protocol=chord requires chord=net");
+      }
+      built.system->set_shard_pool(shard_pool);
+      ChordKvWorkloadService svc(*chord,
+                                 spec.system_config().protocol.item_bits);
+      return drive_store_search(*built.system, svc, spec.workload, spec.seed);
+    }
     // The kv facade drives Store/Search managers directly: paper stack only.
     if (spec.protocol != "churnstore") {
-      throw std::invalid_argument("workload=kv requires protocol=churnstore");
+      throw std::invalid_argument(
+          "workload=kv requires protocol=churnstore or protocol=chord");
     }
     P2PSystem sys(spec.system_config());
     sys.set_shard_pool(shard_pool);

@@ -53,8 +53,9 @@ std::set<std::string>& extra_key_registry() {
       "horizon-taus", "measure-rounds", "periods", "probes", "shard-sweep",
       "steps",
       // stack knobs (core/stacks.cpp builders)
-      "chord-replication", "chord-stabilize", "flood-refresh",
-      "probes-per-round", "replication", "replication-mult", "walkers",
+      "chord", "chord-replicate", "chord-replication", "chord-stabilize",
+      "flood-refresh", "probes-per-round", "replication", "replication-mult",
+      "walkers",
   };
   return keys;
 }

@@ -44,6 +44,17 @@ enum class MsgType : std::uint32_t {
   kFloodData,
   kProbe,
   kProbeHit,
+  // Chord DHT on the Network layer (baseline/chord_net). Iterative
+  // find_successor routing plus ring maintenance, all as charged messages.
+  kChordLookup,          ///< initiator -> hop: route key ([key, token, want_data])
+  kChordLookupReply,     ///< hop -> initiator: next hop, or holder + succ list
+  kChordStabilize,       ///< node -> successor: "who is your predecessor?"
+  kChordStabilizeReply,  ///< successor -> node: predecessor + successor list
+  kChordNotify,          ///< node -> successor: "I might be your predecessor"
+  kChordFetch,           ///< initiator -> holder: retrieve item payload
+  kChordFetchReply,      ///< holder -> initiator: payload blob (or not-found)
+  kChordTransfer,        ///< replica push / range handover (carries payload)
+  kChordStoreAck,        ///< holder -> store initiator: copy placed
 };
 
 /// Inline word capacity. Every fixed-layout message in the repo — committee

@@ -1,0 +1,39 @@
+// Staggered per-vertex maintenance schedule.
+//
+// Periodic protocol work (Chord stabilization, flooding refresh, replica
+// repair) should not fire for every vertex in the same round: a synchronized
+// pulse doubles the per-round peak traffic the paper's per-node bound is
+// measured against. PeriodicSchedule answers "is vertex v due in round r"
+// with each vertex on its own phase, derived by hashing the vertex index —
+// a pure function of (period, v, r), so the schedule is identical for every
+// shard count and safe to query concurrently from shard tasks.
+#pragma once
+
+#include <cstdint>
+
+#include "net/types.h"
+#include "util/rng.h"
+
+namespace churnstore {
+
+class PeriodicSchedule {
+ public:
+  /// period = rounds between ticks per vertex; 0 disables (never due).
+  explicit PeriodicSchedule(std::uint32_t period = 0) noexcept
+      : period_(period) {}
+
+  [[nodiscard]] std::uint32_t period() const noexcept { return period_; }
+
+  /// True when vertex `v` is due for its periodic tick in round `r`.
+  [[nodiscard]] bool due(Vertex v, Round r) const noexcept {
+    if (period_ == 0) return false;
+    if (period_ == 1) return true;
+    const std::uint64_t phase = mix64(v) % period_;
+    return (static_cast<std::uint64_t>(r) % period_) == phase;
+  }
+
+ private:
+  std::uint32_t period_;
+};
+
+}  // namespace churnstore

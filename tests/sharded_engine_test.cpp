@@ -9,11 +9,12 @@
 #include <tuple>
 #include <vector>
 
-#include "baseline/chord.h"
+#include "baseline/chord_net/chord_net.h"
 #include "core/experiment.h"
 #include "core/runner.h"
 #include "core/system.h"
 #include "net/network.h"
+#include "storage/item.h"
 #include "util/sharding.h"
 #include "util/thread_pool.h"
 #include "walk/token_soup.h"
@@ -393,6 +394,9 @@ struct MixedRun {
   StackRun stack;  ///< reuses only the metric fields (no searches driven)
   std::uint64_t tap_seen = 0;
   std::uint64_t tap_order = 0;
+  std::uint64_t chord_ok = 0;
+  std::uint64_t chord_hops = 0;
+  std::uint64_t chord_joins = 0;
 };
 
 MixedRun run_mixed_chord_stack(std::uint32_t n, std::uint32_t shards,
@@ -406,7 +410,9 @@ MixedRun run_mixed_chord_stack(std::uint32_t n, std::uint32_t shards,
   cfg.sim.edge_dynamics = EdgeDynamics::kRewire;
   cfg.sim.shards = shards;
   auto mods = P2PSystem::paper_protocols(cfg);
-  mods.push_back(std::make_unique<ChordBaseline>());
+  auto chord = std::make_unique<ChordNetProtocol>();
+  ChordNetProtocol* chord_raw = chord.get();
+  mods.push_back(std::move(chord));
   auto tap = std::make_unique<SerialProbeTap>();
   SerialProbeTap* tap_raw = tap.get();
   mods.push_back(std::move(tap));
@@ -423,6 +429,17 @@ MixedRun run_mixed_chord_stack(std::uint32_t n, std::uint32_t shards,
       sys.run_round();
     }
   }
+  // Chord traffic rides the same rounds: puts + gets through the DHT while
+  // the paper stack stores and the serial tap probes.
+  std::vector<std::uint64_t> chord_sids;
+  for (std::uint32_t i = 0; i < 2; ++i) {
+    const ItemId item = mix64(4000 + i) | 1;
+    if (chord_raw->put(static_cast<Vertex>(workload.next_below(n)), item,
+                       make_payload(item, 512))) {
+      chord_sids.push_back(
+          chord_raw->get(static_cast<Vertex>(workload.next_below(n)), item));
+    }
+  }
   sys.run_rounds(2 * sys.tau());
 
   MixedRun run;
@@ -436,19 +453,23 @@ MixedRun run_mixed_chord_stack(std::uint32_t n, std::uint32_t shards,
   run.stack.max_bits = m.max_bits_per_node_round();
   run.tap_seen = tap_raw->seen();
   run.tap_order = tap_raw->order_hash();
+  run.chord_ok = chord_raw->stats().searches_ok;
+  run.chord_hops = chord_raw->stats().hop_messages;
+  run.chord_joins = chord_raw->stats().joins_completed;
   return run;
 }
 
-TEST(MixedDispatchStack, ChordPlusChurnstoreKeepsShardLanesAndStaysInvariant) {
-  // One serial-dispatch protocol used to force the WHOLE stack onto the
-  // serial dispatch path. With per-protocol gating, only the tap's probes
-  // drain serially; the churnstore handlers ahead of it stay on shard
-  // lanes — and everything (metrics, tap count, tap ORDER) must still be
+TEST(MixedDispatchStack, ChordNetPlusChurnstoreRunsFullyShardedAndInvariant) {
+  // chord=net is a fully sharded protocol (round AND dispatch), so the old
+  // serial carve-out is gone: in a mixed stack only the serial tap's probes
+  // drain serially, while churnstore AND chord handlers run on shard lanes.
+  // Everything — metrics, tap count/ORDER, chord lookup counters — must be
   // bit-identical for S in {1, 3, 16}, serial or pooled.
   ThreadPool pool(4);
   const MixedRun s1 = run_mixed_chord_stack(194, 1, nullptr);
   ASSERT_GT(s1.tap_seen, 0u) << "serial tap never saw its probes";
   ASSERT_GT(s1.stack.committees_formed, 0u);
+  ASSERT_GT(s1.chord_hops, 0u) << "no chord routing traffic; mixed case weak";
   ASSERT_GT(s1.stack.total_messages, s1.tap_seen)
       << "no sharded-protocol traffic; the mixed case is vacuous";
   const MixedRun s3 = run_mixed_chord_stack(194, 3, &pool);
@@ -457,6 +478,9 @@ TEST(MixedDispatchStack, ChordPlusChurnstoreKeepsShardLanesAndStaysInvariant) {
     EXPECT_EQ(s1.tap_seen, other->tap_seen);
     EXPECT_EQ(s1.tap_order, other->tap_order)
         << "serial continuation ran in a shard-count-dependent order";
+    EXPECT_EQ(s1.chord_ok, other->chord_ok);
+    EXPECT_EQ(s1.chord_hops, other->chord_hops);
+    EXPECT_EQ(s1.chord_joins, other->chord_joins);
     EXPECT_EQ(s1.stack.committees_formed, other->stack.committees_formed);
     EXPECT_EQ(s1.stack.landmarks_created, other->stack.landmarks_created);
     EXPECT_EQ(s1.stack.total_messages, other->stack.total_messages);
@@ -491,9 +515,9 @@ void expect_identical_results(const StoreSearchResult& a,
 }
 
 TEST(ShardedBaselines, EveryStackIsShardCountInvariantThroughTheRunner) {
-  // flooding / k-walker / sqrt-replication run their round work and message
-  // handlers on the shard lanes; chord exercises the serial-dispatch
-  // fallback under a pool. All must be S-invariant end to end.
+  // flooding / k-walker / sqrt-replication / chord=net all run their round
+  // work and message handlers on the shard lanes. All must be S-invariant
+  // end to end through the nested Runner.
   for (const char* protocol :
        {"flooding", "k-walker", "sqrt-replication", "chord"}) {
     ScenarioSpec base = ScenarioSpec::from_cli(
