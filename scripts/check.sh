@@ -14,6 +14,10 @@
 #                               # n (<= 2k, trials=1) so a scenario that
 #                               # crashes or rejects its own spec fails CI,
 #                               # not the next person's experiment sweep
+#   scripts/check.sh --lint     # shardcheck determinism linter over
+#                               # src/ bench/ tests/, cross-checked against
+#                               # compile_commands.json so the lint file list
+#                               # can never drift from what CMake compiles
 #   BUILD_DIR=out scripts/check.sh
 set -euo pipefail
 
@@ -23,6 +27,7 @@ JOBS="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
 TSAN=0
 ASAN=0
 SMOKE=0
+LINT=0
 if [[ "${1:-}" == "--tsan" ]]; then
   TSAN=1
   shift
@@ -31,6 +36,9 @@ elif [[ "${1:-}" == "--asan" ]]; then
   shift
 elif [[ "${1:-}" == "--smoke" ]]; then
   SMOKE=1
+  shift
+elif [[ "${1:-}" == "--lint" ]]; then
+  LINT=1
   shift
 fi
 
@@ -75,6 +83,23 @@ if [[ "$SMOKE" == "1" ]]; then
   done
   echo
   echo "check.sh --smoke: every registered scenario ran at tiny n"
+  exit 0
+fi
+
+if [[ "$LINT" == "1" ]]; then
+  # shardcheck: static enforcement of the ShardContext determinism contract
+  # (rule catalog in tools/shardcheck/shardcheck.h, rationale in README).
+  # The scan is cross-checked against compile_commands.json: if the CMake
+  # glob and the lint walk ever disagree about which .cpp files exist, the
+  # run fails instead of silently skipping the new file.
+  BUILD_DIR="${BUILD_DIR:-build}"
+  cmake -B "$BUILD_DIR" -S . "${GENERATOR_ARGS[@]}" \
+    -DCHURNSTORE_WARNINGS_AS_ERRORS=ON -DCMAKE_EXPORT_COMPILE_COMMANDS=ON
+  cmake --build "$BUILD_DIR" -j "$JOBS" --target shardcheck
+  "$BUILD_DIR"/shardcheck --root=. \
+    --compile-commands="$BUILD_DIR"/compile_commands.json src bench tests
+  echo
+  echo "check.sh --lint: shardcheck clean (0 unsuppressed diagnostics)"
   exit 0
 fi
 

@@ -369,6 +369,7 @@ void ChordNetProtocol::maintain_join(Vertex v, NodeState& s, Round now) {
   lookups_[v].push_back(std::move(lk));
 }
 
+// shardcheck:sharded-hook(called from the sharded on_round_begin lane)
 void ChordNetProtocol::tick_stabilize(Vertex v, NodeState& s, Round now,
                                       ShardContext& ctx, LookupStats& st) {
   // check_predecessor, without a ping: a live predecessor re-notifies every
@@ -428,6 +429,7 @@ void ChordNetProtocol::tick_stabilize(Vertex v, NodeState& s, Round now,
   ++st.maintenance_messages;
 }
 
+// shardcheck:sharded-hook(called from the sharded on_round_begin lane)
 void ChordNetProtocol::tick_replicate(Vertex v, NodeState& s, Round now,
                                       ShardContext& ctx, LookupStats& st) {
   if (s.pred == kNoPeer || s.succ.empty()) return;
@@ -458,6 +460,7 @@ void ChordNetProtocol::tick_replicate(Vertex v, NodeState& s, Round now,
   }
 }
 
+// shardcheck:sharded-hook(called from the sharded on_round_begin lane)
 void ChordNetProtocol::advance_lookups(Vertex v, Round now, ShardContext& ctx,
                                        LookupStats& st) {
   auto& list = lookups_[v];
@@ -523,6 +526,7 @@ Message ChordNetProtocol::make_lookup(PeerId src, PeerId dst,
   return m;
 }
 
+// shardcheck:sharded-hook(called from both sharded lanes: round begin and dispatch)
 bool ChordNetProtocol::issue_hop(Vertex v, Lookup& lk, Round now,
                                  ShardContext& ctx, LookupStats& st) {
   NodeState& s = nodes_[v];
@@ -588,6 +592,7 @@ bool ChordNetProtocol::issue_hop(Vertex v, Lookup& lk, Round now,
   return false;
 }
 
+// shardcheck:sharded-hook(called from both sharded lanes: round begin and dispatch)
 bool ChordNetProtocol::complete_resolution(Vertex v, Lookup& lk,
                                            std::vector<Entry> candidates,
                                            Round now, ShardContext& ctx,
@@ -664,6 +669,7 @@ bool ChordNetProtocol::complete_resolution(Vertex v, Lookup& lk,
   return true;
 }
 
+// shardcheck:sharded-hook(called from both sharded lanes: round begin and dispatch)
 bool ChordNetProtocol::advance_fetch(Vertex v, Lookup& lk, Round now,
                                      ShardContext& ctx, LookupStats& st) {
   const PeerId self = net().peer_at(v);
@@ -707,6 +713,7 @@ bool ChordNetProtocol::advance_fetch(Vertex v, Lookup& lk, Round now,
   return true;
 }
 
+// shardcheck:sharded-hook(called from both sharded lanes: round begin and dispatch)
 void ChordNetProtocol::finish_search_failure(const Lookup& lk, Round now,
                                              LookupStats& st) {
   (void)now;
@@ -717,6 +724,7 @@ void ChordNetProtocol::finish_search_failure(const Lookup& lk, Round now,
   ++st.searches_failed;
 }
 
+// shardcheck:sharded-hook(called from the sharded on_round_begin lane)
 void ChordNetProtocol::send_notify(Vertex v, const NodeState& s,
                                    ShardContext& ctx, LookupStats& st) {
   if (s.succ.empty()) return;
@@ -729,6 +737,7 @@ void ChordNetProtocol::send_notify(Vertex v, const NodeState& s,
   ++st.maintenance_messages;
 }
 
+// shardcheck:sharded-hook(called from both sharded lanes: round begin and dispatch)
 void ChordNetProtocol::send_transfer(Vertex v, PeerId to, ItemId item,
                                      const std::vector<std::uint8_t>& bytes,
                                      bool primary, ShardContext& ctx,

@@ -101,8 +101,10 @@ std::size_t CommitteeManager::alive_members(std::uint64_t kid) const {
   return alive;
 }
 
+// shardcheck:sharded-hook(called from send_invites on the shard lanes; the serial create path obeys the same rules)
 std::vector<PeerId> CommitteeManager::pick_sources(Vertex v, Round anchor,
                                                    std::uint32_t want,
+                                                   // shardcheck:ok(R1: callers pass their own per-vertex vertex_rng, never a shared sequence)
                                                    Rng& rng) const {
   const PeerId self = net().peer_at(v);
   std::vector<PeerId> out;
@@ -186,6 +188,7 @@ bool CommitteeManager::create(Vertex creator, std::uint64_t kid,
   return true;
 }
 
+// shardcheck:sharded-hook(runs on the shard lanes via run_cycle_phase)
 void CommitteeManager::send_invites(Vertex v, Membership& m, Round now,
                                     Round anchor, ShardContext& ctx) {
   (void)now;
@@ -226,6 +229,7 @@ void CommitteeManager::send_invites(Vertex v, Membership& m, Round now,
   m.best_alive_rank = std::min(m.best_alive_rank, m.my_rank);
 }
 
+// shardcheck:sharded-hook(runs on the shard lanes via run_cycle_phase)
 void CommitteeManager::confirm_committee(Vertex v, Membership& m, Round now,
                                          Round anchor, ShardContext& ctx,
                                          ShardStage& stage) {
@@ -299,6 +303,7 @@ void CommitteeManager::confirm_committee(Vertex v, Membership& m, Round now,
   (void)now;
 }
 
+// shardcheck:sharded-hook(per-vertex phase driver called from the sharded on_round_begin lane)
 void CommitteeManager::run_cycle_phase(Vertex v, Membership& m, Round now,
                                        std::uint64_t t_mod, Round anchor,
                                        ShardContext& ctx, ShardStage& stage) {
@@ -400,6 +405,7 @@ void CommitteeManager::on_round_begin(std::uint32_t shard, ShardContext& ctx) {
     auto& pn = pending_[v];
 
     // Invitee side: accept the best-ranked invitation received last round.
+    // shardcheck:ok(R2: per-vertex map whose insertion history is fixed by the canonical dispatch order, so bucket order is the same for every shard count; pinned by the ShardedFullStack S-invariance tests)
     for (auto it = pn.begin(); it != pn.end();) {
       PendingJoin& pj = it->second;
       if (!pj.accept_sent && pj.received == now - 1) {
@@ -419,6 +425,7 @@ void CommitteeManager::on_round_begin(std::uint32_t shard, ShardContext& ctx) {
     }
 
     to_erase.clear();
+    // shardcheck:ok(R2: same as above — insertion history of state_[v] is S-invariant, so the emission order this loop produces is too)
     for (auto& [kid, m] : st) {
       if (m.expire >= 0 && now >= m.expire) {
         to_erase.push_back(kid);

@@ -21,21 +21,36 @@
 //   for p: p.on_dispatch_merge()       serial staging merge after dispatch
 //   for p in protocols: p.on_round_end()     end-of-round bookkeeping
 //
-// The ShardContext contract (what a sharded hook body may do):
+// The ShardContext contract (what a sharded hook body may do). The
+// mechanically checkable clauses are enforced by the in-repo linter,
+// tools/shardcheck (scripts/check.sh --lint); the [shardcheck-Rn] tags
+// below name the rule that guards each clause:
 //   - read/write state owned by vertices in [ctx.begin(), ctx.end()) only,
-//     iterating them in ASCENDING order;
+//     iterating them in ASCENDING order — and never iterate unordered
+//     containers, whose bucket order is not shard-count-invariant
+//     [shardcheck-R2];
 //   - read any state that no protocol mutates during the current phase
 //     (the graph, peer table, sibling protocols' per-vertex state);
 //   - send through ctx.send and charge through ctx.charge — both stage
 //     into the shard's lane and merge in canonical (shard, vertex) order,
-//     so the observable stream is independent of the shard count;
+//     so the observable stream is independent of the shard count; direct
+//     net().send / un-deferred charges are banned [shardcheck-R3];
 //   - stage every cross-shard mutation (global registries, index maps,
 //     global counters) per shard and apply it in on_round_merge /
-//     on_dispatch_merge, scanning shards in ascending order;
+//     on_dispatch_merge, scanning shards in ascending order (merge bodies
+//     are also R2-checked — unordered iteration there leaks bucket order
+//     into the observable stream);
 //   - draw randomness from counter-based per-(round, vertex) streams
-//     (util/rng.h stream_rng), never from a shared sequential Rng.
+//     (util/rng.h stream_rng), never from a shared sequential Rng
+//     [shardcheck-R1] — and, everywhere in src/, never from ambient
+//     sources (rand, std::random_device, wall clocks) or mutable static
+//     state [shardcheck-R4]; pointer-keyed ordering is equally
+//     non-deterministic across runs [shardcheck-R5].
 // Under that contract the SAME seed is bit-identical for EVERY shards=
-// value, serial or pooled (tests/sharded_engine_test.cpp).
+// value, serial or pooled (tests/sharded_engine_test.cpp). Helper
+// functions reachable only from sharded hooks opt into the same checks
+// with the linter's sharded-hook annotation comment above their
+// definition (syntax in tools/shardcheck/shardcheck.h).
 //
 // Attachment: on_attach(net) is called exactly once, before the first
 // round, in registration order. The base implementation records the network

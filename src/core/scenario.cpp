@@ -48,6 +48,7 @@ const char* const kKnownKeys[] = {
 /// Scenario-/stack-specific knobs shipped in-tree; out-of-tree code extends
 /// the set through ScenarioSpec::accept_extra_key.
 std::set<std::string>& extra_key_registry() {
+  // shardcheck:ok(R4: Meyers registry mutated only during static init and CLI parsing, before any round runs)
   static std::set<std::string> keys = {
       // scenario knobs
       "horizon-taus", "measure-rounds", "periods", "probes", "shard-sweep",
@@ -333,6 +334,7 @@ void emit_table(const Table& table, const ScenarioSpec& spec,
 }
 
 ScenarioRegistry& ScenarioRegistry::instance() {
+  // shardcheck:ok(R4: Meyers singleton registry — populated by static initializers, read-only once trials start)
   static ScenarioRegistry registry;
   return registry;
 }
@@ -348,10 +350,10 @@ const ScenarioDef* ScenarioRegistry::find(std::string_view name) const {
 }
 
 std::vector<const ScenarioDef*> ScenarioRegistry::all() const {
-  std::vector<const ScenarioDef*> out;
-  out.reserve(defs_.size());
-  for (const auto& [name, def] : defs_) out.push_back(&def);
-  return out;
+  std::vector<const ScenarioDef*> defs;
+  defs.reserve(defs_.size());
+  for (const auto& [name, def] : defs_) defs.push_back(&def);
+  return defs;
 }
 
 }  // namespace churnstore

@@ -32,6 +32,7 @@ struct StackEntry {
 };
 
 std::map<std::string, StackEntry>& registry() {
+  // shardcheck:ok(R4: Meyers registry of stack builders — populated by static initializers, read-only once trials start)
   static std::map<std::string, StackEntry> stacks;
   return stacks;
 }

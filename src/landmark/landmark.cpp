@@ -116,6 +116,7 @@ void LandmarkManager::on_round_begin(std::uint32_t shard, ShardContext& ctx) {
   std::vector<Vertex> queue;
   queue.swap(stage.grow_queue);
   for (const Vertex v : queue) {
+    // shardcheck:ok(R2: per-vertex map whose insertion history is fixed by the canonical dispatch order, so bucket order is the same for every shard count; pinned by the ShardedFullStack S-invariance tests)
     for (auto& [kid, st] : state_[v]) {
       if (st.pending_depth > 0) grow_children(v, st, &ctx);
     }
@@ -128,6 +129,7 @@ void LandmarkManager::on_round_begin(std::uint32_t shard, ShardContext& ctx) {
   if (now % ttl_ == 0) {
     for (Vertex v = ctx.begin(); v < ctx.end(); ++v) {
       auto& st_map = state_[v];
+      // shardcheck:ok(R2: TTL sweep — each element is erased or kept independently, so visit order cannot change the result)
       for (auto it = st_map.begin(); it != st_map.end();) {
         it = (it->second.expiry < now) ? st_map.erase(it) : std::next(it);
       }
@@ -138,6 +140,7 @@ void LandmarkManager::on_round_begin(std::uint32_t shard, ShardContext& ctx) {
 void LandmarkManager::on_round_merge() {
   const Round now = net().round();
   if (now % ttl_ != 0) return;
+  // shardcheck:ok(R2: serial merge sweep with order-independent per-entry compaction; no sends or charges depend on visit order)
   for (auto it = index_.begin(); it != index_.end();) {
     auto& verts = it->second;
     std::size_t write = 0;

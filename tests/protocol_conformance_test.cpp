@@ -90,8 +90,8 @@ TEST_P(StackConformance, WorkloadRunsThroughGenericTrial) {
 INSTANTIATE_TEST_SUITE_P(AllStacks, StackConformance,
                          ::testing::Values("churnstore", "chord", "flooding",
                                            "k-walker", "sqrt-replication"),
-                         [](const auto& info) {
-                           std::string name = info.param;
+                         [](const auto& param_info) {
+                           std::string name = param_info.param;
                            for (char& c : name) {
                              if (c == '-') c = '_';
                            }

@@ -1,0 +1,283 @@
+#include "shardcheck/lexer.h"
+
+#include <cctype>
+
+namespace shardcheck {
+
+namespace {
+
+[[nodiscard]] bool ident_start(char c) noexcept {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+[[nodiscard]] bool ident_char(char c) noexcept {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view src) : src_(src) {}
+
+  LexOutput run() {
+    while (pos_ < src_.size()) step();
+    return std::move(out_);
+  }
+
+ private:
+  [[nodiscard]] char cur() const noexcept { return src_[pos_]; }
+  [[nodiscard]] char peek(std::size_t k = 1) const noexcept {
+    return pos_ + k < src_.size() ? src_[pos_ + k] : '\0';
+  }
+  void advance() noexcept {
+    if (src_[pos_] == '\n') {
+      ++line_;
+      line_has_code_ = false;
+    }
+    ++pos_;
+  }
+
+  void emit(Tok kind, std::size_t begin, int line) {
+    out_.tokens.push_back(Token{kind, src_.substr(begin, pos_ - begin), line});
+    line_has_code_ = true;
+  }
+
+  void step() {
+    const char c = cur();
+    if (c == '\n' || c == ' ' || c == '\t' || c == '\r' || c == '\v' ||
+        c == '\f') {
+      advance();
+      return;
+    }
+    if (c == '/' && peek() == '/') {
+      line_comment();
+      return;
+    }
+    if (c == '/' && peek() == '*') {
+      block_comment();
+      return;
+    }
+    if (c == '#' && !line_has_code_) {
+      preprocessor_line();
+      return;
+    }
+    if (c == '"') {
+      string_literal();
+      return;
+    }
+    if (c == '\'') {
+      char_literal();
+      return;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && std::isdigit(static_cast<unsigned char>(peek())))) {
+      number();
+      return;
+    }
+    if (ident_start(c)) {
+      identifier_or_prefixed_literal();
+      return;
+    }
+    punct();
+  }
+
+  void line_comment() {
+    const int line = line_;
+    const bool own = !line_has_code_;
+    const std::size_t begin = pos_ + 2;
+    while (pos_ < src_.size() && cur() != '\n') advance();
+    out_.comments.push_back(
+        Comment{std::string(src_.substr(begin, pos_ - begin)), line, own});
+  }
+
+  void block_comment() {
+    const int line = line_;
+    const bool own = !line_has_code_;
+    advance();  // '/'
+    advance();  // '*'
+    const std::size_t begin = pos_;
+    std::size_t end = src_.size();
+    while (pos_ < src_.size()) {
+      if (cur() == '*' && peek() == '/') {
+        end = pos_;
+        advance();
+        advance();
+        break;
+      }
+      advance();
+    }
+    out_.comments.push_back(
+        Comment{std::string(src_.substr(begin, end - begin)), line, own});
+    // A block comment does not by itself make the line "have code": a
+    // trailing declaration after /* ... */ on the same line still counts as
+    // starting the line for #-directive purposes, which is fine — we only
+    // use line_has_code_ for '#' and comment own_line classification, and
+    // code after an inline block comment is what matters for both.
+  }
+
+  /// Consume a whole preprocessor directive: to end of line, honoring
+  /// backslash-newline continuations, and skipping comments and string
+  /// literals found inside (a block comment may span lines).
+  void preprocessor_line() {
+    line_has_code_ = true;  // '#' occupies the line; comments after it trail
+    while (pos_ < src_.size()) {
+      const char c = cur();
+      if (c == '\n') {
+        advance();
+        return;
+      }
+      if (c == '\\' && peek() == '\n') {
+        advance();
+        advance();
+        continue;
+      }
+      if (c == '/' && peek() == '/') {
+        line_comment();
+        return;  // line comment swallows the rest of the directive line
+      }
+      if (c == '/' && peek() == '*') {
+        block_comment();
+        continue;
+      }
+      if (c == '"') {
+        string_literal();
+        out_.tokens.pop_back();  // literal belongs to the directive
+        continue;
+      }
+      if (c == '\'') {
+        // '\'' inside a directive: consume as a char literal when it scans
+        // as one; otherwise treat as plain punctuation (e.g. #if 'a' == ...).
+        char_literal();
+        out_.tokens.pop_back();
+        continue;
+      }
+      advance();
+    }
+  }
+
+  void string_literal() {
+    const int line = line_;
+    const std::size_t begin = pos_;
+    advance();  // opening quote
+    while (pos_ < src_.size()) {
+      const char c = cur();
+      if (c == '\\' && pos_ + 1 < src_.size()) {
+        advance();
+        advance();
+        continue;
+      }
+      advance();
+      if (c == '"') break;
+    }
+    emit(Tok::String, begin, line);
+  }
+
+  void raw_string_literal() {
+    const int line = line_;
+    const std::size_t begin = pos_;
+    advance();  // 'R'
+    advance();  // '"'
+    std::string delim;
+    while (pos_ < src_.size() && cur() != '(') {
+      delim.push_back(cur());
+      advance();
+    }
+    if (pos_ < src_.size()) advance();  // '('
+    const std::string closer = ")" + delim + "\"";
+    while (pos_ < src_.size()) {
+      if (cur() == ')' && src_.compare(pos_, closer.size(), closer) == 0) {
+        for (std::size_t i = 0; i < closer.size(); ++i) advance();
+        break;
+      }
+      advance();
+    }
+    emit(Tok::String, begin, line);
+  }
+
+  void char_literal() {
+    const int line = line_;
+    const std::size_t begin = pos_;
+    advance();  // opening quote
+    while (pos_ < src_.size()) {
+      const char c = cur();
+      if (c == '\\' && pos_ + 1 < src_.size()) {
+        advance();
+        advance();
+        continue;
+      }
+      if (c == '\n') break;  // unterminated; don't eat the file
+      advance();
+      if (c == '\'') break;
+    }
+    emit(Tok::CharLit, begin, line);
+  }
+
+  void number() {
+    const int line = line_;
+    const std::size_t begin = pos_;
+    while (pos_ < src_.size()) {
+      const char c = cur();
+      if (std::isalnum(static_cast<unsigned char>(c)) || c == '.' ||
+          c == '\'') {
+        advance();
+        continue;
+      }
+      if ((c == '+' || c == '-') && pos_ > begin) {
+        const char prev = src_[pos_ - 1];
+        if (prev == 'e' || prev == 'E' || prev == 'p' || prev == 'P') {
+          advance();
+          continue;
+        }
+      }
+      break;
+    }
+    emit(Tok::Number, begin, line);
+  }
+
+  void identifier_or_prefixed_literal() {
+    const std::size_t begin = pos_;
+    const int line = line_;
+    while (pos_ < src_.size() && ident_char(cur())) advance();
+    const std::string_view id = src_.substr(begin, pos_ - begin);
+    if (pos_ < src_.size() && cur() == '"' &&
+        (id == "R" || id == "uR" || id == "UR" || id == "LR" || id == "u8R")) {
+      pos_ = begin;  // rewind; raw_string_literal consumes prefix + body
+      raw_string_literal();
+      return;
+    }
+    if (pos_ < src_.size() && (cur() == '"' || cur() == '\'') &&
+        (id == "u8" || id == "u" || id == "U" || id == "L")) {
+      if (cur() == '"') {
+        string_literal();
+      } else {
+        char_literal();
+      }
+      return;
+    }
+    emit(Tok::Ident, begin, line);
+  }
+
+  void punct() {
+    const int line = line_;
+    const std::size_t begin = pos_;
+    const char c = cur();
+    advance();
+    // Fuse the two operators the rule patterns care about; every other
+    // punctuation char stands alone (so >> closes two template levels).
+    if ((c == ':' && pos_ < src_.size() && cur() == ':') ||
+        (c == '-' && pos_ < src_.size() && cur() == '>')) {
+      advance();
+    }
+    emit(Tok::Punct, begin, line);
+  }
+
+  std::string_view src_;
+  std::size_t pos_ = 0;
+  int line_ = 1;
+  bool line_has_code_ = false;
+  LexOutput out_;
+};
+
+}  // namespace
+
+LexOutput lex(std::string_view src) { return Lexer(src).run(); }
+
+}  // namespace shardcheck

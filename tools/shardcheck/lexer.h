@@ -1,0 +1,48 @@
+// shardcheck's C++ tokenizer.
+//
+// A real lexer, not a line-regex pass: comments, string literals (with
+// escapes), char literals, raw strings (R"delim(...)delim" with any
+// delimiter), digit separators, and preprocessor directives (including
+// backslash continuations and block comments inside them) are all consumed
+// so that rule patterns can never fire on text inside them. Comments are
+// kept on a side list because the suppression / annotation syntax lives in
+// them.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace shardcheck {
+
+enum class Tok {
+  Ident,    ///< identifiers and keywords (keywords are not distinguished)
+  Number,   ///< integer / floating literals, including 0x1'000 separators
+  String,   ///< "..." and R"delim(...)delim" (prefixes u8/u/U/L folded in)
+  CharLit,  ///< '...'
+  Punct,    ///< one punctuation char, except "::" and "->" which are fused
+};
+
+struct Token {
+  Tok kind;
+  std::string_view text;  ///< view into the lexed source buffer
+  int line;               ///< 1-based line of the token's first character
+};
+
+struct Comment {
+  std::string text;  ///< comment body, delimiters stripped
+  int line;          ///< 1-based line the comment starts on
+  bool own_line;     ///< only whitespace precedes it on its line
+};
+
+struct LexOutput {
+  std::vector<Token> tokens;
+  std::vector<Comment> comments;
+};
+
+/// Tokenize `src`. The returned token text views point into `src`; the
+/// caller keeps the buffer alive for as long as the tokens are used.
+[[nodiscard]] LexOutput lex(std::string_view src);
+
+}  // namespace shardcheck

@@ -1,0 +1,93 @@
+// shardcheck — the repo's determinism linter.
+//
+// Statically enforces the ShardContext contract documented in
+// src/core/protocol.h. Rules (see README "Static analysis" for the catalog
+// with rationale):
+//
+//   R1  no shared sequential Rng use (rng_ members, protocol_rng(), Rng&
+//       bindings/params) inside sharded hook bodies — per-(round,vertex)
+//       stream_rng only.
+//   R2  no iteration over std::unordered_map / std::unordered_set state
+//       inside sharded hooks or on_*_merge() bodies.
+//   R3  no direct net().send / net_.send and no un-deferred metrics charges
+//       inside sharded hooks — sends/charges route through ctx.send /
+//       ctx.charge.
+//   R4  global ban (src/ outside util/) on wall-clock and ambient
+//       randomness — rand(), std::random_device, time(), *_clock::now —
+//       and on mutable static / thread_local state.
+//   R5  pointer-keyed ordering: std::map/std::set keyed on raw pointers,
+//       std::sort over containers of raw pointers.
+//
+// "Sharded hook" means: on_round_begin(shard, ctx); on_message(v, m, ctx)
+// of a class whose sharded_dispatch() returns true; and any function marked
+// with a `// shardcheck:sharded-hook(reason)` annotation on the line above
+// its definition (helpers reachable only from sharded hooks). Merge bodies
+// are on_round_merge() / on_dispatch_merge().
+//
+// Suppression: `// shardcheck:ok(Rn: reason)` — the reason is mandatory.
+// A trailing comment suppresses its own line; a comment alone on a line
+// suppresses the next code line. A suppression that does not match any
+// diagnostic is itself an error (unused-suppression), so stale suppressions
+// cannot linger; a suppression without a reason is an error
+// (bad-suppression).
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "shardcheck/lexer.h"
+
+namespace shardcheck {
+
+struct Diagnostic {
+  std::string file;
+  int line = 0;
+  std::string rule;     ///< "R1".."R5", "bad-suppression", "unused-suppression"
+  std::string message;
+
+  [[nodiscard]] std::string format() const {
+    return file + ":" + std::to_string(line) + ": [shardcheck-" + rule + "] " +
+           message;
+  }
+};
+
+/// Cross-file facts gathered in pass 1 over every scanned file. Member
+/// containers are declared in headers while hook bodies live in .cpp files,
+/// so the name sets must be global to the run.
+struct Symbols {
+  /// Names declared as std::unordered_map/_set (iterating them is R2).
+  std::set<std::string, std::less<>> unordered_direct;
+  /// Names declared as ordered containers OF unordered containers, e.g.
+  /// std::vector<std::unordered_set<T>> held_ (iterating held_[v] is R2).
+  std::set<std::string, std::less<>> unordered_elem;
+  /// Names declared as contiguous containers of raw pointers
+  /// (std::sort over them is R5).
+  std::set<std::string, std::less<>> pointer_containers;
+  /// Classes whose sharded_dispatch() override returns true (their 3-arg
+  /// on_message is a sharded hook).
+  std::set<std::string, std::less<>> sharded_dispatch_classes;
+};
+
+/// Scan one lexed file into `sym` (pass 1).
+void collect_symbols(const LexOutput& lx, Symbols& sym);
+
+/// Analyze one lexed file (pass 2). `path` is the repo-relative path with
+/// forward slashes; it selects the R4 scope (src/ outside src/util/).
+/// Returned diagnostics are post-suppression and include bad-suppression /
+/// unused-suppression meta findings; `suppressed_count`, when non-null,
+/// receives the number of diagnostics silenced by valid suppressions.
+[[nodiscard]] std::vector<Diagnostic> analyze(const std::string& path,
+                                              const LexOutput& lx,
+                                              const Symbols& sym,
+                                              int* suppressed_count = nullptr);
+
+/// Convenience for tests and single-file use: lex + collect + analyze one
+/// buffer as both pass-1 input and pass-2 subject.
+[[nodiscard]] std::vector<Diagnostic> check_source(
+    const std::string& path, std::string_view text,
+    int* suppressed_count = nullptr);
+
+}  // namespace shardcheck
