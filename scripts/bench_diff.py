@@ -1,0 +1,97 @@
+#!/usr/bin/env python3
+"""Soup-step throughput regression gate.
+
+Runs a fresh `bench_driver --scenario=soup_step` at the gate size and
+compares Mtokens/sec per (n, shards) row against the checked-in
+BENCH_soup_step.json baseline. Exits nonzero if any row regresses by more
+than the threshold (default 20%).
+
+The baseline was recorded on a specific host, so cross-host runs (CI) can
+drift for reasons that are not code regressions — the CI step that invokes
+this is non-blocking (continue-on-error) and exists to surface the diff in
+the job log, not to gate merges. On the baseline host it is a real gate:
+
+    python3 scripts/bench_diff.py                  # n=16384, 20% threshold
+    python3 scripts/bench_diff.py --threshold 0.1 --steps 128
+"""
+
+import argparse
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+
+def load_rows(text: str):
+    """Parse the driver's json=true output (a JSON array of row objects)."""
+    rows = json.loads(text)
+    if not isinstance(rows, list):
+        raise ValueError("expected a JSON array of benchmark rows")
+    return {(int(r["n"]), int(r["shards"])): r for r in rows}
+
+
+def main() -> int:
+    repo = Path(__file__).resolve().parent.parent
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--driver", default=str(repo / "build" / "bench_driver"))
+    ap.add_argument("--baseline", default=str(repo / "BENCH_soup_step.json"))
+    ap.add_argument("--n", type=int, default=16384)
+    ap.add_argument("--shard-sweep", default="1,4,16")
+    ap.add_argument("--steps", type=int, default=64)
+    ap.add_argument(
+        "--threshold",
+        type=float,
+        default=0.20,
+        help="max tolerated fractional Mtokens/sec drop per row",
+    )
+    args = ap.parse_args()
+
+    baseline = load_rows(Path(args.baseline).read_text())
+    cmd = [
+        args.driver,
+        "--scenario=soup_step",
+        f"n={args.n}",
+        f"shard-sweep={args.shard_sweep}",
+        f"steps={args.steps}",
+        "json=true",
+    ]
+    print("+", " ".join(cmd), flush=True)
+    out = subprocess.run(cmd, check=True, capture_output=True, text=True)
+    fresh = load_rows(out.stdout)
+
+    failed = []
+    compared = 0
+    print(f"{'n':>8} {'shards':>6} {'baseline':>10} {'fresh':>10} {'delta':>8}")
+    for key, row in sorted(fresh.items()):
+        base_row = baseline.get(key)
+        if base_row is None or key[0] != args.n:
+            continue
+        compared += 1
+        old = float(base_row["Mtokens/sec"])
+        new = float(row["Mtokens/sec"])
+        delta = (new - old) / old if old > 0 else 0.0
+        flag = ""
+        if delta < -args.threshold:
+            failed.append((key, old, new, delta))
+            flag = "  << REGRESSION"
+        print(
+            f"{key[0]:>8} {key[1]:>6} {old:>10.2f} {new:>10.2f} "
+            f"{delta:>+7.1%}{flag}"
+        )
+
+    if compared == 0:
+        print(f"bench_diff: no baseline rows at n={args.n}", file=sys.stderr)
+        return 2
+    if failed:
+        print(
+            f"bench_diff: {len(failed)} row(s) regressed more than "
+            f"{args.threshold:.0%} (Mtokens/sec)",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"bench_diff: {compared} row(s) within {args.threshold:.0%} of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

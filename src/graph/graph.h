@@ -26,6 +26,14 @@ class RegularGraph {
     return nbr_[static_cast<std::size_t>(v) * d_ + i];
   }
 
+  /// Base pointer of v's neighbor row: d consecutive entries, row(v)[i] ==
+  /// neighbor(v, i). The walk hot loop hoists this (and degree()) out of
+  /// its per-token loop and gathers neighbors straight off a batch of RNG
+  /// draws — no per-token index arithmetic or bounds dance.
+  [[nodiscard]] const Vertex* row(Vertex v) const noexcept {
+    return nbr_.data() + static_cast<std::size_t>(v) * d_;
+  }
+
   /// Global slot index helpers.
   [[nodiscard]] std::size_t slot(Vertex v, std::uint32_t i) const noexcept {
     return static_cast<std::size_t>(v) * d_ + i;

@@ -74,6 +74,15 @@ class Arena {
     freelists_[cls] = node;
   }
 
+  /// Usable bytes of the block allocate(bytes) actually returns (the size-
+  /// class round-up; past kMaxBlock the request is exact). Multi-column
+  /// containers that pack parallel arrays into one block use this to turn
+  /// the rounding slack into extra capacity instead of waste.
+  [[nodiscard]] static std::size_t usable_size(std::size_t bytes) noexcept {
+    if (bytes > kMaxBlock) return bytes;
+    return class_block(size_class(bytes));
+  }
+
   /// Drop every slab and freelist. Only valid when no allocation is live.
   void release() noexcept {
     slabs_.clear();

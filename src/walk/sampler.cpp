@@ -198,31 +198,45 @@ bool SampleBuffer::equals(const SampleBuffer& o) const noexcept {
   return true;
 }
 
-void ShardedArrivals::reset(std::uint32_t shards) {
-  shards_ = shards;
-  buckets_.resize(static_cast<std::size_t>(shards) * shards);
+void ShardedArrivals::reset(std::uint32_t src_shards,
+                            std::uint32_t dst_buckets) {
+  src_shards_ = src_shards;
+  dst_buckets_ = dst_buckets;
+  buckets_.resize(static_cast<std::size_t>(src_shards) * dst_buckets);
   for (auto& b : buckets_) b.clear();
 }
 
-void ShardedArrivals::stage(std::uint32_t src_shard, std::uint32_t dst_shard,
+void ShardedArrivals::stage(std::uint32_t src_shard, std::uint32_t dst_bucket,
                             Vertex dst, PeerId source) {
-  buckets_[static_cast<std::size_t>(src_shard) * shards_ + dst_shard]
+  buckets_[static_cast<std::size_t>(src_shard) * dst_buckets_ + dst_bucket]
       .push_back(Arrival{dst, source});
 }
 
-void ShardedArrivals::apply_to(std::uint32_t dst_shard, Round r,
+void ShardedArrivals::apply_to(std::uint32_t first_bucket,
+                               std::uint32_t last_bucket, Vertex vbegin,
+                               Vertex vend, Round r,
                                std::vector<SampleBuffer>& buffers) const {
-  // Pass 1: announce cohort sizes so pass 2 lands every (round, vertex)
-  // cohort in a single exact-size block of the destination shard's arena.
-  for (std::uint32_t src = 0; src < shards_; ++src) {
-    const auto& bucket =
-        buckets_[static_cast<std::size_t>(src) * shards_ + dst_shard];
-    for (const Arrival& a : bucket) buffers[a.dst].announce(1);
-  }
-  for (std::uint32_t src = 0; src < shards_; ++src) {
-    const auto& bucket =
-        buckets_[static_cast<std::size_t>(src) * shards_ + dst_shard];
-    for (const Arrival& a : bucket) buffers[a.dst].add(r, a.source);
+  // Bucket by bucket so the scatter stays inside one destination window;
+  // within a bucket, pass 1 announces cohort sizes so pass 2 lands every
+  // (round, vertex) cohort in a single exact-size block of the
+  // destination shard's arena.
+  for (std::uint32_t b = first_bucket; b <= last_bucket; ++b) {
+    for (std::uint32_t src = 0; src < src_shards_; ++src) {
+      const auto& bucket =
+          buckets_[static_cast<std::size_t>(src) * dst_buckets_ + b];
+      for (const Arrival& a : bucket) {
+        if (a.dst < vbegin || a.dst >= vend) continue;
+        buffers[a.dst].announce(1);
+      }
+    }
+    for (std::uint32_t src = 0; src < src_shards_; ++src) {
+      const auto& bucket =
+          buckets_[static_cast<std::size_t>(src) * dst_buckets_ + b];
+      for (const Arrival& a : bucket) {
+        if (a.dst < vbegin || a.dst >= vend) continue;
+        buffers[a.dst].add(r, a.source);
+      }
+    }
   }
 }
 

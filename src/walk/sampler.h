@@ -138,29 +138,43 @@ class SampleBuffer {
 //
 // Shard tasks may not touch a destination vertex's SampleBuffer directly
 // (the destination usually lives in another shard), so each SOURCE shard
-// stages its completions here, bucketed by DESTINATION shard. After the
-// barrier, each destination shard applies the buckets addressed to it in
-// ascending source-shard order. Because shards are contiguous and scanned
-// in ascending vertex order, that merge equals the ascending global
-// source-vertex order — the buffers end up bit-identical for every shard
-// count.
+// stages its completions here, bucketed by a caller-defined DESTINATION
+// partition. After the barrier, each destination shard applies the
+// buckets addressed to it in ascending (bucket, source-shard) order.
+// Because shards are contiguous and scanned in ascending vertex order,
+// that merge equals the ascending global source-vertex order per
+// destination vertex — the buffers end up bit-identical for every shard
+// count AND for every destination-bucket granularity.
+//
+// The destination partition is usually finer than a shard: TokenSoup
+// buckets by destination PAGE (a power-of-two vertex range whose queues
+// and sample state fit in L2), so the apply scatter — the header, the
+// group directory, and the cohort block of random vertices — stays
+// inside a cache-resident window instead of paying DRAM latency per
+// completion across the whole shard span.
 class ShardedArrivals {
  public:
-  /// Size (or resize) the src x dst bucket grid and clear every bucket.
-  /// Buckets keep their capacity across rounds.
-  void reset(std::uint32_t shards);
+  /// Size (or resize) the src_shards x dst_buckets grid and clear every
+  /// bucket. Buckets keep their capacity across rounds.
+  void reset(std::uint32_t src_shards, std::uint32_t dst_buckets);
 
   /// Stage a completion observed by `src_shard`: the walk from `source`
-  /// finished at vertex `dst`. Only `src_shard`'s task may call this.
-  void stage(std::uint32_t src_shard, std::uint32_t dst_shard, Vertex dst,
+  /// finished at vertex `dst`, which maps to `dst_bucket` under the
+  /// caller's partition. Only `src_shard`'s task may call this.
+  void stage(std::uint32_t src_shard, std::uint32_t dst_bucket, Vertex dst,
              PeerId source);
 
-  /// Apply every bucket addressed to `dst_shard` into `buffers` (indexed by
-  /// vertex) as round-`r` samples, in canonical source order. Runs two
-  /// passes: announce per-vertex cohort sizes, then fill — so each cohort
-  /// lands in one exact-size arena block. Only `dst_shard`'s task may call
-  /// this.
-  void apply_to(std::uint32_t dst_shard, Round r,
+  /// Apply buckets [first_bucket, last_bucket] into `buffers` (indexed by
+  /// vertex) as round-`r` samples, in canonical source order, skipping
+  /// arrivals outside [vbegin, vend) — a bucket that straddles a shard
+  /// boundary is applied by BOTH neighboring shards, each filing only its
+  /// own vertices (concurrent reads are safe). Each bucket runs two
+  /// passes — announce per-vertex cohort sizes, then fill — so every
+  /// cohort lands in one exact-size arena block and the scatter stays in
+  /// the bucket's window. Only the owning dst task may pass a vertex
+  /// range it owns.
+  void apply_to(std::uint32_t first_bucket, std::uint32_t last_bucket,
+                Vertex vbegin, Vertex vend, Round r,
                 std::vector<SampleBuffer>& buffers) const;
 
   [[nodiscard]] std::size_t staged_total() const noexcept;
@@ -170,8 +184,9 @@ class ShardedArrivals {
     Vertex dst;
     PeerId source;
   };
-  std::uint32_t shards_ = 0;
-  std::vector<std::vector<Arrival>> buckets_;  ///< [src * shards_ + dst]
+  std::uint32_t src_shards_ = 0;
+  std::uint32_t dst_buckets_ = 0;
+  std::vector<std::vector<Arrival>> buckets_;  ///< [src * dst_buckets_ + b]
 };
 
 }  // namespace churnstore

@@ -1,13 +1,72 @@
 #include "walk/token_soup.h"
 
 #include <algorithm>
+#include <cassert>
+#include <cstring>
+
+#include "util/prefetch.h"
 
 namespace churnstore {
 
 namespace {
 /// Bits a node processes to forward one token: source id + hop counter.
 constexpr std::uint64_t kTokenBits = 64 + 16;
+/// Merge-refill prefetch distance, in tokens: the destination queue of
+/// handoff i+kHeaderDist gets its header line hinted, a data-dependent
+/// scatter the hardware prefetcher cannot see. (Hinting the queue TAIL as
+/// well was measured slower — computing the tail address needs two
+/// dependent loads, which stalls the loop more than the miss it hides.)
+constexpr std::size_t kHeaderDist = 16;
 }  // namespace
+
+std::byte* TokenSoup::alloc_block(Arena* a, std::size_t bytes) {
+  if (a != nullptr) return static_cast<std::byte*>(a->allocate(bytes));
+  return static_cast<std::byte*>(::operator new(bytes));
+}
+
+void TokenSoup::free_block(Arena* a, std::byte* p, std::size_t bytes) noexcept {
+  if (p == nullptr) return;
+  if (a != nullptr) {
+    a->deallocate(p, bytes);
+  } else {
+    ::operator delete(p);
+  }
+}
+
+// Growth for the single-block SoA containers: capacity is whatever the
+// arena's size class actually holds (Arena::usable_size), so the class
+// round-up becomes extra tokens. The byte count handed back to
+// deallocate lands in the same size class the allocation came from
+// (cap * kTokenBytes > the previous class bound by construction), so the
+// block recycles into its own freelist.
+void TokenSoup::TokenQueue::grow(std::size_t min_cap) {
+  std::size_t want = std::size_t{cap_} * 2;
+  if (want < min_cap) want = min_cap;
+  const std::size_t new_cap = Arena::usable_size(want * kTokenBytes) / kTokenBytes;
+  std::byte* nb = alloc_block(arena_, new_cap * kTokenBytes);
+  if (size_ > 0) {
+    std::memcpy(nb, base_, std::size_t{size_} * 8);
+    std::memcpy(nb + new_cap * 8, meta(), std::size_t{size_} * 2);
+  }
+  free_block(arena_, base_, std::size_t{cap_} * kTokenBytes);
+  base_ = nb;
+  cap_ = static_cast<std::uint32_t>(new_cap);
+}
+
+void TokenSoup::HandoffBucket::grow(std::size_t min_cap) {
+  std::size_t want = std::size_t{cap_} * 2;
+  if (want < min_cap) want = min_cap;
+  const std::size_t new_cap = Arena::usable_size(want * kTokenBytes) / kTokenBytes;
+  std::byte* nb = alloc_block(arena_, new_cap * kTokenBytes);
+  if (size_ > 0) {
+    std::memcpy(nb, base_, std::size_t{size_} * 8);
+    std::memcpy(nb + new_cap * 8, dst(), std::size_t{size_} * 4);
+    std::memcpy(nb + new_cap * 12, meta(), std::size_t{size_} * 2);
+  }
+  free_block(arena_, base_, std::size_t{cap_} * kTokenBytes);
+  base_ = nb;
+  cap_ = static_cast<std::uint32_t>(new_cap);
+}
 
 TokenSoup::TokenSoup(const WalkConfig& config) : config_(config) {}
 
@@ -25,6 +84,7 @@ void TokenSoup::on_attach(Network& net_ref) {
   cap_ = churnstore::forward_cap(n, config_);
   tau_ = churnstore::tau_rounds(n, config_);
   window_ = static_cast<Round>(config_.window_mult * tau_) + 2;
+  assert(length_ <= kMaxSteps && "walk length must fit the packed meta");
   const ShardPlan& plan = net().shards();
   const std::uint32_t shards = plan.count();
   // Token queues and handoff buckets are arena-backed: a queue draws from
@@ -38,7 +98,7 @@ void TokenSoup::on_attach(Network& net_ref) {
   cur_.reserve(n);
   for (Vertex v = 0; v < n; ++v) {
     Arena* a = &net().shard_arena(plan.shard_of(v));
-    cur_.emplace_back(ArenaAllocator<Token>(a));
+    cur_.emplace_back(a);
     cur_.back().reserve(static_cast<std::size_t>(walks_) * length_);
   }
   // Sample buffers allocate their cohort groups from the arena of the
@@ -52,33 +112,68 @@ void TokenSoup::on_attach(Network& net_ref) {
     // before the next prune.
     samples_[v].reserve_rounds(static_cast<std::uint32_t>(window_) + 2);
   }
+  // Destination pages: the merge refill is a data-dependent scatter into
+  // the token queues, and at n=1M those queues span hundreds of MB — a
+  // shard-granular scatter pays DRAM latency per token. Size a power-of-
+  // two vertex page so one page's queues (data + header + size-class
+  // slack) stay inside ~1.5 MB of L2, stage handoffs per (src shard,
+  // dst page), and let the merge walk page by page so every queue touch
+  // lands in a cache-resident window.
+  const std::uint64_t per_vertex_bytes =
+      static_cast<std::uint64_t>(walks_) * length_ * TokenQueue::kTokenBytes +
+      64;
+  constexpr std::uint64_t kMergeWindowBytes = 3u << 19;  // ~1.5 MB of L2
+  page_shift_ = 0;
+  while (page_shift_ < 16 &&
+         (std::uint64_t{2} << page_shift_) * per_vertex_bytes <=
+             kMergeWindowBytes) {
+    ++page_shift_;
+  }
+  pages_ = n > 0 ? ((n - 1) >> page_shift_) + 1 : 1;
+  // Pre-size each (src, page) bucket to its share of the steady in-flight
+  // population (walks * length per vertex, near-uniform walk targets).
+  // Growth past the reserve still works, it just reallocates once; the
+  // reserve exists so steady-state rounds never double a hundreds-of-MB
+  // column (the old+new copy overlap was a maxrss spike at n=1M).
   moves_.clear();
-  moves_.reserve(static_cast<std::size_t>(shards) * shards);
+  moves_.reserve(static_cast<std::size_t>(shards) * pages_);
+  const std::uint64_t page_span = std::uint64_t{1} << page_shift_;
   for (std::uint32_t src = 0; src < shards; ++src) {
-    for (std::uint32_t dst = 0; dst < shards; ++dst) {
-      moves_.emplace_back(ArenaAllocator<Handoff>(&net().shard_arena(src)));
+    const std::uint64_t src_span = plan.end(src) - plan.begin(src);
+    for (std::uint32_t page = 0; page < pages_; ++page) {
+      moves_.emplace_back(&net().shard_arena(src));
+      if (n > 0) {
+        const std::uint64_t expected = static_cast<std::uint64_t>(walks_) *
+                                       length_ * src_span * page_span / n;
+        moves_.back().reserve(expected + expected / 16 + 8);
+      }
     }
   }
   probes_.assign(shards, {});
   counters_.assign(shards, {});
   fwd_count_.assign(n, 0);
+  draws_.assign(shards, std::vector<std::uint32_t>(cap_));
+  alive_.assign(shards, 0);
 }
 
 void TokenSoup::on_churn(Vertex v, PeerId, PeerId) {
   // The peer at v is gone: its queued tokens and its learned samples die
   // with it (the fresh peer starts with empty state).
   net().metrics().count_tokens_lost(cur_[v].size());
+  alive_[net().shards().shard_of(v)] -= cur_[v].size();
   cur_[v].clear();
   samples_[v].clear();
 }
 
 void TokenSoup::inject_probe(Vertex v, std::uint64_t tag, std::uint32_t steps) {
-  cur_[v].push_back(Token{tag, static_cast<std::uint16_t>(steps), 1});
+  assert(steps >= 1 && steps <= kMaxSteps);
+  cur_[v].push_back(tag, pack_meta(steps, /*probe=*/true));
+  ++alive_[net().shards().shard_of(v)];
 }
 
 std::size_t TokenSoup::tokens_alive() const noexcept {
   std::size_t acc = 0;
-  for (const auto& q : cur_) acc += q.size();
+  for (const std::uint64_t a : alive_) acc += a;
   return acc;
 }
 
@@ -87,7 +182,7 @@ void TokenSoup::on_round_begin() {
   // round, vertex) — a pure function of the seed, so the walk trajectories
   // are independent of shard count and of which thread runs which shard.
   round_key_ = mix64(stream_salt_ ^ static_cast<std::uint64_t>(net().round()));
-  arrivals_.reset(net().shards().count());
+  arrivals_.reset(net().shards().count(), pages_);
 }
 
 // Phase 1 (parallel over source shards): spawn this round's fresh walks
@@ -97,48 +192,70 @@ void TokenSoup::on_round_begin() {
 // current neighbors. Handoffs, completions, and probe finishes are staged
 // per (source, destination) shard; nothing outside the shard's own
 // vertices is mutated.
+//
+// Hot-loop shape: the whole per-vertex draw batch is generated up front
+// (stream_fill_below — same stream, same draws as the former per-token
+// next_below loop, so trajectories are bit-identical), the neighbor row
+// base pointer and degree are hoisted, and the loop body reads the two
+// token columns as flat streams. The only branch that matters is the
+// completion check (taken once per walk_length forwards).
 void TokenSoup::on_round_begin(std::uint32_t s, ShardContext& ctx) {
   (void)ctx;  // tokens hand off through moves_/arrivals_, not messages
   const RegularGraph& g = net().graph();
   const std::uint32_t d = g.degree();
   const ShardPlan& plan = net().shards();
-  const std::uint32_t shards = plan.count();
   ShardCounters& counters = counters_[s];
-  for (Vertex v = plan.begin(s); v < plan.end(s); ++v) {
-    auto& q = cur_[v];
-    if (spawning_) {
-      const PeerId self = net().peer_at(v);
-      for (std::uint32_t i = 0; i < walks_; ++i) {
-        q.push_back(Token{self, static_cast<std::uint16_t>(length_), 0});
-      }
+  HandoffBucket* mv = moves_.data() + static_cast<std::size_t>(s) * pages_;
+  std::uint32_t* draws = draws_[s].data();
+  const std::uint32_t page_shift = page_shift_;
+  const std::uint16_t spawn_meta = pack_meta(length_, /*probe=*/false);
+  const Vertex shard_end = plan.end(s);
+  for (Vertex v = plan.begin(s); v < shard_end; ++v) {
+    TokenQueue& q = cur_[v];
+    if (v + 1 < shard_end) {
+      // The next queue's block lives elsewhere in the arena; start its
+      // head lines early while this vertex's batch drains.
+      const TokenQueue& nq = cur_[v + 1];
+      prefetch_read(nq.src());
+      prefetch_read(nq.meta());
     }
-    const std::size_t fwd = std::min<std::size_t>(q.size(), cap_);
+    if (spawning_) {
+      q.append_n(net().peer_at(v), spawn_meta, walks_);
+    }
+    const std::size_t size = q.size();
+    const std::size_t fwd = std::min<std::size_t>(size, cap_);
     if (fwd > 0) {
-      Rng rng = stream_rng(round_key_, v);
+      stream_fill_below(round_key_, v, d, draws, fwd);
+      const Vertex* row = g.row(v);
+      const std::uint64_t* srcs = q.src();
+      const std::uint16_t* metas = q.meta();
       for (std::size_t j = 0; j < fwd; ++j) {
-        Token t = q[j];
-        const Vertex u =
-            g.neighbor(v, static_cast<std::uint32_t>(rng.next_below(d)));
-        --t.steps_left;
-        if (t.steps_left == 0) {
+        const std::uint64_t src = srcs[j];
+        const std::uint32_t meta = static_cast<std::uint32_t>(metas[j]) - 2;
+        const Vertex u = row[draws[j]];
+        if (meta < 2) {  // steps_left hit zero: the token completes at u
           ++counters.completed;
-          if (t.probe) {
-            probes_[s].push_back(ProbeDone{t.src_or_tag, u});
+          if (meta & kProbeBit) {
+            probes_[s].push_back(ProbeDone{src, u});
           } else {
-            arrivals_.stage(s, plan.shard_of(u), u, t.src_or_tag);
+            arrivals_.stage(s, u >> page_shift, u, src);
           }
         } else {
-          moves_[static_cast<std::size_t>(s) * shards + plan.shard_of(u)]
-              .push_back(Handoff{t.src_or_tag, u, t.steps_left, t.probe});
+          mv[u >> page_shift].push_back(
+              src, u, static_cast<std::uint16_t>(meta));
         }
       }
     }
-    if (fwd < q.size()) {
-      counters.queued += q.size() - fwd;
-      for (std::size_t j = fwd; j < q.size(); ++j) {
-        const Token& t = q[j];
-        moves_[static_cast<std::size_t>(s) * shards + s].push_back(
-            Handoff{t.src_or_tag, v, t.steps_left, t.probe});
+    if (fwd < size) {
+      // Cap-delayed tokens stay at v: route them through v's own page
+      // bucket so the merge interleaves them at v's canonical source
+      // position (identical queue order for every shard count).
+      counters.queued += size - fwd;
+      const std::uint64_t* srcs = q.src();
+      const std::uint16_t* metas = q.meta();
+      HandoffBucket& self_bucket = mv[v >> page_shift];
+      for (std::size_t j = fwd; j < size; ++j) {
+        self_bucket.push_back(srcs[j], v, metas[j]);
       }
     }
     fwd_count_[v] = static_cast<std::uint32_t>(fwd);
@@ -146,39 +263,87 @@ void TokenSoup::on_round_begin(std::uint32_t s, ShardContext& ctx) {
   }
 }
 
+// Phase 2 (parallel over destination shards): merge the staged handoffs
+// and sample deliveries addressed to this shard, scanning pages in
+// ascending order and, within a page, source shards in ascending order.
+// Each bucket was appended in ascending source-vertex order, so every
+// queue receives its tokens in ascending GLOBAL source order — the same
+// stream the shard-keyed merge produced, bit-identical for every shard
+// count, serial or parallel. The handoffs refill cur_ in place: phase 1
+// cleared every queue, and a queue's vertex belongs to exactly this
+// destination shard, so single-buffering is race-free. Retire samples
+// that have aged out of the retention window while we own the shard.
+//
+// Cache blocking: one page's queues fit in L2 by construction
+// (page_shift_), so the data-dependent scatter never leaves a ~1.5 MB
+// window; the queue header of handoff i+kHeaderDist is still hinted
+// ahead because the first touch of each line in a fresh window misses.
+// A page that straddles a shard boundary is scanned by BOTH neighboring
+// shards, each filing only its own vertices — concurrent reads of the
+// bucket are safe, and the serial epilogue does the clearing.
+// shardcheck:sharded-hook(phase-2 refill; runs on the dst shard's task inside on_round_merge's run_sharded)
+void TokenSoup::merge_shard(std::uint32_t dst, Round r, Round keep_from) {
+  const ShardPlan& plan = net().shards();
+  const std::uint32_t shards = plan.count();
+  const Vertex vbegin = plan.begin(dst);
+  const Vertex vend = plan.end(dst);
+  std::uint64_t alive = 0;
+  const std::uint32_t p0 = vbegin >> page_shift_;
+  const std::uint32_t p1 = (vend - 1) >> page_shift_;
+  for (std::uint32_t p = p0; p <= p1; ++p) {
+    const std::uint64_t pstart = std::uint64_t{p} << page_shift_;
+    const std::uint64_t pend = std::uint64_t{p + 1} << page_shift_;
+    // The last page over-extends past n; it is still wholly owned when
+    // this shard's range runs to n.
+    const bool owned = pstart >= vbegin && (pend <= vend || vend == plan.n());
+    for (std::uint32_t src = 0; src < shards; ++src) {
+      const HandoffBucket& bucket =
+          moves_[static_cast<std::size_t>(src) * pages_ + p];
+      const std::size_t m = bucket.size();
+      const std::uint64_t* hsrc = bucket.src();
+      const Vertex* hdst = bucket.dst();
+      const std::uint16_t* hmeta = bucket.meta();
+      if (owned) {
+        for (std::size_t i = 0; i < m; ++i) {
+          if (i + kHeaderDist < m) prefetch_read(&cur_[hdst[i + kHeaderDist]]);
+          cur_[hdst[i]].push_back(hsrc[i], hmeta[i]);
+        }
+        alive += m;
+      } else {
+        for (std::size_t i = 0; i < m; ++i) {
+          const Vertex w = hdst[i];
+          if (w < vbegin || w >= vend) continue;
+          cur_[w].push_back(hsrc[i], hmeta[i]);
+          ++alive;
+        }
+      }
+    }
+  }
+  // Phase 1 drained every queue, so the merged handoffs ARE this shard's
+  // whole live population: settle the alive counter here instead of ever
+  // scanning queues (tokens_alive() just sums these).
+  alive_[dst] = alive;
+  arrivals_.apply_to(p0, p1, vbegin, vend, r, samples_);
+  for (Vertex v = vbegin; v < vend; ++v) {
+    samples_[v].prune(keep_from);
+  }
+}
+
 void TokenSoup::on_round_merge() {
   const Round r = net().round();
   const Vertex n = net().n();
-  const ShardPlan& plan = net().shards();
-  const std::uint32_t shards = plan.count();
-
-  // Phase 2 (parallel over destination shards): merge the staged handoffs
-  // and sample deliveries addressed to this shard, scanning source shards
-  // in ascending order. With contiguous shards scanned in ascending vertex
-  // order, the merged stream equals the ascending global source-vertex
-  // order for EVERY shard count — token queue order and sample insertion
-  // order are bit-identical serial or parallel. The handoffs refill cur_
-  // in place: phase 1 cleared every queue, and a queue's vertex belongs to
-  // exactly this destination shard, so single-buffering is race-free.
-  // Retire samples that have aged out of the retention window while we own
-  // the shard.
+  const std::uint32_t shards = net().shards().count();
   const Round keep_from = r - window_;
-  net().run_sharded([&](std::uint32_t dst) {
-    for (std::uint32_t src = 0; src < shards; ++src) {
-      auto& bucket = moves_[static_cast<std::size_t>(src) * shards + dst];
-      for (const Handoff& h : bucket) {
-        cur_[h.dst].push_back(Token{h.src_or_tag, h.steps_left, h.probe});
-      }
-      bucket.clear();
-    }
-    arrivals_.apply_to(dst, r, samples_);
-    for (Vertex v = plan.begin(dst); v < plan.end(dst); ++v) {
-      samples_[v].prune(keep_from);
-    }
-  });
+  net().run_sharded([&](std::uint32_t dst) { merge_shard(dst, r, keep_from); });
 
-  // Serial epilogue: user-facing probe hooks (canonical source order — the
-  // hook may touch arbitrary shared state) and metrics.
+  // Serial epilogue. Buckets are cleared here, not in merge_shard: a page
+  // that straddles a shard boundary is read by both neighboring shards'
+  // merge tasks (clear() only resets the size, so no arena traffic from
+  // serial context).
+  for (HandoffBucket& bucket : moves_) bucket.clear();
+
+  // User-facing probe hooks (canonical source order — the hook may touch
+  // arbitrary shared state) and metrics.
   std::uint64_t completed = 0;
   std::uint64_t queued = 0;
   for (std::uint32_t s = 0; s < shards; ++s) {

@@ -17,6 +17,7 @@
 // read its tau() during their own on_attach).
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <functional>
 #include <vector>
@@ -86,6 +87,10 @@ class TokenSoup final : public Protocol {
   void set_probe_hook(ProbeHook hook) { probe_hook_ = std::move(hook); }
 
   /// --- introspection -------------------------------------------------------
+  /// Live (queued) token count, maintained as per-shard counters that the
+  /// round merge settles — O(shards), never a queue scan. Valid between
+  /// rounds (mid-phase the queues are transiently drained into the
+  /// staging buckets).
   [[nodiscard]] std::size_t tokens_alive() const noexcept;
   [[nodiscard]] std::uint32_t walks_per_round() const noexcept { return walks_; }
   [[nodiscard]] std::uint32_t walk_length() const noexcept { return length_; }
@@ -94,13 +99,97 @@ class TokenSoup final : public Protocol {
   [[nodiscard]] const WalkConfig& config() const noexcept { return config_; }
 
  private:
-  struct Token {
-    std::uint64_t src_or_tag;  ///< source PeerId, or tag for probes
-    std::uint16_t steps_left;
-    std::uint16_t probe;  ///< 1 if probe token
-  };
+  /// --- structure-of-arrays token storage ----------------------------------
+  /// Tokens are stored as parallel columns, not structs: an 8-byte
+  /// src_or_tag column (source PeerId, or tag for probes) plus a 2-byte
+  /// packed meta column holding `steps_left:15 | probe:1`
+  /// (meta = steps_left << 1 | probe). Versus the former 16-byte
+  /// array-of-structs element (12 bytes + padding) that is 10 bytes per
+  /// queued token and 14 per staged handoff (which adds a 4-byte dst
+  /// column) — a 25-37% cut of the two buffers that transiently hold every
+  /// live token, and the phase-1 drain becomes pure streaming reads of
+  /// flat arrays.
+  ///
+  /// Both containers pack ALL their columns into a SINGLE arena block
+  /// (src first, then dst where present, then meta — alignment decreases,
+  /// so every column is naturally aligned). One block per container keeps
+  /// the bookkeeping at one size + one capacity branch per push (a
+  /// vector-per-column design pays that per column), and capacity is
+  /// derived from Arena::usable_size, so the size-class rounding slack
+  /// becomes extra token capacity instead of waste. Allocation goes
+  /// through the owning shard's arena exactly as before, preserving the
+  /// zero-heap-calls steady state.
+
+  /// meta packing: steps_left in the high 15 bits, probe flag in bit 0.
+  /// Decrementing a step is `meta - 2`; "just completed" is `meta < 2`.
+  static constexpr std::uint16_t kProbeBit = 1;
+  static constexpr std::uint16_t kMaxSteps = 0x7fff;
+  [[nodiscard]] static constexpr std::uint16_t pack_meta(
+      std::uint32_t steps_left, bool probe) noexcept {
+    return static_cast<std::uint16_t>((steps_left << 1) |
+                                      (probe ? kProbeBit : 0));
+  }
+
   /// Arena-backed queue: bound to the arena of the shard owning its vertex.
-  using TokenQueue = std::vector<Token, ArenaAllocator<Token>>;
+  /// Columns: src (8 B), meta (2 B) — 10 bytes per token in one block.
+  struct TokenQueue {
+    static constexpr std::size_t kTokenBytes =
+        sizeof(std::uint64_t) + sizeof(std::uint16_t);
+
+    explicit TokenQueue(Arena* a) noexcept : arena_(a) {}
+    TokenQueue(TokenQueue&& o) noexcept
+        : base_(o.base_), size_(o.size_), cap_(o.cap_), arena_(o.arena_) {
+      o.base_ = nullptr;
+      o.size_ = o.cap_ = 0;
+    }
+    TokenQueue(const TokenQueue&) = delete;
+    TokenQueue& operator=(const TokenQueue&) = delete;
+    ~TokenQueue() { free_block(arena_, base_, cap_ * kTokenBytes); }
+
+    [[nodiscard]] std::uint64_t* src() const noexcept {
+      return reinterpret_cast<std::uint64_t*>(base_);
+    }
+    [[nodiscard]] std::uint16_t* meta() const noexcept {
+      return reinterpret_cast<std::uint16_t*>(base_ +
+                                              std::size_t{cap_} * 8);
+    }
+    [[nodiscard]] std::size_t size() const noexcept { return size_; }
+
+    void push_back(std::uint64_t s, std::uint16_t m) {
+      if (size_ == cap_) grow(size_ + 1);
+      src()[size_] = s;
+      meta()[size_] = m;
+      ++size_;
+    }
+    /// Append k copies of (s, m) — the per-round spawn burst.
+    void append_n(std::uint64_t s, std::uint16_t m, std::uint32_t k) {
+      if (size_ + k > cap_) grow(size_ + k);
+      std::uint64_t* sp = src() + size_;
+      std::uint16_t* mp = meta() + size_;
+      for (std::uint32_t i = 0; i < k; ++i) {
+        sp[i] = s;
+        mp[i] = m;
+      }
+      size_ += k;
+    }
+    void reserve(std::size_t k) {
+      if (k > cap_) grow(k);
+    }
+    void clear() noexcept { size_ = 0; }
+
+   private:
+    void grow(std::size_t min_cap);
+
+    std::byte* base_ = nullptr;
+    std::uint32_t size_ = 0;
+    std::uint32_t cap_ = 0;
+    Arena* arena_ = nullptr;
+  };
+
+  /// Single-block alloc/free helpers shared by the SoA containers (null
+  /// arena falls through to the global heap so standalone uses still work).
+  static std::byte* alloc_block(Arena* a, std::size_t bytes);
+  static void free_block(Arena* a, std::byte* p, std::size_t bytes) noexcept;
 
   WalkConfig config_;
   /// Salt of the per-(round, vertex) RNG streams; forked once at attach
@@ -125,14 +214,59 @@ class TokenSoup final : public Protocol {
   ProbeHook probe_hook_;
 
   /// --- per-round sharded staging (reused across rounds) -------------------
-  /// Flat 16-byte layout (vs 24 for {Vertex, Token}): the handoff buckets
-  /// transiently hold every moving token, so the padding was ~250 MB at
-  /// n=1M.
-  struct Handoff {
-    std::uint64_t src_or_tag;
-    Vertex dst;
-    std::uint16_t steps_left;
-    std::uint16_t probe;
+  /// Handoff buckets are the same SoA columns as the queues plus a dst
+  /// column (14 bytes per staged token, was 16 packed / 24 padded): the
+  /// buckets transiently hold every moving token, so every byte here is
+  /// multiplied by the full in-flight population. Pre-sized at attach to
+  /// the expected steady split so steady-state rounds never reallocate
+  /// (the doubling of a hundreds-of-MB column kept old+new alive at once
+  /// and showed up as a maxrss spike at n=1M).
+  /// Columns: src (8 B), dst (4 B), meta (2 B) in one block.
+  struct HandoffBucket {
+    static constexpr std::size_t kTokenBytes =
+        sizeof(std::uint64_t) + sizeof(Vertex) + sizeof(std::uint16_t);
+
+    explicit HandoffBucket(Arena* a) noexcept : arena_(a) {}
+    HandoffBucket(HandoffBucket&& o) noexcept
+        : base_(o.base_), size_(o.size_), cap_(o.cap_), arena_(o.arena_) {
+      o.base_ = nullptr;
+      o.size_ = o.cap_ = 0;
+    }
+    HandoffBucket(const HandoffBucket&) = delete;
+    HandoffBucket& operator=(const HandoffBucket&) = delete;
+    ~HandoffBucket() { free_block(arena_, base_, cap_ * kTokenBytes); }
+
+    [[nodiscard]] std::uint64_t* src() const noexcept {
+      return reinterpret_cast<std::uint64_t*>(base_);
+    }
+    [[nodiscard]] Vertex* dst() const noexcept {
+      return reinterpret_cast<Vertex*>(base_ + std::size_t{cap_} * 8);
+    }
+    [[nodiscard]] std::uint16_t* meta() const noexcept {
+      return reinterpret_cast<std::uint16_t*>(base_ +
+                                              std::size_t{cap_} * 12);
+    }
+    [[nodiscard]] std::size_t size() const noexcept { return size_; }
+
+    void push_back(std::uint64_t s, Vertex d, std::uint16_t m) {
+      if (size_ == cap_) grow(size_ + 1);
+      src()[size_] = s;
+      dst()[size_] = d;
+      meta()[size_] = m;
+      ++size_;
+    }
+    void reserve(std::size_t k) {
+      if (k > cap_) grow(k);
+    }
+    void clear() noexcept { size_ = 0; }
+
+   private:
+    void grow(std::size_t min_cap);
+
+    std::byte* base_ = nullptr;
+    std::uint32_t size_ = 0;
+    std::uint32_t cap_ = 0;
+    Arena* arena_ = nullptr;
   };
   struct ProbeDone {
     std::uint64_t tag;
@@ -142,14 +276,41 @@ class TokenSoup final : public Protocol {
     std::uint64_t completed = 0;
     std::uint64_t queued = 0;
   };
-  /// [src_shard * S + dst_shard]; each bucket allocates from its SOURCE
-  /// shard's arena (the source task does all the growing).
-  using HandoffVec = std::vector<Handoff, ArenaAllocator<Handoff>>;
-  std::vector<HandoffVec> moves_;
+
+  /// Phase-2 refill of one destination shard's queues from the staged
+  /// handoff buckets (hook-only helper, runs on the dst shard's task).
+  void merge_shard(std::uint32_t dst, Round r, Round keep_from);
+
+  /// [src_shard * pages_ + dst_page]; each bucket allocates from its
+  /// SOURCE shard's arena (the source task does all the growing).
+  ///
+  /// Buckets are keyed by destination PAGE, not destination shard: a page
+  /// is a power-of-two vertex range (page_shift_) sized at attach so one
+  /// page's token queues fit in L2 (~1.5 MB). The refill scatter is the
+  /// engine's only data-dependent access pattern, and at n=1M the queue
+  /// arena is hundreds of MB — scattering into it bucket-by-shard costs
+  /// 2-3 DRAM misses per token. Merging page-by-page keeps every queue
+  /// touch inside an L2-resident window. Dst-page bucketing also makes
+  /// the phase-1 route computation a shift instead of a divide, and the
+  /// canonical order is preserved: scanning (src shard ascending, bucket
+  /// append order) within a page files each queue's tokens in exactly the
+  /// ascending-global-source order the shard-keyed merge produced.
+  std::vector<HandoffBucket> moves_;
+  std::uint32_t page_shift_ = 0;  ///< log2 of the dst-page vertex span
+  std::uint32_t pages_ = 1;       ///< total dst pages covering [0, n)
   ShardedArrivals arrivals_;
   std::vector<std::vector<ProbeDone>> probes_;  ///< per source shard
   std::vector<ShardCounters> counters_;         ///< per source shard
   std::vector<std::uint32_t> fwd_count_;        ///< per vertex, for metrics
+  /// Per-shard scratch for the batched neighbor draws (cap_ entries each):
+  /// stream_fill_below writes a vertex's whole batch here, the forward
+  /// loop gathers neighbors off it. Only shard s's task touches draws_[s].
+  std::vector<std::vector<std::uint32_t>> draws_;
+  /// Per-shard live-token counters: settled by merge_shard (the merged
+  /// handoffs are exactly the shard's queue contents), adjusted serially
+  /// by inject_probe / on_churn. Replaces the former O(n) queue scan in
+  /// tokens_alive().
+  std::vector<std::uint64_t> alive_;
 };
 
 }  // namespace churnstore

@@ -144,6 +144,41 @@ TEST(Rng, StreamRngIsAPureFunctionOfKeyAndStream) {
   EXPECT_EQ(stream_seed(42, 7), stream_seed(42, 7));
 }
 
+TEST(Rng, StreamFillBelowMatchesPerDrawLoop) {
+  // The batched API must be draw-for-draw identical to constructing the
+  // stream once and calling next_below k times — the walk hot loop relies
+  // on this to keep trajectories bit-identical to the per-token code it
+  // replaced (no golden re-baselining).
+  const std::uint64_t key = mix64(0xfeedface);
+  for (const std::uint64_t bound : {1ull, 6ull, 7ull, 8ull, 12ull, 1000ull}) {
+    for (const std::uint64_t stream : {0ull, 1ull, 77ull, 1ull << 20}) {
+      std::vector<std::uint32_t> batch(257);
+      stream_fill_below(key, stream, bound, batch.data(), batch.size());
+      Rng ref = stream_rng(key, stream);
+      for (std::size_t i = 0; i < batch.size(); ++i) {
+        ASSERT_EQ(batch[i], ref.next_below(bound))
+            << "bound=" << bound << " stream=" << stream << " i=" << i;
+      }
+    }
+  }
+}
+
+TEST(Rng, StreamFillBelowRespectsNonPowerOfTwoBounds) {
+  // Lemire rejection must stay unbiased and in-range for bounds that do
+  // not divide 2^64 (the vertex degree is usually not a power of two).
+  for (const std::uint64_t bound : {3ull, 5ull, 6ull, 7ull, 11ull, 100ull}) {
+    std::vector<std::uint32_t> batch(4096);
+    stream_fill_below(9, 4, bound, batch.data(), batch.size());
+    std::set<std::uint32_t> seen;
+    for (const std::uint32_t v : batch) {
+      ASSERT_LT(v, bound);
+      seen.insert(v);
+    }
+    // Every residue appears in 4096 draws (bound <= 100).
+    EXPECT_EQ(seen.size(), bound);
+  }
+}
+
 TEST(Rng, StreamRngChildrenAreDistinctPerKeyAndStream) {
   EXPECT_NE(stream_rng(42, 1).next(), stream_rng(42, 2).next());
   EXPECT_NE(stream_seed(42, 3), stream_seed(43, 3));

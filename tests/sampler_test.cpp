@@ -150,7 +150,7 @@ TEST(SampleBuffer, LongRunningWindowSteadyState) {
 
 TEST(ShardedArrivalsCohorts, ApplyMergesInCanonicalSourceOrder) {
   ShardedArrivals arr;
-  arr.reset(3);
+  arr.reset(/*src_shards=*/3, /*dst_buckets=*/1);
   std::vector<SampleBuffer> buffers(4);
   // Same destination vertex fed from three source shards; canonical order
   // is ascending source shard, staging order within a shard.
@@ -159,13 +159,40 @@ TEST(ShardedArrivalsCohorts, ApplyMergesInCanonicalSourceOrder) {
   arr.stage(0, 0, 1, 101);
   arr.stage(1, 0, 1, 200);
   EXPECT_EQ(arr.staged_total(), 4u);
-  arr.apply_to(0, /*r=*/9, buffers);
+  arr.apply_to(0, 0, /*vbegin=*/0, /*vend=*/4, /*r=*/9, buffers);
   ASSERT_EQ(buffers[1].count_at(9), 4u);
   const SampleView got = buffers[1].at(9);
   EXPECT_EQ(got[0], 100u);
   EXPECT_EQ(got[1], 101u);
   EXPECT_EQ(got[2], 200u);
   EXPECT_EQ(got[3], 300u);
+}
+
+TEST(ShardedArrivalsCohorts, StraddleBucketAppliedByBothSidesFilesOnce) {
+  // A destination bucket that straddles a shard boundary is applied by
+  // both neighboring dst tasks; the [vbegin, vend) filter must give each
+  // vertex to exactly one of them, preserving canonical order.
+  ShardedArrivals arr;
+  arr.reset(/*src_shards=*/2, /*dst_buckets=*/2);
+  std::vector<SampleBuffer> buffers(8);
+  // Bucket 0 covers vertices [0,4), bucket 1 covers [4,8); the shard
+  // split is at vertex 2, mid-bucket-0.
+  arr.stage(1, 0, /*dst=*/1, /*source=*/500);
+  arr.stage(0, 0, 1, 400);
+  arr.stage(0, 0, 3, 401);
+  arr.stage(1, 1, 5, 501);
+  EXPECT_EQ(arr.staged_total(), 4u);
+  // Left shard owns [0,2): sees bucket 0 only, files vertex 1 only.
+  arr.apply_to(0, 0, /*vbegin=*/0, /*vend=*/2, /*r=*/3, buffers);
+  // Right shard owns [2,8): sees buckets 0 and 1, skips vertex 1.
+  arr.apply_to(0, 1, /*vbegin=*/2, /*vend=*/8, /*r=*/3, buffers);
+  ASSERT_EQ(buffers[1].count_at(3), 2u);
+  EXPECT_EQ(buffers[1].at(3)[0], 400u);
+  EXPECT_EQ(buffers[1].at(3)[1], 500u);
+  ASSERT_EQ(buffers[3].count_at(3), 1u);
+  EXPECT_EQ(buffers[3].at(3)[0], 401u);
+  ASSERT_EQ(buffers[5].count_at(3), 1u);
+  EXPECT_EQ(buffers[5].at(3)[0], 501u);
 }
 
 }  // namespace

@@ -15,6 +15,7 @@
 #include "core/system.h"
 #include "net/network.h"
 #include "storage/item.h"
+#include "util/rng.h"
 #include "util/sharding.h"
 #include "util/thread_pool.h"
 #include "walk/token_soup.h"
@@ -40,6 +41,40 @@ TEST(ShardPlan, ContiguousRangesPartitionTheVertexSet) {
       }
     }
   }
+}
+
+TEST(ShardPlan, FastDivisionIsExactForEveryTestedDivisor) {
+  // shard_of runs once per moving token, so it uses the Granlund-Montgomery
+  // multiply-shift (FastDiv32) instead of a hardware divide. The method is
+  // exact for ALL 32-bit numerators when the magic constant is the round-up
+  // of 2^(32+ceil(log2 d))/d; pin that against the boundary values where an
+  // off-by-one magic would first show (multiples of d and their neighbors,
+  // plus the extremes of the 32-bit range).
+  Rng rng(2026);
+  std::vector<std::uint32_t> divisors = {1,       2,       3,      4,    5,
+                                         6,       7,       9,      16,   17,
+                                         31,      32,      33,     100,  255,
+                                         256,     257,     1000,   4095, 65535,
+                                         65536,   65537,   1u << 20};
+  for (int i = 0; i < 50; ++i) {
+    divisors.push_back(1 + static_cast<std::uint32_t>(rng.next_below(1u << 24)));
+  }
+  const std::uint32_t kMax = 0xffffffffu;
+  for (const std::uint32_t d : divisors) {
+    const FastDiv32 f(d);
+    std::vector<std::uint64_t> values = {0, 1, d - 1, d, d + 1,
+                                         2ull * d - 1, 2ull * d,
+                                         kMax - 1, kMax, kMax / d * d,
+                                         kMax / d * d - 1};
+    for (int i = 0; i < 200; ++i) values.push_back(rng.next_below(1ull << 32));
+    for (const std::uint64_t v64 : values) {
+      if (v64 > kMax) continue;
+      const auto v = static_cast<std::uint32_t>(v64);
+      ASSERT_EQ(f.divide(v), v / d) << "v=" << v << " d=" << d;
+    }
+  }
+  // Default-constructed: identity (divide by 1), used by empty plans.
+  EXPECT_EQ(FastDiv32{}.divide(12345u), 12345u);
 }
 
 TEST(ThreadPoolHelping, CoversEveryIndexExactlyOnce) {

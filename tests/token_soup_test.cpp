@@ -57,6 +57,36 @@ TEST(TokenSoup, ChurnDestroysSomeTokens) {
             m.tokens_completed() + m.tokens_lost() + soup.tokens_alive());
 }
 
+TEST(TokenSoup, ConservationUnderChurnForEveryShardCount) {
+  // tokens_alive() is maintained as per-shard counters settled by the
+  // round merge (never a queue scan), so conservation over a churny run
+  // pins those counters against the real queue population: any drift —
+  // a handoff miscounted, a churn clear missed, a probe not added —
+  // breaks the balance. Probes are injected mid-run to exercise the
+  // serial-context adjustments too.
+  for (const std::uint32_t shards : {1u, 3u, 16u}) {
+    SimConfig c = net_config(192, /*churn_abs=*/6);
+    c.shards = shards;
+    Network net(c);
+    TokenSoup soup(net, WalkConfig{});
+    std::uint64_t injected = 0;
+    for (std::uint32_t i = 0; i < 50; ++i) {
+      net.begin_round();
+      if (i % 7 == 3) {
+        soup.inject_probe(i % 192, /*tag=*/i, /*steps=*/5 + i % 9);
+        ++injected;
+      }
+      soup.step();
+      net.deliver();
+    }
+    const auto& m = net.metrics();
+    EXPECT_GT(m.tokens_lost(), 0u) << "shards=" << shards;
+    EXPECT_EQ(m.tokens_spawned() + injected,
+              m.tokens_completed() + m.tokens_lost() + soup.tokens_alive())
+        << "shards=" << shards;
+  }
+}
+
 TEST(TokenSoup, ProbesCompleteInExactlyTStepsWithoutCapPressure) {
   Network net(net_config(64));
   TokenSoup soup(net, WalkConfig{});
