@@ -167,6 +167,45 @@ BENCHMARK(BM_SoupStepSharded)
     ->Args({100000, 16})
     ->Unit(benchmark::kMillisecond);
 
+void BM_SoupStepScatter(benchmark::State& state) {
+  // A/B of the forward-loop scatter strategies (results are bit-identical,
+  // so the delta is pure execution cost): 0=direct pushes, 1=single-level
+  // WC staging (line-batched flushes, non-temporal when
+  // CHURNSTORE_NT_STORES is on), 2=two-level run demux. Auto picks by page
+  // count; these rows force each mode at a size whose page table makes the
+  // choice non-trivial (n=16384 -> 64 destination pages).
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  const auto mode = static_cast<ScatterMode>(
+      static_cast<std::uint8_t>(state.range(1) + 1));  // skip kAuto
+  SimConfig cfg;
+  cfg.n = n;
+  cfg.seed = 3;
+  cfg.churn.kind = AdversaryKind::kUniform;
+  cfg.churn.k = 1.5;
+  cfg.churn.multiplier = 0.5;
+  Network net(cfg);
+  WalkConfig wc;
+  wc.scatter = mode;
+  TokenSoup soup(net, wc);
+  for (std::uint32_t i = 0; i < 2 * soup.tau(); ++i) {
+    net.begin_round();
+    soup.step();
+    net.deliver();
+  }
+  for (auto _ : state) {
+    net.begin_round();
+    soup.step();
+    net.deliver();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(soup.tokens_alive()));
+}
+BENCHMARK(BM_SoupStepScatter)
+    ->Args({16384, 0})
+    ->Args({16384, 1})
+    ->Args({16384, 2})
+    ->Unit(benchmark::kMillisecond);
+
 /// --- walk-forward inner loop, isolated ------------------------------------
 /// The exact per-token work of TokenSoup phase 1 (read token, decrement the
 /// hop counter, pick a uniform neighbor, stage the handoff) over a synthetic

@@ -9,13 +9,22 @@
 //   bench_driver --scenario=soup_step n=100000 shard-sweep=1,4,16
 //
 // Keys: shard-sweep (default 1,4,16), steps (timed rounds, default 128);
-// threads caps the pool (0 = hardware). The google-benchmark variant of
-// the same kernel lives in bench_micro (BM_SoupStepSharded).
+// threads caps the pool (0 = hardware). scatter=direct|single|two|auto
+// forces the forward-loop scatter strategy (A/B tool; results are
+// bit-identical across modes). counters=true adds perf-counter columns
+// (cycles / LLC misses / dTLB misses per forwarded token) when
+// perf_event_open works, "n/a" where it is denied. baseline-sps=X pins the
+// speedup denominator to a steps/sec value from an earlier row, so stitched
+// single-row runs (one process per row, e.g. the n=1M rows) carry real
+// ratios instead of self-baselined 1.00 — scripts/bench_diff.py --restitch
+// recomputes the column for already-published JSON. The google-benchmark
+// variant of the same kernel lives in bench_micro (BM_SoupStepSharded).
 #include <algorithm>
 #include <chrono>
 #include <stdexcept>
 
 #include "scenario_common.h"
+#include "util/perf_counters.h"
 #include "util/resource.h"
 #include "util/thread_pool.h"
 #include "walk/token_soup.h"
@@ -25,6 +34,15 @@ namespace {
 
 using namespace churnstore::bench;
 
+ScatterMode parse_scatter(const std::string& name) {
+  if (name == "auto") return ScatterMode::kAuto;
+  if (name == "direct") return ScatterMode::kDirect;
+  if (name == "single") return ScatterMode::kWcSingle;
+  if (name == "two") return ScatterMode::kWcTwoLevel;
+  throw std::invalid_argument(
+      "soup_step: scatter= must be auto|direct|single|two");
+}
+
 CHURNSTORE_SCENARIO(soup_step,
                     "M2: sharded soup-step throughput (S sweep, "
                     "BENCH_soup_step.json baseline)") {
@@ -32,6 +50,9 @@ CHURNSTORE_SCENARIO(soup_step,
   if (!cli.has("n")) base.ns = {4096, 16384};
   const auto steps =
       static_cast<std::uint32_t>(cli.get_int("steps", 128));
+  const ScatterMode scatter = parse_scatter(cli.get("scatter", "auto"));
+  const bool want_counters = cli.get_bool("counters", false);
+  const double pinned_baseline = cli.get_double("baseline-sps", 0.0);
   // Big-n memory guard: the steady state holds ~ n * walks * length tokens
   // (x2 transiently during the handoff merge) plus the sample-buffer
   // window, which at the default soup density is tens of GB for n=1M. Large
@@ -57,6 +78,7 @@ CHURNSTORE_SCENARIO(soup_step,
     base.walk.t_mult = 0.75;
     base.walk.window_mult = 1.0;
   }
+  base.walk.scatter = scatter;
 
   banner(base, "M2 soup_step — sharded soup-step throughput",
          "steady-state token moves per second vs shard count; >= 2x at 4+ "
@@ -74,10 +96,15 @@ CHURNSTORE_SCENARIO(soup_step,
   }
 
   ThreadPool pool(base.threads);
-  Table t({"n", "shards", "threads", "steps/sec", "Mtokens/sec", "speedup",
-           "walk-rate", "thinned", "maxrss MB"});
+  std::vector<std::string> cols = {"n",       "shards",      "threads",
+                                   "steps/sec", "Mtokens/sec", "speedup",
+                                   "walk-rate", "thinned",     "maxrss MB"};
+  if (want_counters) {
+    cols.insert(cols.end(), {"cyc/tok", "LLCm/tok", "dTLBm/tok"});
+  }
+  Table t(cols);
   for (const std::uint32_t n : base.ns) {
-    double baseline_sps = 0.0;
+    double baseline_sps = pinned_baseline;
     for (const std::uint32_t shards : sweep) {
       SystemConfig cfg = base.with_n(n).system_config();
       cfg.sim.shards = shards;
@@ -92,6 +119,8 @@ CHURNSTORE_SCENARIO(soup_step,
       }
       const double tokens_per_step =
           static_cast<double>(soup.tokens_alive());
+      PerfCounters counters;
+      if (want_counters) counters.start();
       const auto t0 = std::chrono::steady_clock::now();
       for (std::uint32_t i = 0; i < steps; ++i) {
         net.begin_round();
@@ -99,19 +128,41 @@ CHURNSTORE_SCENARIO(soup_step,
         net.deliver();
       }
       const auto t1 = std::chrono::steady_clock::now();
+      if (want_counters) counters.stop();
       const double secs = std::chrono::duration<double>(t1 - t0).count();
       const double sps = secs > 0.0 ? steps / secs : 0.0;
       if (baseline_sps == 0.0) baseline_sps = sps;
-      t.begin_row()
-          .cell(static_cast<std::int64_t>(n))
-          .cell(static_cast<std::int64_t>(shards))
-          .cell(static_cast<std::int64_t>(pool.size()))
-          .cell(sps, 2)
-          .cell(sps * tokens_per_step / 1e6, 2)
-          .cell(baseline_sps > 0.0 ? sps / baseline_sps : 0.0, 2)
-          .cell(base.walk.rate_mult, 2)
-          .cell(static_cast<std::int64_t>(thinned ? 1 : 0))
-          .cell(static_cast<double>(peak_rss_bytes()) / (1024.0 * 1024.0), 1);
+      auto& row =
+          t.begin_row()
+              .cell(static_cast<std::int64_t>(n))
+              .cell(static_cast<std::int64_t>(shards))
+              .cell(static_cast<std::int64_t>(pool.size()))
+              .cell(sps, 2)
+              .cell(sps * tokens_per_step / 1e6, 2)
+              .cell(baseline_sps > 0.0 ? sps / baseline_sps : 0.0, 2)
+              .cell(base.walk.rate_mult, 2)
+              .cell(static_cast<std::int64_t>(thinned ? 1 : 0))
+              .cell(static_cast<double>(peak_rss_bytes()) /
+                        (1024.0 * 1024.0),
+                    1);
+      if (want_counters) {
+        // Per-token rates over the whole timed region. Counters that did
+        // not open (denied/absent perf_event_open) print "n/a": the
+        // degraded path is a supported, CI-exercised state, never a crash
+        // and never silent zeros dressed up as measurements.
+        const PerfCounters::Values v = counters.read();
+        const double toks = tokens_per_step * steps;
+        const auto rate_cell = [&](bool ok, std::uint64_t count) {
+          if (ok && toks > 0.0) {
+            row.cell(static_cast<double>(count) / toks, 3);
+          } else {
+            row.cell("n/a");
+          }
+        };
+        rate_cell(v.cycles_ok, v.cycles);
+        rate_cell(v.llc_misses_ok, v.llc_misses);
+        rate_cell(v.dtlb_misses_ok, v.dtlb_misses);
+      }
     }
   }
   emit(t, base);

@@ -1,18 +1,33 @@
 #!/usr/bin/env python3
-"""Soup-step throughput regression gate.
+"""Benchmark regression gate (throughput + maxrss) and speedup restitcher.
 
-Runs a fresh `bench_driver --scenario=soup_step` at the gate size and
-compares Mtokens/sec per (n, shards) row against the checked-in
-BENCH_soup_step.json baseline. Exits nonzero if any row regresses by more
-than the threshold (default 20%).
+Gate mode (default): runs a fresh `bench_driver` scenario at the gate size
+and compares each (n, shards) row against the checked-in baseline JSON
+(BENCH_soup_step.json or BENCH_capacity.json):
 
-The baseline was recorded on a specific host, so cross-host runs (CI) can
-drift for reasons that are not code regressions — the CI step that invokes
-this is non-blocking (continue-on-error) and exists to surface the diff in
-the job log, not to gate merges. On the baseline host it is a real gate:
+  * throughput (Mtokens/sec for soup_step, rounds/sec for capacity) must not
+    drop more than --threshold (default 20%),
+  * maxrss MB must not rise more than --rss-threshold (default 10%).
 
-    python3 scripts/bench_diff.py                  # n=16384, 20% threshold
-    python3 scripts/bench_diff.py --threshold 0.1 --steps 128
+Throughput was recorded on a specific host, so cross-host runs (CI) can
+drift for reasons that are not code regressions — the CI throughput step is
+non-blocking (continue-on-error) and exists to surface the diff in the job
+log. Memory, however, is a property of the code, not the host: the CI
+maxrss step (--gate maxrss) IS blocking. On the baseline host both gates
+are real:
+
+    python3 scripts/bench_diff.py                      # soup_step, both gates
+    python3 scripts/bench_diff.py --scenario capacity  # capacity bench
+    python3 scripts/bench_diff.py --gate maxrss        # memory only (CI)
+
+Restitch mode: BENCH rows that were produced one process per row (the n=1M
+rows are stitched like that to keep each run inside the memory budget)
+self-baseline their `speedup` column to 1.00. `--restitch FILE` recomputes
+speedup within each n group against that group's first row (the sweep's
+baseline shard count) and rewrites the file in place, preserving the
+one-row-per-line layout:
+
+    python3 scripts/bench_diff.py --restitch BENCH_soup_step.json
 """
 
 import argparse
@@ -20,6 +35,21 @@ import json
 import subprocess
 import sys
 from pathlib import Path
+
+SCENARIOS = {
+    "soup_step": {
+        "baseline": "BENCH_soup_step.json",
+        "metric": "Mtokens/sec",
+        "extra": [],
+    },
+    "capacity": {
+        "baseline": "BENCH_capacity.json",
+        "metric": "rounds/sec",
+        "extra": [],
+    },
+}
+
+SPEEDUP_BASIS = {"soup_step": "steps/sec", "capacity": "rounds/sec"}
 
 
 def load_rows(text: str):
@@ -30,66 +60,159 @@ def load_rows(text: str):
     return {(int(r["n"]), int(r["shards"])): r for r in rows}
 
 
+def dump_rows(rows) -> str:
+    """One row object per line — the layout the BENCH files are kept in."""
+    lines = ",\n".join("  " + json.dumps(r) for r in rows)
+    return "[\n" + lines + "\n]\n"
+
+
+def restitch(path: Path) -> int:
+    rows = json.loads(path.read_text())
+    if not isinstance(rows, list):
+        print(f"restitch: {path} is not a JSON array", file=sys.stderr)
+        return 2
+    basis = None
+    for key in SPEEDUP_BASIS.values():
+        if rows and key in rows[0]:
+            basis = key
+            break
+    if basis is None:
+        print(f"restitch: no speedup basis column in {path}", file=sys.stderr)
+        return 2
+    group_base = {}
+    changed = 0
+    for r in rows:
+        n = int(r["n"])
+        sps = float(r[basis])
+        if n not in group_base:
+            group_base[n] = sps
+        new = round(sps / group_base[n], 2) if group_base[n] > 0 else 0.0
+        if r.get("speedup") != new:
+            r["speedup"] = new
+            changed += 1
+    path.write_text(dump_rows(rows))
+    print(f"restitch: {path.name}: speedup recomputed from {basis}, "
+          f"{changed} row(s) updated")
+    return 0
+
+
 def main() -> int:
     repo = Path(__file__).resolve().parent.parent
-    ap = argparse.ArgumentParser(description=__doc__)
+    ap = argparse.ArgumentParser(
+        description=__doc__, formatter_class=argparse.RawDescriptionHelpFormatter
+    )
     ap.add_argument("--driver", default=str(repo / "build" / "bench_driver"))
-    ap.add_argument("--baseline", default=str(repo / "BENCH_soup_step.json"))
+    ap.add_argument("--scenario", choices=sorted(SCENARIOS), default="soup_step")
+    ap.add_argument("--baseline", default=None,
+                    help="baseline JSON (default: the scenario's BENCH file)")
     ap.add_argument("--n", type=int, default=16384)
     ap.add_argument("--shard-sweep", default="1,4,16")
-    ap.add_argument("--steps", type=int, default=64)
+    ap.add_argument("--steps", type=int, default=64,
+                    help="timed rounds (soup_step only)")
     ap.add_argument(
         "--threshold",
         type=float,
         default=0.20,
-        help="max tolerated fractional Mtokens/sec drop per row",
+        help="max tolerated fractional throughput drop per row",
+    )
+    ap.add_argument(
+        "--rss-threshold",
+        type=float,
+        default=0.10,
+        help="max tolerated fractional maxrss increase per row",
+    )
+    ap.add_argument(
+        "--gate",
+        choices=["throughput", "maxrss", "both"],
+        default="both",
+        help="which comparisons can fail the run (CI runs maxrss blocking, "
+        "throughput non-blocking)",
+    )
+    ap.add_argument(
+        "--restitch",
+        metavar="FILE",
+        default=None,
+        help="recompute the speedup column of a stitched BENCH file in "
+        "place and exit (no benchmark run)",
     )
     args = ap.parse_args()
 
-    baseline = load_rows(Path(args.baseline).read_text())
+    if args.restitch is not None:
+        return restitch(Path(args.restitch))
+
+    scen = SCENARIOS[args.scenario]
+    metric = scen["metric"]
+    baseline_path = Path(args.baseline) if args.baseline else repo / scen["baseline"]
+    baseline = load_rows(baseline_path.read_text())
     cmd = [
         args.driver,
-        "--scenario=soup_step",
+        f"--scenario={args.scenario}",
         f"n={args.n}",
         f"shard-sweep={args.shard_sweep}",
-        f"steps={args.steps}",
         "json=true",
     ]
+    if args.scenario == "soup_step":
+        cmd.append(f"steps={args.steps}")
+    cmd += scen["extra"]
     print("+", " ".join(cmd), flush=True)
     out = subprocess.run(cmd, check=True, capture_output=True, text=True)
     fresh = load_rows(out.stdout)
 
     failed = []
     compared = 0
-    print(f"{'n':>8} {'shards':>6} {'baseline':>10} {'fresh':>10} {'delta':>8}")
+    print(
+        f"{'n':>8} {'shards':>6} {'base ' + metric:>16} {'fresh':>10} "
+        f"{'delta':>8} {'base rss':>9} {'fresh':>8} {'delta':>8}"
+    )
     for key, row in sorted(fresh.items()):
         base_row = baseline.get(key)
         if base_row is None or key[0] != args.n:
             continue
         compared += 1
-        old = float(base_row["Mtokens/sec"])
-        new = float(row["Mtokens/sec"])
+        old = float(base_row[metric])
+        new = float(row[metric])
         delta = (new - old) / old if old > 0 else 0.0
-        flag = ""
-        if delta < -args.threshold:
-            failed.append((key, old, new, delta))
-            flag = "  << REGRESSION"
+        old_rss = float(base_row.get("maxrss MB", 0.0))
+        new_rss = float(row.get("maxrss MB", 0.0))
+        rss_delta = (new_rss - old_rss) / old_rss if old_rss > 0 else 0.0
+        flags = []
+        if args.gate in ("throughput", "both") and delta < -args.threshold:
+            failed.append((key, metric, old, new, delta))
+            flags.append("THROUGHPUT")
+        if args.gate in ("maxrss", "both") and rss_delta > args.rss_threshold:
+            failed.append((key, "maxrss MB", old_rss, new_rss, rss_delta))
+            flags.append("MAXRSS")
+        flag = ("  << " + "+".join(flags)) if flags else ""
         print(
-            f"{key[0]:>8} {key[1]:>6} {old:>10.2f} {new:>10.2f} "
-            f"{delta:>+7.1%}{flag}"
+            f"{key[0]:>8} {key[1]:>6} {old:>16.2f} {new:>10.2f} "
+            f"{delta:>+7.1%} {old_rss:>9.1f} {new_rss:>8.1f} "
+            f"{rss_delta:>+7.1%}{flag}"
         )
 
     if compared == 0:
-        print(f"bench_diff: no baseline rows at n={args.n}", file=sys.stderr)
+        print(
+            f"bench_diff: no baseline rows at n={args.n} in {baseline_path.name}",
+            file=sys.stderr,
+        )
         return 2
     if failed:
+        for key, what, old, new, delta in failed:
+            print(
+                f"bench_diff: {args.scenario} n={key[0]} shards={key[1]} "
+                f"{what}: {old:.2f} -> {new:.2f} ({delta:+.1%})",
+                file=sys.stderr,
+            )
         print(
-            f"bench_diff: {len(failed)} row(s) regressed more than "
-            f"{args.threshold:.0%} (Mtokens/sec)",
+            f"bench_diff: {len(failed)} comparison(s) outside tolerance "
+            f"(throughput -{args.threshold:.0%} / maxrss +{args.rss_threshold:.0%})",
             file=sys.stderr,
         )
         return 1
-    print(f"bench_diff: {compared} row(s) within {args.threshold:.0%} of baseline")
+    print(
+        f"bench_diff: {compared} row(s) within tolerance "
+        f"(throughput -{args.threshold:.0%} / maxrss +{args.rss_threshold:.0%}, "
+        f"gate={args.gate})"
+    )
     return 0
 
 

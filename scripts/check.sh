@@ -47,7 +47,7 @@ if command -v ninja >/dev/null 2>&1; then
   GENERATOR_ARGS+=(-G Ninja)
 fi
 
-SANITIZED_FILTER='Sharded*:ThreadPool*:Arena*:ShardPlan*:SampleBuffer*:SampleCohorts*:ShardedArrivals*:SmallVec*:Message*:Mixed*:BitCharge*:ChordNet*'
+SANITIZED_FILTER='Sharded*:WcScatter*:PerfCounters*:ThreadPool*:Arena*:ShardPlan*:SampleBuffer*:SampleCohorts*:ShardedArrivals*:SmallVec*:Message*:Mixed*:BitCharge*:ChordNet*'
 
 if [[ "$SMOKE" == "1" ]]; then
   # Scenario smoke: every registered scenario once, tiny spec (n <= 2k,
@@ -72,7 +72,7 @@ if [[ "$SMOKE" == "1" ]]; then
       committee) EXTRA="periods=2" ;;
       mixing)    EXTRA="probes=2000" ;;
       soup)      EXTRA="probes=4" ;;
-      soup_step) EXTRA="steps=8 shard-sweep=1,2" ;;
+      soup_step) EXTRA="steps=8 shard-sweep=1,2 counters=true" ;;
       storage)   EXTRA="horizon-taus=2" ;;
       survival)  EXTRA="probes=4" ;;
       churn_limit) EXTRA="steps=2" ;;

@@ -51,8 +51,8 @@ std::set<std::string>& extra_key_registry() {
   // shardcheck:ok(R4: Meyers registry mutated only during static init and CLI parsing, before any round runs)
   static std::set<std::string> keys = {
       // scenario knobs
-      "horizon-taus", "measure-rounds", "periods", "probes", "shard-sweep",
-      "steps",
+      "baseline-sps", "counters", "horizon-taus", "measure-rounds", "periods",
+      "probes", "scatter", "shard-sweep", "steps",
       // stack knobs (core/stacks.cpp builders)
       "chord", "chord-replicate", "chord-replication", "chord-stabilize",
       "flood-refresh", "probes-per-round", "replication", "replication-mult",

@@ -1,0 +1,117 @@
+#include "util/perf_counters.h"
+
+#if defined(__linux__)
+#include <linux/perf_event.h>
+#include <sys/ioctl.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+
+#include <cstring>
+#endif
+
+namespace churnstore {
+
+namespace {
+bool g_force_unavailable = false;
+}  // namespace
+
+void PerfCounters::force_unavailable_for_testing(bool on) noexcept {
+  g_force_unavailable = on;
+}
+
+#if defined(__linux__)
+
+namespace {
+
+int open_event(std::uint32_t type, std::uint64_t config) noexcept {
+  perf_event_attr attr;
+  std::memset(&attr, 0, sizeof(attr));
+  attr.type = type;
+  attr.size = sizeof(attr);
+  attr.config = config;
+  attr.disabled = 1;
+  attr.exclude_kernel = 1;  // paranoid=2 hosts allow user-only counting
+  attr.exclude_hv = 1;
+  const long fd = syscall(SYS_perf_event_open, &attr, /*pid=*/0, /*cpu=*/-1,
+                          /*group_fd=*/-1, /*flags=*/0);
+  return static_cast<int>(fd);
+}
+
+constexpr std::uint64_t cache_config(std::uint64_t cache, std::uint64_t op,
+                                     std::uint64_t result) noexcept {
+  return cache | (op << 8) | (result << 16);
+}
+
+}  // namespace
+
+PerfCounters::PerfCounters() {
+  if (g_force_unavailable) return;
+  fds_[0] = open_event(PERF_TYPE_HARDWARE, PERF_COUNT_HW_CPU_CYCLES);
+  fds_[1] = open_event(PERF_TYPE_HARDWARE, PERF_COUNT_HW_INSTRUCTIONS);
+  fds_[2] = open_event(PERF_TYPE_HW_CACHE,
+                       cache_config(PERF_COUNT_HW_CACHE_LL,
+                                    PERF_COUNT_HW_CACHE_OP_READ,
+                                    PERF_COUNT_HW_CACHE_RESULT_MISS));
+  fds_[3] = open_event(PERF_TYPE_HW_CACHE,
+                       cache_config(PERF_COUNT_HW_CACHE_DTLB,
+                                    PERF_COUNT_HW_CACHE_OP_READ,
+                                    PERF_COUNT_HW_CACHE_RESULT_MISS));
+}
+
+PerfCounters::~PerfCounters() {
+  for (int fd : fds_) {
+    if (fd >= 0) close(fd);
+  }
+}
+
+bool PerfCounters::available() const noexcept {
+  for (int fd : fds_) {
+    if (fd >= 0) return true;
+  }
+  return false;
+}
+
+void PerfCounters::start() noexcept {
+  for (int fd : fds_) {
+    if (fd < 0) continue;
+    ioctl(fd, PERF_EVENT_IOC_RESET, 0);
+    ioctl(fd, PERF_EVENT_IOC_ENABLE, 0);
+  }
+}
+
+void PerfCounters::stop() noexcept {
+  for (int fd : fds_) {
+    if (fd >= 0) ioctl(fd, PERF_EVENT_IOC_DISABLE, 0);
+  }
+}
+
+PerfCounters::Values PerfCounters::read() const noexcept {
+  Values out;
+  std::uint64_t* vals[kEvents] = {&out.cycles, &out.instructions,
+                                  &out.llc_misses, &out.dtlb_misses};
+  bool* oks[kEvents] = {&out.cycles_ok, &out.instructions_ok,
+                        &out.llc_misses_ok, &out.dtlb_misses_ok};
+  for (int i = 0; i < kEvents; ++i) {
+    if (fds_[i] < 0) continue;
+    std::uint64_t v = 0;
+    const ssize_t got = ::read(fds_[i], &v, sizeof(v));
+    if (got == static_cast<ssize_t>(sizeof(v))) {
+      *vals[i] = v;
+      *oks[i] = true;
+    }
+  }
+  return out;
+}
+
+#else  // !__linux__
+
+PerfCounters::PerfCounters() { (void)g_force_unavailable; }
+PerfCounters::~PerfCounters() = default;
+bool PerfCounters::available() const noexcept { return false; }
+void PerfCounters::start() noexcept {}
+void PerfCounters::stop() noexcept {}
+PerfCounters::Values PerfCounters::read() const noexcept { return Values{}; }
+
+#endif
+
+}  // namespace churnstore

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 #include <cstring>
+#include <new>
 
 #include "util/prefetch.h"
 
@@ -11,17 +12,34 @@ namespace churnstore {
 namespace {
 /// Bits a node processes to forward one token: source id + hop counter.
 constexpr std::uint64_t kTokenBits = 64 + 16;
-/// Merge-refill prefetch distance, in tokens: the destination queue of
-/// handoff i+kHeaderDist gets its header line hinted, a data-dependent
-/// scatter the hardware prefetcher cannot see. (Hinting the queue TAIL as
-/// well was measured slower — computing the tail address needs two
-/// dependent loads, which stalls the loop more than the miss it hides.)
-constexpr std::size_t kHeaderDist = 16;
+/// Scatter-mode auto thresholds (by destination page count, a pure function
+/// of n and the walk config — never of the shard count, so every shards=S
+/// run of the same workload picks the same mode and stays bit-identical).
+/// With <= kDirectMaxPages the bucket tails fit in a handful of lines and
+/// staging is pure overhead; up to kWcSingleMaxPages one WC table
+/// (3 lines + count per page, ~200 B each) stays L2-resident. Both cut
+/// points are measured, not theoretical: on the baseline host single-level
+/// WC with non-temporal flushes wins ~+20% at 64 pages (n=16k) and ties
+/// direct at ~1000 pages (n=1M, 188 KB table), so single carries the whole
+/// measurable range and two-level is the memory-bounded fallback for page
+/// counts whose WC table would genuinely thrash (beyond what this host can
+/// hold; forcing two-level inside the measured range costs ~15%).
+constexpr std::uint32_t kDirectMaxPages = 4;
+constexpr std::uint32_t kWcSingleMaxPages = 2048;
+/// Two-level sizing: at most kMaxRuns coarse runs per shard (the run WC
+/// table must be L1-resident), and source chunks sized so one chunk's run
+/// contents (~kRunWindowBytes) stay cache-resident for the immediate
+/// re-read in scatter_runs_to_final.
+constexpr std::uint32_t kMaxRuns = 48;
+constexpr std::uint64_t kRunWindowBytes = std::uint64_t{6} << 20;
 }  // namespace
 
+// The heap fallback matches the arena's line alignment so the WC contract
+// (64-byte-aligned bucket blocks) holds for arena-less standalone uses too.
 std::byte* TokenSoup::alloc_block(Arena* a, std::size_t bytes) {
   if (a != nullptr) return static_cast<std::byte*>(a->allocate(bytes));
-  return static_cast<std::byte*>(::operator new(bytes));
+  return static_cast<std::byte*>(
+      ::operator new(bytes, std::align_val_t{Arena::kLineAlign}));
 }
 
 void TokenSoup::free_block(Arena* a, std::byte* p, std::size_t bytes) noexcept {
@@ -29,7 +47,7 @@ void TokenSoup::free_block(Arena* a, std::byte* p, std::size_t bytes) noexcept {
   if (a != nullptr) {
     a->deallocate(p, bytes);
   } else {
-    ::operator delete(p);
+    ::operator delete(p, std::align_val_t{Arena::kLineAlign});
   }
 }
 
@@ -53,15 +71,29 @@ void TokenSoup::TokenQueue::grow(std::size_t min_cap) {
   cap_ = static_cast<std::uint32_t>(new_cap);
 }
 
+// Handoff capacity keeps the WC alignment contract: a multiple of 16
+// tokens, so the dst column (cap * 8) and meta column (cap * 12) byte
+// offsets are multiples of 64 and every column base is line-aligned.
+// Growth copies whole old columns (cap_ elements, not size_): the WC
+// front end stages committed lines PAST size_ and only publishes the
+// count at wc_commit time, so everything up to the old capacity may be
+// live. Copying the garbage tail is in-bounds and harmless.
 void TokenSoup::HandoffBucket::grow(std::size_t min_cap) {
   std::size_t want = std::size_t{cap_} * 2;
   if (want < min_cap) want = min_cap;
-  const std::size_t new_cap = Arena::usable_size(want * kTokenBytes) / kTokenBytes;
+  if (want < 16) want = 16;
+  std::size_t new_cap;
+  for (;;) {
+    new_cap =
+        (Arena::usable_size(want * kTokenBytes) / kTokenBytes) & ~std::size_t{15};
+    if (new_cap >= min_cap) break;
+    want += 16;
+  }
   std::byte* nb = alloc_block(arena_, new_cap * kTokenBytes);
-  if (size_ > 0) {
-    std::memcpy(nb, base_, std::size_t{size_} * 8);
-    std::memcpy(nb + new_cap * 8, dst(), std::size_t{size_} * 4);
-    std::memcpy(nb + new_cap * 12, meta(), std::size_t{size_} * 2);
+  if (cap_ > 0) {
+    std::memcpy(nb, base_, std::size_t{cap_} * 8);
+    std::memcpy(nb + new_cap * 8, dst(), std::size_t{cap_} * 4);
+    std::memcpy(nb + new_cap * 12, meta(), std::size_t{cap_} * 2);
   }
   free_block(arena_, base_, std::size_t{cap_} * kTokenBytes);
   base_ = nb;
@@ -154,6 +186,49 @@ void TokenSoup::on_attach(Network& net_ref) {
   fwd_count_.assign(n, 0);
   draws_.assign(shards, std::vector<std::uint32_t>(cap_));
   alive_.assign(shards, 0);
+  // Scatter mode: resolved from the page count alone (shard-independent, so
+  // S-invariance cannot depend on it). The WC front ends point into moves_
+  // and runs_, which never reallocate after attach.
+  mode_ = config_.scatter;
+  if (mode_ == ScatterMode::kAuto) {
+    mode_ = pages_ <= kDirectMaxPages    ? ScatterMode::kDirect
+            : pages_ <= kWcSingleMaxPages ? ScatterMode::kWcSingle
+                                          : ScatterMode::kWcTwoLevel;
+  }
+  runs_.clear();
+  fwc_.clear();
+  rwc_.clear();
+  run_shift_ = 0;
+  runs_n_ = 0;
+  chunk_ = 0;
+  if (mode_ == ScatterMode::kWcSingle || mode_ == ScatterMode::kWcTwoLevel) {
+    fwc_.resize(shards);
+    for (std::uint32_t s = 0; s < shards; ++s) {
+      fwc_[s].attach(moves_.data() + static_cast<std::size_t>(s) * pages_,
+                     pages_);
+    }
+  }
+  if (mode_ == ScatterMode::kWcTwoLevel) {
+    while ((((pages_ - 1) >> run_shift_) + 1) > kMaxRuns) ++run_shift_;
+    runs_n_ = ((pages_ - 1) >> run_shift_) + 1;
+    runs_.reserve(static_cast<std::size_t>(shards) * runs_n_);
+    for (std::uint32_t src = 0; src < shards; ++src) {
+      for (std::uint32_t r = 0; r < runs_n_; ++r) {
+        runs_.emplace_back(&net().shard_arena(src));
+      }
+    }
+    const std::uint64_t emit_bytes_per_vertex =
+        std::max<std::uint64_t>(std::uint64_t{walks_} * length_ *
+                                    HandoffBucket::kTokenBytes,
+                                1);
+    chunk_ = static_cast<Vertex>(std::max<std::uint64_t>(
+        kRunWindowBytes / emit_bytes_per_vertex, 1));
+    rwc_.resize(shards);
+    for (std::uint32_t s = 0; s < shards; ++s) {
+      rwc_[s].attach(runs_.data() + static_cast<std::size_t>(s) * runs_n_,
+                     runs_n_);
+    }
+  }
 }
 
 void TokenSoup::on_churn(Vertex v, PeerId, PeerId) {
@@ -199,20 +274,18 @@ void TokenSoup::on_round_begin() {
 // base pointer and degree are hoisted, and the loop body reads the two
 // token columns as flat streams. The only branch that matters is the
 // completion check (taken once per walk_length forwards).
-void TokenSoup::on_round_begin(std::uint32_t s, ShardContext& ctx) {
-  (void)ctx;  // tokens hand off through moves_/arrivals_, not messages
+// shardcheck:sharded-hook(phase-1 forward core; runs on shard s's task from on_round_begin(s))
+template <class EmitMove, class EmitDone>
+void TokenSoup::forward_range(std::uint32_t s, Vertex v0, Vertex v1,
+                              EmitMove&& emit_move, EmitDone&& emit_done) {
   const RegularGraph& g = net().graph();
   const std::uint32_t d = g.degree();
-  const ShardPlan& plan = net().shards();
   ShardCounters& counters = counters_[s];
-  HandoffBucket* mv = moves_.data() + static_cast<std::size_t>(s) * pages_;
   std::uint32_t* draws = draws_[s].data();
-  const std::uint32_t page_shift = page_shift_;
   const std::uint16_t spawn_meta = pack_meta(length_, /*probe=*/false);
-  const Vertex shard_end = plan.end(s);
-  for (Vertex v = plan.begin(s); v < shard_end; ++v) {
+  for (Vertex v = v0; v < v1; ++v) {
     TokenQueue& q = cur_[v];
-    if (v + 1 < shard_end) {
+    if (v + 1 < v1) {
       // The next queue's block lives elsewhere in the arena; start its
       // head lines early while this vertex's batch drains.
       const TokenQueue& nq = cur_[v + 1];
@@ -238,28 +311,120 @@ void TokenSoup::on_round_begin(std::uint32_t s, ShardContext& ctx) {
           if (meta & kProbeBit) {
             probes_[s].push_back(ProbeDone{src, u});
           } else {
-            arrivals_.stage(s, u >> page_shift, u, src);
+            emit_done(src, u);
           }
         } else {
-          mv[u >> page_shift].push_back(
-              src, u, static_cast<std::uint16_t>(meta));
+          emit_move(src, u, static_cast<std::uint16_t>(meta));
         }
       }
     }
     if (fwd < size) {
       // Cap-delayed tokens stay at v: route them through v's own page
       // bucket so the merge interleaves them at v's canonical source
-      // position (identical queue order for every shard count).
+      // position (identical queue order for every shard count). Their
+      // meta is undecremented, hence always >= 2 — never mistakable for
+      // a completion when riding the two-level runs.
       counters.queued += size - fwd;
       const std::uint64_t* srcs = q.src();
       const std::uint16_t* metas = q.meta();
-      HandoffBucket& self_bucket = mv[v >> page_shift];
       for (std::size_t j = fwd; j < size; ++j) {
-        self_bucket.push_back(srcs[j], v, metas[j]);
+        emit_move(srcs[j], v, metas[j]);
       }
     }
     fwd_count_[v] = static_cast<std::uint32_t>(fwd);
     q.clear();
+  }
+}
+
+// shardcheck:sharded-hook(two-level pass B; runs on shard s's task from on_round_begin(s))
+void TokenSoup::scatter_runs_to_final(std::uint32_t s) {
+  HandoffBucket* runs = runs_.data() + static_cast<std::size_t>(s) * runs_n_;
+  auto& fwc = fwc_[s];
+  const std::uint32_t page_shift = page_shift_;
+  for (std::uint32_t r = 0; r < runs_n_; ++r) {
+    HandoffBucket& run = runs[r];
+    const std::size_t m = run.size();
+    const std::uint64_t* rsrc = run.src();
+    const Vertex* rdst = run.dst();
+    const std::uint16_t* rmeta = run.meta();
+    // A run covers <= 2^run_shift_ consecutive pages, so this sequential
+    // scan feeds the final WC table with at most that many active
+    // streams — cache-resident by construction. Scan order equals
+    // emission order, so each final bucket receives exactly the
+    // sequence a direct push would have produced.
+    for (std::size_t i = 0; i < m; ++i) {
+      const Vertex u = rdst[i];
+      const std::uint16_t meta = rmeta[i];
+      if (meta < 2) {
+        arrivals_.stage(s, u >> page_shift, u, rsrc[i]);
+      } else {
+        fwc.push(u >> page_shift, rsrc[i], u, meta);
+      }
+    }
+    run.clear();
+  }
+}
+
+void TokenSoup::on_round_begin(std::uint32_t s, ShardContext& ctx) {
+  (void)ctx;  // tokens hand off through moves_/arrivals_, not messages
+  const ShardPlan& plan = net().shards();
+  const Vertex v0 = plan.begin(s);
+  const Vertex v1 = plan.end(s);
+  const std::uint32_t page_shift = page_shift_;
+  HandoffBucket* mv = moves_.data() + static_cast<std::size_t>(s) * pages_;
+  switch (mode_) {
+    case ScatterMode::kDirect:
+      forward_range(
+          s, v0, v1,
+          [&](std::uint64_t src, Vertex u, std::uint16_t m) {
+            mv[u >> page_shift].push_back(src, u, m);
+          },
+          [&](std::uint64_t src, Vertex u) {
+            arrivals_.stage(s, u >> page_shift, u, src);
+          });
+      break;
+    case ScatterMode::kWcSingle: {
+      auto& fwc = fwc_[s];
+      forward_range(
+          s, v0, v1,
+          [&](std::uint64_t src, Vertex u, std::uint16_t m) {
+            fwc.push(u >> page_shift, src, u, m);
+          },
+          [&](std::uint64_t src, Vertex u) {
+            arrivals_.stage(s, u >> page_shift, u, src);
+          });
+      fwc.flush_all();
+      break;
+    }
+    case ScatterMode::kWcTwoLevel: {
+      // Pass A partitions emissions into a few dozen coarse runs (WC with
+      // plain stores — the runs are re-read within the chunk, so streaming
+      // past the cache would hurt); pass B demuxes each run into the final
+      // buckets / arrival staging. Source vertices go in chunks so the
+      // transient run memory stays a few MB. Non-probe completions ride
+      // the runs tagged by their meta < 2; probes complete inside
+      // forward_range as always.
+      auto& rwc = rwc_[s];
+      const std::uint32_t lvl1_shift = page_shift_ + run_shift_;
+      for (Vertex c0 = v0; c0 < v1; c0 += chunk_) {
+        const Vertex c1 = c0 + chunk_ < v1 ? c0 + chunk_ : v1;
+        forward_range(
+            s, c0, c1,
+            [&](std::uint64_t src, Vertex u, std::uint16_t m) {
+              rwc.push(u >> lvl1_shift, src, u, m);
+            },
+            [&](std::uint64_t src, Vertex u) {
+              rwc.push(u >> lvl1_shift, src, u, /*meta=*/0);
+            });
+        rwc.flush_all();
+        scatter_runs_to_final(s);
+      }
+      fwc_[s].flush_all();
+      break;
+    }
+    case ScatterMode::kAuto:
+      assert(false && "scatter mode is resolved at attach");
+      break;
   }
 }
 
@@ -276,11 +441,10 @@ void TokenSoup::on_round_begin(std::uint32_t s, ShardContext& ctx) {
 //
 // Cache blocking: one page's queues fit in L2 by construction
 // (page_shift_), so the data-dependent scatter never leaves a ~1.5 MB
-// window; the queue header of handoff i+kHeaderDist is still hinted
-// ahead because the first touch of each line in a fresh window misses.
-// A page that straddles a shard boundary is scanned by BOTH neighboring
-// shards, each filing only its own vertices — concurrent reads of the
-// bucket are safe, and the serial epilogue does the clearing.
+// window. A page that straddles a shard boundary is scanned by BOTH
+// neighboring shards, each filing only its own vertices — concurrent
+// reads of the bucket are safe, and the serial epilogue does the
+// clearing.
 // shardcheck:sharded-hook(phase-2 refill; runs on the dst shard's task inside on_round_merge's run_sharded)
 void TokenSoup::merge_shard(std::uint32_t dst, Round r, Round keep_from) {
   const ShardPlan& plan = net().shards();
@@ -290,26 +454,68 @@ void TokenSoup::merge_shard(std::uint32_t dst, Round r, Round keep_from) {
   std::uint64_t alive = 0;
   const std::uint32_t p0 = vbegin >> page_shift_;
   const std::uint32_t p1 = (vend - 1) >> page_shift_;
+  // Owned pages refill by counting sort: one histogram pass over the
+  // bucket dst columns, one exact reserve per touched vertex, then a raw
+  // cursor scatter. That trades a second sequential read of the bucket for
+  // dropping the per-token queue-header load, capacity branch, and size
+  // writeback — the cursor array is a few KB and stays in L1 while the
+  // token columns stream through the page's L2 window. Order per queue is
+  // unchanged: buckets are visited src-shard-major exactly as before, and
+  // each cursor advances in bucket scan order.
+  const std::uint32_t span = std::uint32_t{1} << page_shift_;
+  struct Cursor {
+    std::uint64_t* s;
+    std::uint16_t* m;
+  };
+  std::vector<std::uint32_t> cnt(span);
+  std::vector<Cursor> cursor(span);
   for (std::uint32_t p = p0; p <= p1; ++p) {
     const std::uint64_t pstart = std::uint64_t{p} << page_shift_;
     const std::uint64_t pend = std::uint64_t{p + 1} << page_shift_;
     // The last page over-extends past n; it is still wholly owned when
     // this shard's range runs to n.
     const bool owned = pstart >= vbegin && (pend <= vend || vend == plan.n());
-    for (std::uint32_t src = 0; src < shards; ++src) {
-      const HandoffBucket& bucket =
-          moves_[static_cast<std::size_t>(src) * pages_ + p];
-      const std::size_t m = bucket.size();
-      const std::uint64_t* hsrc = bucket.src();
-      const Vertex* hdst = bucket.dst();
-      const std::uint16_t* hmeta = bucket.meta();
-      if (owned) {
+    if (owned) {
+      const std::uint32_t used = static_cast<std::uint32_t>(
+          std::min<std::uint64_t>(pend, plan.n()) - pstart);
+      std::fill(cnt.begin(), cnt.begin() + used, 0u);
+      for (std::uint32_t src = 0; src < shards; ++src) {
+        const HandoffBucket& bucket =
+            moves_[static_cast<std::size_t>(src) * pages_ + p];
+        const Vertex* hdst = bucket.dst();
+        const std::size_t m = bucket.size();
         for (std::size_t i = 0; i < m; ++i) {
-          if (i + kHeaderDist < m) prefetch_read(&cur_[hdst[i + kHeaderDist]]);
-          cur_[hdst[i]].push_back(hsrc[i], hmeta[i]);
+          ++cnt[hdst[i] - static_cast<Vertex>(pstart)];
         }
         alive += m;
-      } else {
+      }
+      for (std::uint32_t lv = 0; lv < used; ++lv) {
+        if (cnt[lv] == 0) continue;
+        TokenQueue& q = cur_[static_cast<Vertex>(pstart) + lv];
+        const std::uint32_t off = q.extend_for_refill(cnt[lv]);
+        cursor[lv] = Cursor{q.src() + off, q.meta() + off};
+      }
+      for (std::uint32_t src = 0; src < shards; ++src) {
+        const HandoffBucket& bucket =
+            moves_[static_cast<std::size_t>(src) * pages_ + p];
+        const std::uint64_t* hsrc = bucket.src();
+        const Vertex* hdst = bucket.dst();
+        const std::uint16_t* hmeta = bucket.meta();
+        const std::size_t m = bucket.size();
+        for (std::size_t i = 0; i < m; ++i) {
+          Cursor& c = cursor[hdst[i] - static_cast<Vertex>(pstart)];
+          *c.s++ = hsrc[i];
+          *c.m++ = hmeta[i];
+        }
+      }
+    } else {
+      for (std::uint32_t src = 0; src < shards; ++src) {
+        const HandoffBucket& bucket =
+            moves_[static_cast<std::size_t>(src) * pages_ + p];
+        const std::size_t m = bucket.size();
+        const std::uint64_t* hsrc = bucket.src();
+        const Vertex* hdst = bucket.dst();
+        const std::uint16_t* hmeta = bucket.meta();
         for (std::size_t i = 0; i < m; ++i) {
           const Vertex w = hdst[i];
           if (w < vbegin || w >= vend) continue;

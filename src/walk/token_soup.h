@@ -27,6 +27,7 @@
 #include "net/network.h"
 #include "util/arena.h"
 #include "util/rng.h"
+#include "util/wc_buffer.h"
 #include "walk/sampler.h"
 
 namespace churnstore {
@@ -175,6 +176,16 @@ class TokenSoup final : public Protocol {
     void reserve(std::size_t k) {
       if (k > cap_) grow(k);
     }
+    /// Counting-sort refill: make room for k more tokens and publish the
+    /// new size up front, returning the previous size (the write offset).
+    /// The merge fills the k slots immediately afterwards through a cursor
+    /// array, single-threaded on the vertex's owner shard.
+    std::uint32_t extend_for_refill(std::uint32_t k) {
+      const std::uint32_t off = size_;
+      if (off + k > cap_) grow(std::size_t{off} + k);
+      size_ = off + k;
+      return off;
+    }
     void clear() noexcept { size_ = 0; }
 
    private:
@@ -260,6 +271,16 @@ class TokenSoup final : public Protocol {
     }
     void clear() noexcept { size_ = 0; }
 
+    /// --- write-combining back end (util/wc_buffer.h contract) ------------
+    /// WcScatter writes committed lines PAST size_ into capacity space and
+    /// only publishes the element count at epilogue time via wc_commit.
+    /// The alignment contract (64-byte block base, capacity a multiple of
+    /// 16 so all three column bases are line-aligned) is upheld by grow().
+    void wc_reserve(std::uint32_t min_cap) {
+      if (min_cap > cap_) grow(min_cap);
+    }
+    void wc_commit(std::uint32_t n) noexcept { size_ = n; }
+
    private:
     void grow(std::size_t min_cap);
 
@@ -311,6 +332,45 @@ class TokenSoup final : public Protocol {
   /// by inject_probe / on_churn. Replaces the former O(n) queue scan in
   /// tokens_alive().
   std::vector<std::uint64_t> alive_;
+
+  /// --- phase-1 scatter strategy (util/wc_buffer.h) ------------------------
+  /// Resolved from config_.scatter at attach (kAuto picks by page count:
+  /// few pages -> direct pushes, a table-sized page count -> one WC layer
+  /// over the final buckets, beyond that -> two-level). Every mode yields
+  /// byte-identical bucket contents; see forward_range / on_round_begin.
+  ScatterMode mode_ = ScatterMode::kDirect;
+  /// Two-level only: coarse runs keyed by dst page group
+  /// (u >> (page_shift_ + run_shift_)), at most kMaxRuns per shard so the
+  /// run WC table stays L1-resident. [src_shard * runs_n_ + run], each from
+  /// its SOURCE shard's arena.
+  std::vector<HandoffBucket> runs_;
+  std::uint32_t run_shift_ = 0;  ///< log2 pages per run
+  std::uint32_t runs_n_ = 0;     ///< runs covering [0, pages_)
+  /// Two-level only: source vertices are processed in chunks sized so one
+  /// chunk's run contents stay cache-resident (the runs are re-read
+  /// immediately by scatter_runs_to_final) — this bounds the transient
+  /// run memory to a few MB instead of a second copy of the whole
+  /// in-flight population.
+  Vertex chunk_ = 0;
+  /// Per-shard WC front ends. Final buckets are read a whole phase later,
+  /// so their full-line flushes stream (non-temporal when enabled); run
+  /// buckets are re-read within the chunk, so they use plain stores.
+  std::vector<WcScatter<HandoffBucket, /*kNonTemporal=*/true>> fwc_;
+  std::vector<WcScatter<HandoffBucket, /*kNonTemporal=*/false>> rwc_;
+
+  /// Phase-1 forward core, shared by every scatter mode: spawns, draws,
+  /// and walks the vertex range [v0, v1), calling emit_move(src, u, meta)
+  /// for surviving handoffs (meta >= 2, already decremented; cap-delayed
+  /// leftovers keep their undecremented meta, also >= 2) and
+  /// emit_done(src, u) for non-probe completions. Probe completions and
+  /// counters are handled inside. Hook-only helper: runs on shard s's task.
+  template <class EmitMove, class EmitDone>
+  void forward_range(std::uint32_t s, Vertex v0, Vertex v1,
+                     EmitMove&& emit_move, EmitDone&& emit_done);
+  /// Two-level pass B: demux one shard's coarse runs into the final WC
+  /// table (handoffs) and the arrival staging (completions), then reset
+  /// the runs for the next chunk. Hook-only helper: runs on shard s's task.
+  void scatter_runs_to_final(std::uint32_t s);
 };
 
 }  // namespace churnstore

@@ -137,10 +137,11 @@ struct SoupRun {
   ProbeLog probes;
 };
 
-SoupRun run_soup(std::uint32_t n, std::uint32_t shards, ThreadPool* pool) {
+SoupRun run_soup(std::uint32_t n, std::uint32_t shards, ThreadPool* pool,
+                 const WalkConfig& walk = WalkConfig{}) {
   Network net(soup_config(n, shards));
   net.set_worker_pool(pool);
-  TokenSoup soup(net, WalkConfig{});
+  TokenSoup soup(net, walk);
   SoupRun run;
   soup.set_probe_hook([&run](std::uint64_t tag, Vertex dst, Round r) {
     run.probes.emplace_back(tag, dst, r);
@@ -218,6 +219,71 @@ TEST(SampleCohorts, BuffersAreBitIdenticalForSInOneThreeSixteen) {
   ASSERT_GT(s1.completed, 0u);
   expect_identical(s1, s3);
   expect_identical(s1, s16);
+}
+
+TEST(ShardedWcScatter, EveryScatterModeIsBitIdenticalAcrossShardCounts) {
+  // The scatter strategy (direct pushes, single-level WC staging, two-level
+  // run demux) is a pure execution detail: every mode, at every shard
+  // count, serial or pooled, must reproduce the direct serial run bit for
+  // bit — samples, probe hook order, metrics, everything observable.
+  ThreadPool pool(4);
+  WalkConfig direct;
+  direct.scatter = ScatterMode::kDirect;
+  WalkConfig single;
+  single.scatter = ScatterMode::kWcSingle;
+  WalkConfig two;
+  two.scatter = ScatterMode::kWcTwoLevel;
+  const SoupRun ref = run_soup(192, 1, nullptr, direct);
+  ASSERT_GT(ref.completed, 0u);
+  ASSERT_FALSE(ref.probes.empty());
+  expect_identical(ref, run_soup(192, 1, nullptr, single));
+  expect_identical(ref, run_soup(192, 1, nullptr, two));
+  expect_identical(ref, run_soup(192, 3, &pool, two));
+  expect_identical(ref, run_soup(192, 16, &pool, two));
+}
+
+TEST(ShardedWcScatter, DenseSoupExercisesRunDemuxAndChunkingBitIdentically) {
+  // At test sizes the default density collapses two-level to one page and
+  // one chunk. A dense soup (rate_mult=5 at n=1024 -> 8 destination pages,
+  // per-shard emission volume above the chunk window) makes the run demux
+  // and the chunked source loop real: S=1 runs two chunks per round, S=3
+  // runs different chunk boundaries per shard — and chunk boundaries must
+  // be invisible, because within a (src shard, page) bucket tokens are
+  // appended in ascending source-vertex order no matter where chunks cut.
+  ThreadPool pool(3);
+  WalkConfig dense_direct;
+  dense_direct.rate_mult = 5.0;
+  dense_direct.scatter = ScatterMode::kDirect;
+  WalkConfig dense_two = dense_direct;
+  dense_two.scatter = ScatterMode::kWcTwoLevel;
+  const std::uint32_t n = 1024;
+  auto run = [&](std::uint32_t shards, ThreadPool* p, const WalkConfig& w) {
+    Network net(soup_config(n, shards));
+    net.set_worker_pool(p);
+    TokenSoup soup(net, w);
+    SoupRun out;
+    const std::uint32_t rounds = soup.tau() + 4;
+    for (std::uint32_t i = 0; i < rounds; ++i) {
+      net.begin_round();
+      if (i == 1) {
+        for (Vertex v = 0; v < n; v += 31) soup.inject_probe(v, v, 5);
+      }
+      soup.step();
+      net.deliver();
+    }
+    for (Vertex v = 0; v < n; ++v) out.samples.push_back(soup.samples(v));
+    out.tokens_alive = soup.tokens_alive();
+    out.completed = net.metrics().tokens_completed();
+    out.lost = net.metrics().tokens_lost();
+    out.queued = net.metrics().tokens_queued();
+    out.spawned = net.metrics().tokens_spawned();
+    out.max_bits = net.metrics().max_bits_per_node_round();
+    return out;
+  };
+  const SoupRun ref = run(1, nullptr, dense_direct);
+  ASSERT_GT(ref.completed, 0u);
+  expect_identical(ref, run(1, nullptr, dense_two));
+  expect_identical(ref, run(3, &pool, dense_two));
 }
 
 TEST(ShardedOutbox, LanesMergeInCanonicalOrderAndChargeSenders) {
