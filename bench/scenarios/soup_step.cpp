@@ -24,6 +24,7 @@
 #include <stdexcept>
 
 #include "scenario_common.h"
+#include "util/heap_sentinel.h"
 #include "util/perf_counters.h"
 #include "util/resource.h"
 #include "util/thread_pool.h"
@@ -100,7 +101,8 @@ CHURNSTORE_SCENARIO(soup_step,
                                    "steps/sec", "Mtokens/sec", "speedup",
                                    "walk-rate", "thinned",     "maxrss MB"};
   if (want_counters) {
-    cols.insert(cols.end(), {"cyc/tok", "LLCm/tok", "dTLBm/tok"});
+    cols.insert(cols.end(),
+                {"cyc/tok", "LLCm/tok", "dTLBm/tok", "allocs/rnd", "heapB/rnd"});
   }
   Table t(cols);
   for (const std::uint32_t n : base.ns) {
@@ -121,6 +123,7 @@ CHURNSTORE_SCENARIO(soup_step,
           static_cast<double>(soup.tokens_alive());
       PerfCounters counters;
       if (want_counters) counters.start();
+      const HeapQuiesceScope heap_probe;
       const auto t0 = std::chrono::steady_clock::now();
       for (std::uint32_t i = 0; i < steps; ++i) {
         net.begin_round();
@@ -162,6 +165,19 @@ CHURNSTORE_SCENARIO(soup_step,
         rate_cell(v.cycles_ok, v.cycles);
         rate_cell(v.llc_misses_ok, v.llc_misses);
         rate_cell(v.dtlb_misses_ok, v.dtlb_misses);
+        // Heap-sentinel columns (util/heap_sentinel.h): allocations and
+        // bytes per round across the timed region — the steady-state claim
+        // the HeapQuiesce tests pin, visible per configuration. Same "n/a"
+        // degradation contract as the perf counters when the sentinel is
+        // compiled out or forced off.
+        if (HeapSentinel::available() && steps > 0) {
+          const HeapSentinel::Totals d = heap_probe.delta();
+          row.cell(static_cast<double>(d.allocs) / steps, 3);
+          row.cell(static_cast<double>(d.bytes) / steps, 1);
+        } else {
+          row.cell("n/a");
+          row.cell("n/a");
+        }
       }
     }
   }

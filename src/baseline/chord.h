@@ -135,6 +135,7 @@ class ChordBaseline final : public Protocol, public StorageService {
   Options options_;
   std::unique_ptr<ChordSim> sim_;
   std::uint64_t next_sid_ = 1;
+  // shardcheck:cold-state(outcome registry of the serial ring-sim wrapper; no sharded hooks touch it)
   std::unordered_map<std::uint64_t, WorkloadOutcome> outcomes_;
 };
 

@@ -487,6 +487,7 @@ void ChordNetProtocol::advance_lookups(Vertex v, Round now, ShardContext& ctx,
                static_cast<Round>(options_.lookup_retry)) {
       // The outstanding hop never answered: presume it churned out, route
       // around it (and drop it from our own tables).
+      // shardcheck:ok(R6: dead-hop list grows one entry per unanswered lookup retry — O(routing timeouts), chord routing control plane with no heap-quiet claim)
       lk.dead.push_back(lk.hop);
       forget_peer(nodes_[v], lk.hop);
       lk.hop = kNoPeer;
@@ -567,6 +568,7 @@ bool ChordNetProtocol::issue_hop(Vertex v, Lookup& lk, Round now,
   }
   // Terminal checks against our own state first.
   if (s.pred != kNoPeer && in_oc(s.pred_id, lk.key, s.id)) {
+    // shardcheck:ok(R6: candidate scratch for one terminal lookup resolution, O(successor-list) entries — chord control plane)
     std::vector<Entry> cands;
     cands.push_back(Entry{self, s.id});
     cands.insert(cands.end(), s.succ.begin(), s.succ.end());
@@ -602,6 +604,7 @@ bool ChordNetProtocol::complete_resolution(Vertex v, Lookup& lk,
   switch (lk.kind) {
     case Lookup::Kind::kJoin: {
       Entry head{};
+      // shardcheck:ok(R6: successor-candidate scratch built once per completed join, O(successor-list) entries)
       std::vector<Entry> rest;
       for (const Entry& e : candidates) {
         if (e.peer == kNoPeer || e.peer == self) continue;
@@ -616,6 +619,7 @@ bool ChordNetProtocol::complete_resolution(Vertex v, Lookup& lk,
       s.joined = true;
       s.pred = kNoPeer;
       s.stab_sent = kNever;
+      // shardcheck:ok(R6: finger table rebuilt once per completed join, O(log n) entries)
       s.finger.assign(finger_count_, Entry{});
       s.next_finger = 0;
       send_notify(v, s, ctx, st);
@@ -769,9 +773,12 @@ bool ChordNetProtocol::on_message(Vertex v, const Message& m,
       const std::uint64_t token = m.words[1];
       const bool want_data = m.words[2] != 0;
       const PeerId origin = m.words[3];
+      // shardcheck:ok(R6: dead-hop list parsed from one routed lookup message, O(carried dead hops))
       std::vector<PeerId> dead;
+      // shardcheck:ok(R6: pre-sizing the same per-message dead-hop scratch)
       dead.reserve(m.words[4]);
       for (std::uint64_t i = 0; i < m.words[4]; ++i) {
+        // shardcheck:ok(R6: appending the parsed dead hops, bounded by the message word count)
         dead.push_back(m.words[5 + i]);
       }
       Message reply;
@@ -846,6 +853,7 @@ bool ChordNetProtocol::on_message(Vertex v, const Message& m,
         if (lk.token != token || lk.fetching || lk.storing) continue;
         const bool done = m.words[2] != 0;
         const std::uint64_t count = m.words[3];
+        // shardcheck:ok(R6: entry list parsed from one lookup reply, O(successor-list) entries)
         std::vector<Entry> entries;
         entries.reserve(count);
         for (std::uint64_t e = 0; e < count; ++e) {
@@ -903,6 +911,7 @@ bool ChordNetProtocol::on_message(Vertex v, const Message& m,
       const bool has_pred = m.words[0] != 0;
       const Entry succ0 = s.succ[0];
       const std::uint64_t count = m.words[3];
+      // shardcheck:ok(R6: successor candidates parsed from one stabilize reply, O(successor-list) entries)
       std::vector<Entry> rest;
       rest.reserve(count + 1);
       Entry head = succ0;
@@ -1002,6 +1011,7 @@ bool ChordNetProtocol::on_message(Vertex v, const Message& m,
                 rit->second.out.fetched = true;
             rit->second.out.located_round = rit->second.out.fetched_round =
                 now;
+            // shardcheck:ok(R6: retrieved payload copied once per completed search, O(item bytes))
             rit->second.value.assign(m.blob.data(),
                                      m.blob.data() + m.blob.size());
           }
@@ -1024,6 +1034,7 @@ bool ChordNetProtocol::on_message(Vertex v, const Message& m,
     case MsgType::kChordTransfer: {
       const ItemId item = m.words[0];
       Replica& rep = keys_[v][item];
+      // shardcheck:ok(R6: replica payload copied once per transfer message, O(item bytes))
       rep.bytes.assign(m.blob.data(), m.blob.data() + m.blob.size());
       rep.refreshed = now;
       if (m.words[1] != 0 && s.joined &&

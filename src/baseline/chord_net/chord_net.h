@@ -257,19 +257,25 @@ class ChordNetProtocol final : public Protocol, public StorageService {
   std::uint32_t deadline_rounds_ = 0;
   std::uint64_t seed_ = 0;
 
+  // shardcheck:cold-state(sized to n at attach in serial context; handlers mutate each vertex's NodeState in place)
   std::vector<NodeState> nodes_;
   /// Per-vertex replica store; std::map so handover/replication iterate keys
   /// in a canonical (ascending) order for every shard count.
+  // shardcheck:arena-backed(replica maps grow on transfer/replication messages — O(items x r) global-heap nodes; the chord baseline control plane makes no heap-quiet claim)
   std::vector<std::map<ItemId, Replica>> keys_;
+  // shardcheck:arena-backed(per-vertex active-lookup lists grow on lookup starts: O(active lookups), no heap-quiet claim)
   std::vector<std::vector<Lookup>> lookups_;
 
   /// Stored-item registry (hash for end-to-end verification). Written from
   /// serial context only; dispatch handlers only find().
+  // shardcheck:cold-state(written from serial context only; dispatch handlers only find())
   std::unordered_map<ItemId, ItemInfo> items_;
+  // shardcheck:cold-state(search registry grown only from the serial search()/store() API paths)
   std::unordered_map<std::uint64_t, SearchRec> records_;
   std::uint64_t next_sid_ = 1;
 
   /// Per-shard staged counters, summed into totals_ in the merge hooks.
+  // shardcheck:cold-state(sized to the shard count at attach; hooks bump counters in place)
   std::vector<LookupStats> shard_stats_;
   LookupStats totals_;
 };

@@ -53,7 +53,7 @@ bool FloodingStore::try_store(Vertex creator, ItemId item) {
 
 std::uint64_t FloodingStore::begin_search(Vertex initiator, ItemId item) {
   const std::uint64_t sid = mix64(next_sid_++ ^ 0x666c64ULL) | 1;
-  lookups_.push_back(PendingLookup{sid, net().peer_at(initiator), item});
+  pending_lookups_.push_back(PendingLookup{sid, net().peer_at(initiator), item});
   outcomes_[sid] = WorkloadOutcome{};
   return sid;
 }
@@ -67,7 +67,7 @@ void FloodingStore::on_round_begin() {
   // Resolve pending local lookups: retrieval under flooding is a local
   // table check at the initiator (if it survived to this round).
   std::vector<PendingLookup> lookups;
-  lookups.swap(lookups_);
+  lookups.swap(pending_lookups_);
   for (const PendingLookup& lk : lookups) {
     WorkloadOutcome& out = outcomes_[lk.sid];
     out.done = true;
@@ -97,6 +97,7 @@ void FloodingStore::on_round_begin() {
 }
 
 void FloodingStore::on_round_begin(std::uint32_t shard, ShardContext& ctx) {
+  // shardcheck:ok(R6: frontier swap-out: O(flood entries this round); the flooding baseline allocates by design and makes no heap-quiet claim)
   std::vector<std::pair<Vertex, ItemId>> frontier;
   frontier.swap(frontiers_[shard]);
   // Canonical order: ascending vertex (stable per vertex). Dispatch stages

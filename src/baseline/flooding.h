@@ -74,14 +74,19 @@ class FloodingStore final : public Protocol, public StorageService {
   };
 
   Options options_;
+  // shardcheck:arena-backed(per-vertex replica sets grow with every newly received item — the flooding baseline allocates by design and makes no heap-quiet claim)
   std::vector<std::unordered_set<ItemId>> held_;
+  // shardcheck:arena-backed(forwarding dedup sets grow with every first-seen item, same design budget as held_)
   std::vector<std::unordered_set<ItemId>> forwarded_;
   /// Per-shard flood frontier: entry (v, item) lives in v's shard queue, so
   /// each shard forwards only its own vertices' items (canonical order:
   /// ascending shard, staging order within the shard).
+  // shardcheck:arena-backed(per-shard flood frontier grows with newly received items each round, by design)
   std::vector<std::vector<std::pair<Vertex, ItemId>>> frontiers_;
   std::uint64_t next_sid_ = 1;
-  std::vector<PendingLookup> lookups_;
+  // shardcheck:cold-state(grown only from the serial lookup() API path)
+  std::vector<PendingLookup> pending_lookups_;
+  // shardcheck:cold-state(outcome registry mutated only from serial lookup bookkeeping)
   std::unordered_map<std::uint64_t, WorkloadOutcome> outcomes_;
 };
 

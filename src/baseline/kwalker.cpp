@@ -134,9 +134,11 @@ void KWalkerSearch::on_round_begin(std::uint32_t shard, ShardContext& ctx) {
     if (held_[w.at].count(w.item)) {
       // Same-round sibling hits resolve at the merge (first in canonical
       // walker order wins); the walker retires either way.
+      // shardcheck:ok(R6: staged walker hits: O(walkers hitting this round), k-walker baseline makes no heap-quiet claim)
       stage.hit_sids.push_back(w.sid);
       continue;
     }
+    // shardcheck:ok(R6: surviving walkers restaged each round: O(active walkers), amortized by vector capacity reuse)
     if (w.ttl > 0) stage.survivors.push_back(w);
   }
 }

@@ -96,10 +96,15 @@ class KWalkerSearch final : public Protocol, public StorageService {
   std::uint64_t stream_salt_ = 0;
   std::uint32_t default_ttl_ = 0;
   std::uint64_t next_sid_ = 1;
+  // shardcheck:arena-backed(per-vertex replica sets grow on placement messages; baseline control plane, no heap-quiet claim)
   std::vector<std::unordered_set<ItemId>> held_;
+  // shardcheck:cold-state(god-view placement map mutated only from the serial store path)
   std::unordered_map<ItemId, std::vector<PeerId>> placed_;
+  // shardcheck:cold-state(walker population rebuilt in the serial merge from staged survivors)
   std::vector<Walker> walkers_;
+  // shardcheck:cold-state(outcome registry mutated in serial search/merge context)
   std::unordered_map<std::uint64_t, SearchOutcome> outcomes_;
+  // shardcheck:cold-state(mutated only from the serial search() API path)
   std::unordered_map<std::uint64_t, Round> start_round_;
   /// Walker-index partition for the current round (set in the prologue).
   ShardPlan walker_plan_;
@@ -109,6 +114,7 @@ class KWalkerSearch final : public Protocol, public StorageService {
     std::vector<Walker> survivors;
     std::vector<std::uint64_t> hit_sids;
   };
+  // shardcheck:cold-state(outer vector sized to the shard count at attach; inner staging vectors carry reasoned R6 suppressions at their growth sites)
   std::vector<ShardStage> stage_;
 };
 

@@ -95,10 +95,15 @@ class SqrtReplication final : public Protocol, public StorageService {
   Options options_;
   std::uint32_t default_timeout_ = 0;
   std::uint64_t next_sid_ = 1;
+  // shardcheck:arena-backed(per-vertex replica sets grow on placement messages; baseline control plane, no heap-quiet claim)
   std::vector<std::unordered_set<ItemId>> held_;
+  // shardcheck:cold-state(god-view placement map mutated only from the serial store path)
   std::unordered_map<ItemId, std::vector<PeerId>> placed_;  ///< god view
+  // shardcheck:cold-state(active-search list maintained in serial prologue/epilogue context)
   std::vector<ActiveSearch> active_;
+  // shardcheck:cold-state(outcome registry mutated in serial search/merge context)
   std::unordered_map<std::uint64_t, SearchOutcome> outcomes_;
+  // shardcheck:cold-state(mutated only from the serial search() API path)
   std::unordered_map<std::uint64_t, Round> start_round_;
   /// Probe jobs for this round, staged by the prologue; read-only in the
   /// sharded phase (each shard sends the jobs owned by its vertices).
@@ -107,6 +112,7 @@ class SqrtReplication final : public Protocol, public StorageService {
     ItemId item;
     std::uint64_t sid;
   };
+  // shardcheck:cold-state(rebuilt by the serial prologue each round; read-only in the sharded phase)
   std::vector<ProbeJob> probe_jobs_;
 };
 

@@ -107,11 +107,13 @@ std::vector<PeerId> CommitteeManager::pick_sources(Vertex v, Round anchor,
                                                    // shardcheck:ok(R1: callers pass their own per-vertex vertex_rng, never a shared sequence)
                                                    Rng& rng) const {
   const PeerId self = net().peer_at(v);
+  // shardcheck:ok(R6: committee formation draws O(want) sources per refresh event, not per token; control plane is outside the soup heap-quiet invariant)
   std::vector<PeerId> out;
   if (anchor >= 0) {
     // Paper: the leader uses the walks that stopped at it in the anchor
     // round; we dedupe sources and draw `want` of them.
     const SampleView anchor_samples = soup_.samples(v).at(anchor);
+    // shardcheck:ok(R6: anchor-sample dedup pool: O(samples at the leader) per formation event)
     std::vector<PeerId> pool(anchor_samples.begin(), anchor_samples.end());
     std::sort(pool.begin(), pool.end());
     pool.erase(std::unique(pool.begin(), pool.end()), pool.end());
@@ -235,10 +237,13 @@ void CommitteeManager::confirm_committee(Vertex v, Membership& m, Round now,
                                          ShardStage& stage) {
   const bool erasure =
       config_.use_erasure_coding && m.purpose == Purpose::kStorage;
+  // shardcheck:ok(R6: erasure scratch on committee confirmation: O(committee) bytes per formation event)
   std::vector<IdaPiece> pieces;
+  // shardcheck:ok(R6: payload copy on committee confirmation: O(item bytes) per formation event)
   std::vector<std::uint8_t> full_payload = m.payload;
   if (erasure) {
     // Gather pieces: my own plus the ones attached to count messages.
+    // shardcheck:ok(R6: piece gather for reconstruct: O(committee) per formation event)
     std::vector<IdaPiece> gathered = m.gathered_pieces;
     if (m.piece_index != kNoPiece) {
       gathered.push_back(IdaPiece{m.piece_index, m.payload});
@@ -298,6 +303,7 @@ void CommitteeManager::confirm_committee(Vertex v, Membership& m, Round now,
 
   // The god-view registry is global: stage the generation update for the
   // serial merge.
+  // shardcheck:ok(R6: staged god-view registry update: O(committees confirming per cycle))
   stage.confirms.push_back(ShardStage::Confirm{m.kid, m.accepted});
   ++stage.formed;
   (void)now;
@@ -341,6 +347,7 @@ void CommitteeManager::run_cycle_phase(Vertex v, Membership& m, Round now,
     }
     case 2: {
       // Ranking is common knowledge: everyone received the same counts.
+      // shardcheck:ok(R6: handover ranking: O(committee size) per cycle event)
       std::vector<std::pair<std::uint64_t, PeerId>> ranking;
       ranking.reserve(m.counts.size() + 1);
       ranking.emplace_back(m.my_count, self);
@@ -398,6 +405,7 @@ void CommitteeManager::on_round_begin(std::uint32_t shard, ShardContext& ctx) {
       4, static_cast<std::uint32_t>(config_.landmark_rebuild_taus * tau_));
   ShardStage& stage = stage_[shard];
 
+  // shardcheck:ok(R6: expiry sweep scratch: O(expiring committees per cycle))
   std::vector<std::uint64_t> to_erase;
   for (Vertex v = ctx.begin(); v < ctx.end(); ++v) {
     if (!active_flag_[v]) continue;
@@ -438,6 +446,7 @@ void CommitteeManager::on_round_begin(std::uint32_t shard, ShardContext& ctx) {
       // the membership fields) and published at the merge.
       const std::int64_t t = now - m.epoch_base;
       if (t == 2 || (t >= 6 && (t - 6) % rebuild == 0)) {
+        // shardcheck:ok(R6: staged landmark rebuild request: O(committees per rebuild wave))
         stage.rebuilds.push_back(ShardStage::Rebuild{
             v, kid, m.item, m.purpose, m.search_root, m.members});
       }
@@ -514,9 +523,11 @@ bool CommitteeManager::on_message(Vertex v, const Message& m,
         mem.ida_k = static_cast<std::uint32_t>(m.words[9]);
         mem.original_size = m.words[10];
         const std::uint64_t count = m.words[11];
+        // shardcheck:ok(R6: membership decode from a handover message: O(committee size) per event)
         mem.members.assign(m.words.begin() + kMembersAt,
                            m.words.begin() + kMembersAt +
                                static_cast<std::ptrdiff_t>(count));
+        // shardcheck:ok(R6: payload decode from a handover message: O(item bytes) per event)
         mem.payload.assign(m.blob.begin(), m.blob.end());
         state_[v][kid] = std::move(mem);
         mark_active(v);
@@ -543,10 +554,12 @@ bool CommitteeManager::on_message(Vertex v, const Message& m,
       const auto it = state_[v].find(m.words[0]);
       if (it == state_[v].end()) return true;
       Membership& mem = it->second;
+      // shardcheck:ok(R6: count-message aggregation: O(committee size) per formation event)
       mem.counts.emplace_back(m.src,
                               static_cast<std::uint32_t>(m.words[1]));
       const auto piece_index = static_cast<std::uint32_t>(m.words[2]);
       if (piece_index != kNoPiece) {
+        // shardcheck:ok(R6: erasure piece gather: O(committee) per formation event)
         mem.gathered_pieces.push_back(IdaPiece{piece_index, m.blob.to_vector()});
       }
       return true;
@@ -568,6 +581,7 @@ bool CommitteeManager::on_message(Vertex v, const Message& m,
       const auto it = state_[v].find(m.words[0]);
       if (it == state_[v].end()) return true;
       Membership& mem = it->second;
+      // shardcheck:ok(R6: accept votes: O(committee size) per formation event)
       if (mem.candidate && !mem.dissolved) mem.accepted.push_back(m.src);
       return true;
     }
@@ -590,9 +604,11 @@ bool CommitteeManager::on_message(Vertex v, const Message& m,
       mem.ida_k = static_cast<std::uint32_t>(m.words[9]);
       mem.original_size = m.words[10];
       const std::uint64_t count = m.words[11];
+      // shardcheck:ok(R6: membership decode from a confirm message: O(committee size) per event)
       mem.members.assign(
           m.words.begin() + kMembersAt,
           m.words.begin() + kMembersAt + static_cast<std::ptrdiff_t>(count));
+      // shardcheck:ok(R6: payload decode from a confirm message: O(item bytes) per event)
       mem.payload.assign(m.blob.begin(), m.blob.end());
       state_[v][kid] = std::move(mem);
       pending_[v].erase(kid);

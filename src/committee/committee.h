@@ -222,15 +222,21 @@ class CommitteeManager final : public Protocol {
   std::uint32_t period_ = 0;
   std::uint32_t target_ = 0;
 
+  // shardcheck:arena-backed(per-vertex membership maps grow on committee events — O(events x log n) global-heap nodes per cycle; the committee control plane is outside the soup heap-quiet invariant)
   std::vector<std::unordered_map<std::uint64_t, Membership>> state_;
+  // shardcheck:arena-backed(pending-join nodes: O(formation events) global-heap growth per cycle, same control-plane budget as state_)
   std::vector<std::unordered_map<std::uint64_t, PendingJoin>> pending_;
+  // shardcheck:cold-state(god-view registry mutated only from the serial create path and the serial confirm merge)
   std::unordered_map<std::uint64_t, Info> registry_;
   /// Per-vertex "holds any membership/pending state" flags plus a per-shard
   /// population count, so each shard's round task scans its vertex range
   /// only when it has work (canonical ascending-vertex order either way).
+  // shardcheck:cold-state(sized to n at attach in serial context; hooks flip flags in place)
   std::vector<std::uint8_t> active_flag_;
+  // shardcheck:cold-state(sized to the shard count at attach; elements adjusted in place)
   std::vector<std::uint32_t> active_count_;  ///< per shard
-  std::vector<ShardStage> stage_;            ///< per shard
+  // shardcheck:cold-state(outer vector sized to the shard count at attach; the inner staging vectors carry reasoned R6 suppressions at their growth sites)
+  std::vector<ShardStage> stage_;             ///< per shard
 
   void mark_active(Vertex v);
 };

@@ -14,10 +14,10 @@ ItemId KvStore::key_to_item(std::string_view key) {
 bool KvStore::put(Vertex creator, std::string_view key,
                   std::vector<std::uint8_t> value) {
   const std::string k(key);
-  if (keys_.count(k)) return false;
+  if (key_index_.count(k)) return false;
   const ItemId item = key_to_item(key);
   if (!sys_.store_item(creator, item, std::move(value))) return false;
-  keys_.emplace(k, item);
+  key_index_.emplace(k, item);
   return true;
 }
 
@@ -39,8 +39,8 @@ std::optional<KvStore::GetResult> KvStore::result(std::uint64_t handle) const {
 }
 
 bool KvStore::contains(std::string_view key) const {
-  const auto it = keys_.find(std::string(key));
-  if (it == keys_.end()) return false;
+  const auto it = key_index_.find(std::string(key));
+  if (it == key_index_.end()) return false;
   return sys_.store().is_recoverable(it->second);
 }
 

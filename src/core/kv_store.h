@@ -51,11 +51,11 @@ class KvStore {
   /// Whether a previously put key is still recoverable in the network.
   [[nodiscard]] bool contains(std::string_view key) const;
 
-  [[nodiscard]] std::size_t key_count() const noexcept { return keys_.size(); }
+  [[nodiscard]] std::size_t key_count() const noexcept { return key_index_.size(); }
 
  private:
   P2PSystem& sys_;
-  std::unordered_map<std::string, ItemId> keys_;
+  std::unordered_map<std::string, ItemId> key_index_;
 };
 
 }  // namespace churnstore

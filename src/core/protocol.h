@@ -45,12 +45,28 @@
 //     [shardcheck-R1] — and, everywhere in src/, never from ambient
 //     sources (rand, std::random_device, wall clocks) or mutable static
 //     state [shardcheck-R4]; pointer-keyed ordering is equally
-//     non-deterministic across runs [shardcheck-R5].
+//     non-deterministic across runs [shardcheck-R5];
+//   - never allocate from the global heap at steady state: no new /
+//     make_unique / make_shared, no std::function construction, no local
+//     std containers without ArenaAllocator, no growth of members that
+//     have not declared their arena discipline [shardcheck-R6]. Draw from
+//     the shard arena or pre-sized member buffers; hoist one-time setup to
+//     on_attach / the serial prologue. The claim is enforced twice: R6
+//     statically, and util/heap_sentinel.h's HeapQuiesceScope dynamically
+//     around every P2PSystem::run_round (tests/heap_quiesce_test.cpp
+//     asserts 0 allocs/round over measured steady-state rounds).
+//   - declare, at the declaration site, where every container member's
+//     storage comes from: ArenaAllocator in the type, or an arena-backed /
+//     cold-state annotation comment on the line above (syntax in
+//     tools/shardcheck/shardcheck.h) [shardcheck-R7]. arena-backed exempts
+//     the member from R6 growth checks; cold-state documents that only
+//     cold serial context ever resizes it (hot growth still fires).
 // Under that contract the SAME seed is bit-identical for EVERY shards=
 // value, serial or pooled (tests/sharded_engine_test.cpp). Helper
 // functions reachable only from sharded hooks opt into the same checks
 // with the linter's sharded-hook annotation comment above their
-// definition (syntax in tools/shardcheck/shardcheck.h).
+// definition; per-round helpers outside any hook opt into R6 alone with
+// the hot-path annotation (syntax in tools/shardcheck/shardcheck.h).
 //
 // Attachment: on_attach(net) is called exactly once, before the first
 // round, in registration order. The base implementation records the network

@@ -74,10 +74,14 @@ class SizeEstimator final : public Protocol {
   std::uint32_t k_;
   Rng rng_;
   /// Row-major [vertex][i] minima of the running epoch.
+  // shardcheck:cold-state(sized to n x k at attach in serial context; hooks write row minima in place)
   std::vector<double> mins_;
   /// Minima of the last completed epoch (what estimate() reads).
+  // shardcheck:cold-state(sized at attach; swapped/filled only in serial epoch rollover)
   std::vector<double> last_;
+  // shardcheck:cold-state(sized at attach; gather_min writes elements in place)
   std::vector<double> scratch_;   ///< next mins_
+  // shardcheck:cold-state(sized at attach; gather_min writes elements in place)
   std::vector<double> scratch2_;  ///< next last_
   std::uint64_t epochs_completed_ = 0;
 };

@@ -1,5 +1,7 @@
 #include "core/system.h"
 
+#include "util/heap_sentinel.h"
+
 namespace churnstore {
 
 std::vector<std::unique_ptr<Protocol>> P2PSystem::paper_protocols(
@@ -51,6 +53,7 @@ void P2PSystem::enable_adaptive_adversary() {
 }
 
 void P2PSystem::run_round() {
+  const HeapQuiesceScope heap_probe;  // process-wide: sees pool threads too
   using clock = std::chrono::steady_clock;
   const bool timed = phase_timers_.enabled;
   clock::time_point t0;
@@ -86,6 +89,12 @@ void P2PSystem::run_round() {
   dispatch_inboxes();   // receivers process them
   lap(&RoundPhaseTimers::dispatch_secs);
   for (const auto& p : protocols_) p->on_round_end();
+
+  const HeapSentinel::Totals d = heap_probe.delta();
+  ++heap_stats_.rounds;
+  heap_stats_.allocs += d.allocs;
+  heap_stats_.frees += d.frees;
+  heap_stats_.bytes += d.bytes;
 }
 
 void P2PSystem::run_rounds(std::uint32_t k) {

@@ -58,6 +58,20 @@ struct RoundPhaseTimers {
   void reset() noexcept { *this = RoundPhaseTimers{.enabled = enabled}; }
 };
 
+/// Cumulative global-heap traffic across run_round() calls, measured by
+/// the HeapSentinel across every thread (shard-pool workers included).
+/// Always accumulated (one counter snapshot per round); when
+/// HeapSentinel::available() is false the alloc/free/byte fields stay
+/// zero and mean "unknown" — report n/a, never a fake heap-quiet claim.
+struct RoundHeapStats {
+  std::uint64_t rounds = 0;  ///< run_round() calls observed
+  std::uint64_t allocs = 0;  ///< operator new calls during those rounds
+  std::uint64_t frees = 0;   ///< operator delete calls during those rounds
+  std::uint64_t bytes = 0;   ///< bytes requested during those rounds
+
+  void reset() noexcept { *this = RoundHeapStats{}; }
+};
+
 class P2PSystem {
  public:
   /// Build the paper's full protocol stack.
@@ -107,6 +121,14 @@ class P2PSystem {
     return phase_timers_;
   }
   void reset_phase_timers() noexcept { phase_timers_.reset(); }
+
+  /// Global-heap traffic per round (HeapSentinel deltas around run_round).
+  /// The steady-state proof reads: reset, run K rounds, assert allocs == 0
+  /// — valid only while HeapSentinel::available().
+  [[nodiscard]] const RoundHeapStats& heap_stats() const noexcept {
+    return heap_stats_;
+  }
+  void reset_heap_stats() noexcept { heap_stats_.reset(); }
 
   /// Rounds of warm-up needed before sample buffers are useful (~2 tau).
   [[nodiscard]] std::uint32_t warmup_rounds() const noexcept {
@@ -198,6 +220,7 @@ class P2PSystem {
   std::unique_ptr<Network> net_;
   std::vector<std::unique_ptr<Protocol>> protocols_;
   RoundPhaseTimers phase_timers_;
+  RoundHeapStats heap_stats_;
   /// Per-shard lists of paused dispatch chains (reused across rounds).
   std::vector<std::vector<PendingDispatch>> dispatch_pending_;
 

@@ -1,7 +1,6 @@
 #include "graph/properties.h"
 
 #include <algorithm>
-#include <queue>
 #include <vector>
 
 namespace churnstore {
@@ -16,17 +15,22 @@ struct BfsResult {
   std::uint32_t depth = 0;
 };
 
-BfsResult bfs(const RegularGraph& g, Vertex from, std::vector<std::int32_t>& dist) {
+/// The FIFO is a plain vector with a read cursor: every vertex enters the
+/// queue at most once, so the backing store never exceeds n entries and a
+/// pop never needs to reclaim space. Unlike std::deque (which allocates its
+/// map + first chunk on every construction), both scratch buffers reach a
+/// steady capacity and make repeated calls allocation-free.
+BfsResult bfs(const RegularGraph& g, Vertex from,
+              std::vector<std::int32_t>& dist, std::vector<Vertex>& queue) {
   dist.assign(g.n(), -1);
-  std::queue<Vertex> q;
+  queue.clear();
   dist[from] = 0;
-  q.push(from);
+  queue.push_back(from);
   BfsResult res;
   res.reached = 1;
   res.farthest = from;
-  while (!q.empty()) {
-    const Vertex v = q.front();
-    q.pop();
+  for (std::size_t head = 0; head < queue.size(); ++head) {
+    const Vertex v = queue[head];
     for (std::uint32_t i = 0; i < g.degree(); ++i) {
       const Vertex u = g.neighbor(v, i);
       if (dist[u] >= 0) continue;
@@ -36,7 +40,7 @@ BfsResult bfs(const RegularGraph& g, Vertex from, std::vector<std::int32_t>& dis
         res.depth = static_cast<std::uint32_t>(dist[u]);
         res.farthest = u;
       }
-      q.push(u);
+      queue.push_back(u);
     }
   }
   return res;
@@ -45,26 +49,33 @@ BfsResult bfs(const RegularGraph& g, Vertex from, std::vector<std::int32_t>& dis
 }  // namespace
 
 bool is_connected(const RegularGraph& g) {
-  if (g.n() == 0) return true;
   std::vector<std::int32_t> dist;
-  return bfs(g, 0, dist).reached == g.n();
+  std::vector<Vertex> queue;
+  return is_connected(g, dist, queue);
+}
+
+bool is_connected(const RegularGraph& g, std::vector<std::int32_t>& dist_scratch,
+                  std::vector<Vertex>& queue_scratch) {
+  if (g.n() == 0) return true;
+  return bfs(g, 0, dist_scratch, queue_scratch).reached == g.n();
 }
 
 bool is_bipartite(const RegularGraph& g) {
   std::vector<std::int8_t> color(g.n(), -1);
-  std::queue<Vertex> q;
+  std::vector<Vertex> queue;
+  queue.reserve(g.n());
   for (Vertex start = 0; start < g.n(); ++start) {
     if (color[start] >= 0) continue;
     color[start] = 0;
-    q.push(start);
-    while (!q.empty()) {
-      const Vertex v = q.front();
-      q.pop();
+    queue.clear();
+    queue.push_back(start);
+    for (std::size_t head = 0; head < queue.size(); ++head) {
+      const Vertex v = queue[head];
       for (std::uint32_t i = 0; i < g.degree(); ++i) {
         const Vertex u = g.neighbor(v, i);
         if (color[u] < 0) {
           color[u] = static_cast<std::int8_t>(1 - color[v]);
-          q.push(u);
+          queue.push_back(u);
         } else if (color[u] == color[v]) {
           return false;
         }
@@ -76,14 +87,16 @@ bool is_bipartite(const RegularGraph& g) {
 
 std::uint32_t eccentricity(const RegularGraph& g, Vertex from) {
   std::vector<std::int32_t> dist;
-  return bfs(g, from, dist).depth;
+  std::vector<Vertex> queue;
+  return bfs(g, from, dist, queue).depth;
 }
 
 std::uint32_t diameter_lower_bound(const RegularGraph& g) {
   if (g.n() == 0) return 0;
   std::vector<std::int32_t> dist;
-  const BfsResult first = bfs(g, 0, dist);
-  const BfsResult second = bfs(g, first.farthest, dist);
+  std::vector<Vertex> queue;
+  const BfsResult first = bfs(g, 0, dist, queue);
+  const BfsResult second = bfs(g, first.farthest, dist, queue);
   return second.depth;
 }
 

@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
 #include "graph/graph.h"
 #include "util/rng.h"
@@ -39,6 +40,12 @@ class Rewirer {
   std::uint64_t total_swaps_ = 0;
   std::uint64_t repairs_ = 0;
   std::uint32_t rounds_since_check_ = 0;
+  /// BFS scratch for the periodic connectivity audit; apply() runs inside
+  /// the round path, so the audit must not allocate at steady state.
+  // shardcheck:cold-state(connectivity-audit BFS scratch grown to n on the first check, reused in place after)
+  std::vector<std::int32_t> dist_scratch_;
+  // shardcheck:cold-state(connectivity-audit BFS queue grown to n on the first check, reused in place after)
+  std::vector<Vertex> queue_scratch_;
 };
 
 }  // namespace churnstore

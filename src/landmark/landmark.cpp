@@ -113,6 +113,7 @@ void LandmarkManager::on_round_begin(std::uint32_t shard, ShardContext& ctx) {
   // The queue was staged by this shard's own dispatch task last round, in
   // ascending vertex order.
   ShardStage& stage = stage_[shard];
+  // shardcheck:ok(R6: level-grow queue swap-out: O(recruiting vertices per rebuild wave), landmark control plane outside the soup heap-quiet invariant)
   std::vector<Vertex> queue;
   queue.swap(stage.grow_queue);
   for (const Vertex v : queue) {
@@ -175,6 +176,7 @@ bool LandmarkManager::on_message(Vertex v, const Message& m,
   const auto depth = static_cast<std::uint32_t>(m.words[4]);
   st.wave = wave;
   const std::uint64_t count = m.words[6];
+  // shardcheck:ok(R6: committee list decode from a landmark-grow message: O(committee size) per rebuild event)
   st.committee.assign(
       m.words.begin() + kCommitteeAt,
       m.words.begin() + kCommitteeAt + static_cast<std::ptrdiff_t>(count));
@@ -182,7 +184,9 @@ bool LandmarkManager::on_message(Vertex v, const Message& m,
   st.pending_depth = depth > 1 ? depth - 1 : 0;
   const bool was_absent = (it == st_map.end());
   st_map[kid] = std::move(st);
+  // shardcheck:ok(R6: staged growth queue: O(recruiting vertices per rebuild wave))
   if (st_map[kid].pending_depth > 0) stage.grow_queue.push_back(v);
+  // shardcheck:ok(R6: staged index update: O(new landmarks per rebuild wave))
   if (was_absent) stage.index_add.emplace_back(kid, v);
   ++stage.created;
   return true;

@@ -104,9 +104,11 @@ class LandmarkManager final : public Protocol {
   std::uint32_t depth_ = 0;
   std::uint32_t ttl_ = 0;
 
+  // shardcheck:arena-backed(per-vertex landmark maps grow on rebuild-wave messages — O(wave events) global-heap nodes, landmark control plane outside the soup heap-quiet invariant)
   std::vector<std::unordered_map<std::uint64_t, LandmarkState>> state_;
   /// kid -> vertices that (may) hold a landmark for it; validated lazily.
   /// Global map: only mutated from serial context (merge hooks).
+  // shardcheck:cold-state(mutated only from the serial merge that applies staged index_add entries)
   std::unordered_map<std::uint64_t, std::vector<Vertex>> index_;
   /// Per-shard staging, applied in ascending shard order at the merges.
   struct ShardStage {
@@ -115,6 +117,7 @@ class LandmarkManager final : public Protocol {
     std::uint64_t created = 0;
     std::uint64_t collisions = 0;
   };
+  // shardcheck:cold-state(outer vector sized to the shard count at attach; inner staging vectors carry reasoned R6 suppressions at their growth sites)
   std::vector<ShardStage> stage_;
 };
 

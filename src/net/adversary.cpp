@@ -12,12 +12,12 @@ Adversary::Adversary(AdversaryKind kind, std::uint32_t n, Rng rng)
   }
 }
 
-std::vector<Vertex> Adversary::select(Round /*r*/, std::uint32_t count,
-                                      const std::vector<Round>& birth_round) {
+void Adversary::select(Round /*r*/, std::uint32_t count,
+                       const std::vector<Round>& birth_round,
+                       std::vector<Vertex>& out) {
   count = std::min(count, n_);
-  std::vector<Vertex> out;
-  if (count == 0) return out;
-  out.reserve(count);
+  out.clear();
+  if (count == 0) return;
 
   switch (kind_) {
     case AdversaryKind::kNone:
@@ -25,8 +25,8 @@ std::vector<Vertex> Adversary::select(Round /*r*/, std::uint32_t count,
       break;
 
     case AdversaryKind::kUniform: {
-      const auto picks = rng_.sample_without_replacement(n_, count);
-      out.assign(picks.begin(), picks.end());
+      rng_.sample_without_replacement_into(n_, count, out, index_scratch_,
+                                           seen_scratch_);
       break;
     }
 
@@ -49,30 +49,30 @@ std::vector<Vertex> Adversary::select(Round /*r*/, std::uint32_t count,
         const auto picks = rng_.sample_without_replacement(n_, want);
         region_.assign(picks.begin(), picks.end());
       }
-      const auto idx = rng_.sample_without_replacement(
-          static_cast<std::uint32_t>(region_.size()), count);
-      for (const auto i : idx) out.push_back(region_[i]);
+      rng_.sample_without_replacement_into(
+          static_cast<std::uint32_t>(region_.size()), count, pick_scratch_,
+          index_scratch_, seen_scratch_);
+      for (const auto i : pick_scratch_) out.push_back(region_[i]);
       break;
     }
 
     case AdversaryKind::kOldestFirst:
     case AdversaryKind::kYoungestFirst: {
-      std::vector<Vertex> order(n_);
-      std::iota(order.begin(), order.end(), 0u);
+      index_scratch_.resize(n_);
+      std::iota(index_scratch_.begin(), index_scratch_.end(), 0u);
       const bool oldest = kind_ == AdversaryKind::kOldestFirst;
-      std::nth_element(order.begin(), order.begin() + count, order.end(),
-                       [&](Vertex a, Vertex b) {
+      std::nth_element(index_scratch_.begin(), index_scratch_.begin() + count,
+                       index_scratch_.end(), [&](Vertex a, Vertex b) {
                          if (birth_round[a] != birth_round[b]) {
                            return oldest ? birth_round[a] < birth_round[b]
                                          : birth_round[a] > birth_round[b];
                          }
                          return a < b;
                        });
-      out.assign(order.begin(), order.begin() + count);
+      out.assign(index_scratch_.begin(), index_scratch_.begin() + count);
       break;
     }
   }
-  return out;
 }
 
 }  // namespace churnstore

@@ -22,11 +22,15 @@ class Adversary {
  public:
   Adversary(AdversaryKind kind, std::uint32_t n, Rng rng);
 
-  /// Vertices to replace at the start of round `r` (count entries, distinct).
-  /// `birth_round[v]` is the round the current occupant of v joined — a
-  /// schedule the adversary itself produced, hence oblivious-safe input.
-  [[nodiscard]] std::vector<Vertex> select(Round r, std::uint32_t count,
-                                           const std::vector<Round>& birth_round);
+  /// Vertices to replace at the start of round `r` (count entries,
+  /// distinct), written into `out` (cleared first; reuse the same buffer
+  /// every round and the call is allocation-free once its capacity and
+  /// the internal scratch reach steady state — this runs inside the
+  /// heap-quiet region HeapQuiesceScope polices). `birth_round[v]` is the
+  /// round the current occupant of v joined — a schedule the adversary
+  /// itself produced, hence oblivious-safe input.
+  void select(Round r, std::uint32_t count,
+              const std::vector<Round>& birth_round, std::vector<Vertex>& out);
 
   [[nodiscard]] AdversaryKind kind() const noexcept { return kind_; }
 
@@ -36,6 +40,12 @@ class Adversary {
   Rng rng_;
   Vertex sweep_pos_ = 0;        ///< cursor for kBlockSweep
   std::vector<Vertex> region_;  ///< fixed victim region for kRegionRepeat
+  // shardcheck:cold-state(sampling scratch grown to n on the first round, reused in place after)
+  std::vector<std::uint32_t> index_scratch_;
+  // shardcheck:cold-state(sampling scratch grown to n on the first round, reused in place after)
+  std::vector<std::uint8_t> seen_scratch_;
+  // shardcheck:cold-state(region-index picks buffer, capacity steady after the first round)
+  std::vector<std::uint32_t> pick_scratch_;
 };
 
 }  // namespace churnstore

@@ -43,17 +43,15 @@ Network::Network(const SimConfig& config)
     arenas_.push_back(std::make_unique<Arena>());
     shard_lanes_.emplace_back(arenas_.back().get());
   }
-  vertex_of_.reserve(config.n * 2);
+  vertex_of_.init(config.n);
   for (Vertex v = 0; v < config_.n; ++v) {
     peer_at_[v] = next_peer_++;
-    vertex_of_[peer_at_[v]] = v;
+    vertex_of_.insert(peer_at_[v], v);
   }
 }
 
 std::optional<Vertex> Network::find_vertex(PeerId p) const noexcept {
-  const auto it = vertex_of_.find(p);
-  if (it == vertex_of_.end()) return std::nullopt;
-  return it->second;
+  return vertex_of_.find(p);
 }
 
 void Network::churn_vertex(Vertex v) {
@@ -61,7 +59,7 @@ void Network::churn_vertex(Vertex v) {
   vertex_of_.erase(old_peer);
   const PeerId fresh = next_peer_++;
   peer_at_[v] = fresh;
-  vertex_of_[fresh] = v;
+  vertex_of_.insert(fresh, v);
   birth_[v] = round_;
   ++churn_events_;
   PeerChurned ev{v, old_peer, fresh};
@@ -77,26 +75,27 @@ const std::vector<Vertex>& Network::begin_round() {
     // Non-oblivious: ask subscribers for protocol-state-informed victims
     // first, pad the quota with uniform picks.
     last_churned_.clear();
-    std::vector<std::uint8_t> taken(config_.n, 0);
+    if (churn_taken_.size() != config_.n) churn_taken_.assign(config_.n, 0);
     AdaptiveTargetQuery query;
     query.quota = c;
     events_.publish(query);
     for (const Vertex v : query.victims) {
       if (last_churned_.size() >= c) break;
-      if (v < config_.n && !taken[v]) {
-        taken[v] = 1;
+      if (v < config_.n && !churn_taken_[v]) {
+        churn_taken_[v] = 1;
         last_churned_.push_back(v);
       }
     }
     while (config_.churn.adaptive_pad_uniform && last_churned_.size() < c) {
       const auto v = static_cast<Vertex>(churn_rng_.next_below(config_.n));
-      if (!taken[v]) {
-        taken[v] = 1;
+      if (!churn_taken_[v]) {
+        churn_taken_[v] = 1;
         last_churned_.push_back(v);
       }
     }
+    for (const Vertex v : last_churned_) churn_taken_[v] = 0;  // leave zeroed
   } else {
-    last_churned_ = adversary_.select(round_, c, birth_);
+    adversary_.select(round_, c, birth_, last_churned_);
   }
   for (const Vertex v : last_churned_) churn_vertex(v);
 

@@ -34,6 +34,7 @@
 #include "graph/rewirer.h"
 #include "net/adversary.h"
 #include "net/config.h"
+#include "net/peer_index.h"
 #include "net/event_bus.h"
 #include "net/message.h"
 #include "net/metrics.h"
@@ -81,7 +82,7 @@ class Network {
   /// Vertex currently hosting `p`, or nullopt if p has left the network.
   [[nodiscard]] std::optional<Vertex> find_vertex(PeerId p) const noexcept;
   [[nodiscard]] bool is_alive(PeerId p) const noexcept {
-    return vertex_of_.find(p) != vertex_of_.end();
+    return vertex_of_.contains(p);
   }
 
   /// --- round driver -----------------------------------------------------
@@ -182,11 +183,16 @@ class Network {
 
   std::vector<PeerId> peer_at_;
   std::vector<Round> birth_;
-  std::unordered_map<PeerId, Vertex> vertex_of_;
+  /// Fixed-capacity open-addressing index: the churn loop's erase/insert
+  /// pair is allocation-free, unlike the unordered_map node per event it
+  /// replaced (heap-quiet begin_round; see net/peer_index.h).
+  PeerIndex vertex_of_;
   PeerId next_peer_ = 1;
 
   Round round_ = 0;
   std::vector<Vertex> last_churned_;
+  // shardcheck:cold-state(adaptive-churn dedup bitmap sized on first adaptive round, cleared in place after)
+  std::vector<std::uint8_t> churn_taken_;
   EventBus events_;
 
   ShardPlan shards_;

@@ -1,0 +1,117 @@
+// PeerIndex — fixed-capacity open-addressing PeerId -> Vertex index.
+//
+// The live peer population is exactly n (churn replaces peers, never grows
+// the set), so the table is sized once at >= 4x the live count and never
+// rehashes or allocates after construction: erase uses backward-shift
+// deletion (no tombstones to accumulate), insert reuses the vacated
+// slots. This is what makes Network::begin_round's churn loop heap-quiet —
+// the unordered_map it replaces allocated one node per churn event, C
+// allocs per round, every round, forever (shardcheck R6's runtime twin,
+// HeapQuiesceScope, is how it was caught).
+//
+// PeerIds grow monotonically, so after enough churn the live id window
+// exceeds the table and identity hashing would cluster contiguous runs;
+// slots are picked with a 64-bit multiplicative mix instead. kNoPeer (0)
+// is the empty-slot sentinel and is never a valid key.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "net/types.h"
+
+namespace churnstore {
+
+class PeerIndex {
+ public:
+  PeerIndex() = default;
+  explicit PeerIndex(std::uint32_t live_count) { init(live_count); }
+
+  /// Size the table for `live_count` simultaneously-present keys. The only
+  /// allocation this class ever performs; O(1) everything afterwards.
+  void init(std::uint32_t live_count) {
+    std::size_t cap = 16;
+    while (cap < 4ull * live_count) cap <<= 1;
+    mask_ = cap - 1;
+    key_slots_.assign(cap, kNoPeer);
+    val_slots_.assign(cap, Vertex{0});
+    live_ = 0;
+  }
+
+  /// Insert a key that is not present. Asserts on kNoPeer, duplicates, and
+  /// overflow past the sized live count (none can occur in Network's use:
+  /// one live peer per vertex, always).
+  void insert(PeerId p, Vertex v) noexcept {
+    assert(p != kNoPeer && "kNoPeer is the empty-slot sentinel");
+    assert(live_ < capacity() && "PeerIndex sized for fewer live keys");
+    std::size_t i = slot(p);
+    while (key_slots_[i] != kNoPeer) {
+      assert(key_slots_[i] != p && "duplicate PeerId insert");
+      i = (i + 1) & mask_;
+    }
+    key_slots_[i] = p;
+    val_slots_[i] = v;
+    ++live_;
+  }
+
+  /// Remove a key if present; true when it was. Backward-shift deletion
+  /// compacts the probe run so lookups stay tombstone-free forever.
+  bool erase(PeerId p) noexcept {
+    if (p == kNoPeer) return false;
+    std::size_t i = slot(p);
+    while (key_slots_[i] != p) {
+      if (key_slots_[i] == kNoPeer) return false;
+      i = (i + 1) & mask_;
+    }
+    std::size_t hole = i;
+    std::size_t j = (i + 1) & mask_;
+    while (key_slots_[j] != kNoPeer) {
+      // Shift j's entry into the hole unless its home slot lies cyclically
+      // inside (hole, j] — moving those would break their probe chains.
+      const std::size_t home = slot(key_slots_[j]);
+      if (((j - home) & mask_) >= ((j - hole) & mask_)) {
+        key_slots_[hole] = key_slots_[j];
+        val_slots_[hole] = val_slots_[j];
+        hole = j;
+      }
+      j = (j + 1) & mask_;
+    }
+    key_slots_[hole] = kNoPeer;
+    --live_;
+    return true;
+  }
+
+  [[nodiscard]] std::optional<Vertex> find(PeerId p) const noexcept {
+    if (p == kNoPeer) return std::nullopt;
+    std::size_t i = slot(p);
+    while (key_slots_[i] != kNoPeer) {
+      if (key_slots_[i] == p) return val_slots_[i];
+      i = (i + 1) & mask_;
+    }
+    return std::nullopt;
+  }
+
+  [[nodiscard]] bool contains(PeerId p) const noexcept {
+    return find(p).has_value();
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return live_; }
+  [[nodiscard]] std::size_t capacity() const noexcept { return mask_ + 1; }
+
+ private:
+  [[nodiscard]] std::size_t slot(PeerId p) const noexcept {
+    // Fibonacci hashing: spreads the sequential id stream over the table.
+    return static_cast<std::size_t>((p * 0x9E3779B97F4A7C15ull) >> 32) & mask_;
+  }
+
+  std::size_t mask_ = 0;
+  std::size_t live_ = 0;
+  // shardcheck:cold-state(table storage sized once by init; churn-path mutation is in-place slot writes)
+  std::vector<PeerId> key_slots_;
+  // shardcheck:cold-state(table storage sized once by init; churn-path mutation is in-place slot writes)
+  std::vector<Vertex> val_slots_;
+};
+
+}  // namespace churnstore

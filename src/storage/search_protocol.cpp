@@ -240,7 +240,9 @@ bool SearchManager::on_message(Vertex v, const Message& m,
       const std::uint64_t count = m.words[2];
       for (std::uint64_t i = 0; i < count; ++i) {
         const PeerId h = m.words[kHoldersAt + i];
+        // shardcheck:ok(R6: holder dedup on a search reply: O(holders in the reply) per active search, not per token)
         if (h != kNoPeer && st.holder_set.insert(h).second) {
+          // shardcheck:ok(R6: holder list on a search reply: O(holders) per active search)
           st.holders.push_back(h);
         }
       }
@@ -287,6 +289,7 @@ bool SearchManager::on_message(Vertex v, const Message& m,
         status.fetched = net().round();
         status.fetch_ok =
             rec && content_hash(m.blob.data(), m.blob.size()) == rec->hash;
+        // shardcheck:ok(R6: fetched item payload copy: O(item bytes) per completed fetch)
         status.fetched_data.assign(m.blob.begin(), m.blob.end());
         return true;
       }
@@ -295,11 +298,15 @@ bool SearchManager::on_message(Vertex v, const Message& m,
       const std::uint64_t count = m.words[5];
       for (std::uint64_t i = 0; i < count; ++i) {
         const PeerId h = m.words[kReplyMembersAt + i];
+        // shardcheck:ok(R6: holder dedup on a fetch reply: O(holders) per active search)
         if (h != kNoPeer && st.holder_set.insert(h).second) {
+          // shardcheck:ok(R6: holder list on a fetch reply: O(holders) per active search)
           st.holders.push_back(h);
         }
       }
+      // shardcheck:ok(R6: distinct-piece tracking: O(ida_k) per active erasure fetch)
       if (st.piece_indices.insert(piece_index).second) {
+        // shardcheck:ok(R6: gathered erasure pieces: O(ida_k x piece bytes) per active fetch)
         st.pieces.push_back(IdaPiece{piece_index, m.blob.to_vector()});
       }
       const auto ida_k = static_cast<std::uint32_t>(m.words[3]);

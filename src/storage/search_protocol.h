@@ -114,14 +114,18 @@ class SearchManager final : public Protocol {
   std::uint32_t timeout_ = 0;
   std::uint64_t next_sid_ = 1;
 
+  // shardcheck:cold-state(search bookkeeping mutated only from the serial begin_search/prologue path and serial merges)
   std::unordered_map<std::uint64_t, SearchStatus> status_;
+  // shardcheck:cold-state(active-search id list maintained in serial prologue/epilogue context)
   std::vector<std::uint64_t> active_;
   /// This round's (landmark vertex, sid) inquiry jobs, collected by the
   /// serial prologue from the landmark index (O(live landmarks), not
   /// O(n)) and stably sorted by vertex: each shard owns a contiguous run,
   /// and the merged inquiry stream is identical for every shard count.
+  // shardcheck:cold-state(rebuilt by the serial on_round_begin prologue each round)
   std::vector<std::pair<Vertex, std::uint64_t>> inquiry_jobs_;
   /// Initiator-side state, held at the initiator's vertex.
+  // shardcheck:cold-state(map nodes inserted/erased only from the serial begin_search/expiry paths; hooks mutate found elements in place)
   std::vector<std::unordered_map<std::uint64_t, InitiatorState>> initiator_;
 };
 

@@ -58,6 +58,7 @@ class StoreManager final : public Protocol {
   CommitteeManager& committees_;
   LandmarkManager& landmarks_;
   ProtocolConfig config_;
+  // shardcheck:cold-state(item registry grown only from the serial store() API path)
   std::unordered_map<ItemId, ItemRecord> records_;
 };
 

@@ -1,0 +1,189 @@
+#include "util/heap_sentinel.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+
+namespace churnstore {
+namespace {
+
+// util/ static-state exemption: process-wide allocation counters, written
+// through per-thread slots (each thread bumps only its own cacheline) and
+// read with relaxed loads. Constant-initialized so counting is safe from
+// the very first allocation, before any dynamic initializer runs.
+struct alignas(64) CounterSlot {
+  std::atomic<std::uint64_t> allocs{0};
+  std::atomic<std::uint64_t> frees{0};
+  std::atomic<std::uint64_t> bytes{0};
+};
+
+// One slot per thread that ever allocates. 256 covers every realistic
+// pool; threads past the table share the last slot (still correct — it is
+// atomic — just contended, and only in that pathological case).
+constexpr std::size_t kMaxSlots = 256;
+CounterSlot g_slots[kMaxSlots];
+std::atomic<std::size_t> g_slots_used{0};
+std::atomic<bool> g_forced_off{false};
+
+#if defined(CHURNSTORE_HEAP_SENTINEL)
+CounterSlot& local_slot() noexcept {
+  // Lazy registration on the thread's first allocation. The initializer
+  // performs no heap allocation itself, so operator new cannot recurse.
+  thread_local CounterSlot* slot = [] {
+    const std::size_t i = g_slots_used.fetch_add(1, std::memory_order_relaxed);
+    return &g_slots[i < kMaxSlots ? i : kMaxSlots - 1];
+  }();
+  return *slot;
+}
+
+void note_alloc(std::size_t size) noexcept {
+  CounterSlot& s = local_slot();
+  s.allocs.fetch_add(1, std::memory_order_relaxed);
+  s.bytes.fetch_add(size, std::memory_order_relaxed);
+}
+
+void note_free() noexcept {
+  local_slot().frees.fetch_add(1, std::memory_order_relaxed);
+}
+
+void* counted_alloc(std::size_t size) noexcept {
+  void* p = std::malloc(size != 0 ? size : 1);
+  if (p != nullptr) note_alloc(size);
+  return p;
+}
+
+void* counted_aligned_alloc(std::size_t size, std::size_t align) noexcept {
+  // posix_memalign demands a pointer-sized power-of-two alignment; the
+  // language guarantees align is a power of two, so only clamp the floor.
+  if (align < alignof(void*)) align = alignof(void*);
+  void* p = nullptr;
+  if (posix_memalign(&p, align, size != 0 ? size : 1) != 0) return nullptr;
+  note_alloc(size);
+  return p;
+}
+
+void counted_free(void* p) noexcept {
+  if (p == nullptr) return;
+  note_free();
+  std::free(p);
+}
+#endif  // CHURNSTORE_HEAP_SENTINEL
+
+}  // namespace
+
+bool HeapSentinel::available() noexcept {
+#if defined(CHURNSTORE_HEAP_SENTINEL)
+  return !g_forced_off.load(std::memory_order_relaxed);
+#else
+  return false;
+#endif
+}
+
+HeapSentinel::Totals HeapSentinel::thread_totals() noexcept {
+  Totals t;
+#if defined(CHURNSTORE_HEAP_SENTINEL)
+  const CounterSlot& s = local_slot();
+  t.allocs = s.allocs.load(std::memory_order_relaxed);
+  t.frees = s.frees.load(std::memory_order_relaxed);
+  t.bytes = s.bytes.load(std::memory_order_relaxed);
+#endif
+  return t;
+}
+
+HeapSentinel::Totals HeapSentinel::process_totals() noexcept {
+  Totals t;
+  std::size_t used = g_slots_used.load(std::memory_order_acquire);
+  if (used > kMaxSlots) used = kMaxSlots;
+  for (std::size_t i = 0; i < used; ++i) {
+    t.allocs += g_slots[i].allocs.load(std::memory_order_relaxed);
+    t.frees += g_slots[i].frees.load(std::memory_order_relaxed);
+    t.bytes += g_slots[i].bytes.load(std::memory_order_relaxed);
+  }
+  return t;
+}
+
+void HeapSentinel::force_unavailable_for_testing(bool on) noexcept {
+  g_forced_off.store(on, std::memory_order_relaxed);
+}
+
+}  // namespace churnstore
+
+#if defined(CHURNSTORE_HEAP_SENTINEL)
+// Replacement global allocation functions ([new.delete.single/array]).
+// Every form forwards to malloc/posix_memalign and bumps the calling
+// thread's counter slot; delete counts non-null frees. free() accepts
+// posix_memalign memory, so one delete family serves both.
+
+void* operator new(std::size_t size) {
+  void* p = churnstore::counted_alloc(size);
+  if (p == nullptr) throw std::bad_alloc{};
+  return p;
+}
+
+void* operator new[](std::size_t size) { return ::operator new(size); }
+
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  return churnstore::counted_alloc(size);
+}
+
+void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
+  return churnstore::counted_alloc(size);
+}
+
+void* operator new(std::size_t size, std::align_val_t align) {
+  void* p = churnstore::counted_aligned_alloc(
+      size, static_cast<std::size_t>(align));
+  if (p == nullptr) throw std::bad_alloc{};
+  return p;
+}
+
+void* operator new[](std::size_t size, std::align_val_t align) {
+  return ::operator new(size, align);
+}
+
+void* operator new(std::size_t size, std::align_val_t align,
+                   const std::nothrow_t&) noexcept {
+  return churnstore::counted_aligned_alloc(size,
+                                           static_cast<std::size_t>(align));
+}
+
+void* operator new[](std::size_t size, std::align_val_t align,
+                     const std::nothrow_t&) noexcept {
+  return churnstore::counted_aligned_alloc(size,
+                                           static_cast<std::size_t>(align));
+}
+
+void operator delete(void* p) noexcept { churnstore::counted_free(p); }
+void operator delete[](void* p) noexcept { churnstore::counted_free(p); }
+void operator delete(void* p, std::size_t) noexcept {
+  churnstore::counted_free(p);
+}
+void operator delete[](void* p, std::size_t) noexcept {
+  churnstore::counted_free(p);
+}
+void operator delete(void* p, const std::nothrow_t&) noexcept {
+  churnstore::counted_free(p);
+}
+void operator delete[](void* p, const std::nothrow_t&) noexcept {
+  churnstore::counted_free(p);
+}
+void operator delete(void* p, std::align_val_t) noexcept {
+  churnstore::counted_free(p);
+}
+void operator delete[](void* p, std::align_val_t) noexcept {
+  churnstore::counted_free(p);
+}
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  churnstore::counted_free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  churnstore::counted_free(p);
+}
+void operator delete(void* p, std::align_val_t, const std::nothrow_t&) noexcept {
+  churnstore::counted_free(p);
+}
+void operator delete[](void* p, std::align_val_t,
+                       const std::nothrow_t&) noexcept {
+  churnstore::counted_free(p);
+}
+#endif  // CHURNSTORE_HEAP_SENTINEL

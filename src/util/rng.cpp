@@ -100,4 +100,44 @@ std::vector<std::uint32_t> Rng::sample_without_replacement(
   return out;
 }
 
+void Rng::sample_without_replacement_into(
+    std::uint32_t pool, std::uint32_t k, std::vector<std::uint32_t>& out,
+    std::vector<std::uint32_t>& index_scratch,
+    std::vector<std::uint8_t>& seen_scratch) noexcept {
+  // Mirror of sample_without_replacement, branch for branch and draw for
+  // draw: the two must stay in lockstep or seeded trajectories diverge
+  // depending on which form a caller picked.
+  out.clear();
+  if (k >= pool) {
+    out.resize(pool);
+    for (std::uint32_t i = 0; i < pool; ++i) out[i] = i;
+    shuffle(out);
+    return;
+  }
+  if (k * 3ULL >= pool) {
+    // Dense case: partial Fisher-Yates over the reusable index array.
+    index_scratch.resize(pool);
+    for (std::uint32_t i = 0; i < pool; ++i) index_scratch[i] = i;
+    for (std::uint32_t i = 0; i < k; ++i) {
+      const std::uint32_t j =
+          i + static_cast<std::uint32_t>(next_below(pool - i));
+      std::swap(index_scratch[i], index_scratch[j]);
+      out.push_back(index_scratch[i]);
+    }
+    return;
+  }
+  // Sparse case: rejection against a bitmap instead of a hash set — the
+  // accept/reject outcome per draw is identical (pure membership), so the
+  // draw stream matches the allocating form exactly.
+  if (seen_scratch.size() < pool) seen_scratch.assign(pool, 0);
+  while (out.size() < k) {
+    const auto c = static_cast<std::uint32_t>(next_below(pool));
+    if (!seen_scratch[c]) {
+      seen_scratch[c] = 1;
+      out.push_back(c);
+    }
+  }
+  for (const std::uint32_t c : out) seen_scratch[c] = 0;  // leave all-zero
+}
+
 }  // namespace churnstore

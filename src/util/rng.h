@@ -124,6 +124,19 @@ class Rng {
   [[nodiscard]] std::vector<std::uint32_t> sample_without_replacement(
       std::uint32_t pool, std::uint32_t k) noexcept;
 
+  /// sample_without_replacement into caller-owned buffers: consumes the
+  /// SAME rng draws and produces the SAME sequence (the rejection test
+  /// against `seen_scratch` bits matches the hash-set membership test bit
+  /// for bit), but performs zero heap allocations once the scratch
+  /// capacities have reached steady state — the repeated-sampling form
+  /// hot loops (the churn adversary, every round, forever) must use.
+  /// `index_scratch` is resized to pool in the dense branch;
+  /// `seen_scratch` is grown to pool once and returned all-zero.
+  void sample_without_replacement_into(
+      std::uint32_t pool, std::uint32_t k, std::vector<std::uint32_t>& out,
+      std::vector<std::uint32_t>& index_scratch,
+      std::vector<std::uint8_t>& seen_scratch) noexcept;
+
  private:
   static std::uint64_t rotl_(std::uint64_t x, int k) noexcept {
     return (x << k) | (x >> (64 - k));

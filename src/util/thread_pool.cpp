@@ -47,6 +47,37 @@ void ThreadPool::parallel_for(std::size_t count,
   for (auto& f : futs) f.get();
 }
 
+void ThreadPool::drain_help(std::uint64_t epoch, std::size_t count,
+                            const std::function<void(std::size_t)>& fn) {
+  // Exceptions from fn must neither hang the barrier (a drainer that died
+  // without bumping job_done_) nor unwind the caller's frame while other
+  // drainers still hold `fn`: every drain catches, records the first error,
+  // keeps counting, and the posting caller rethrows after the barrier.
+  const std::uint64_t goal = (epoch << 32) | static_cast<std::uint64_t>(count);
+  std::uint64_t cur = job_claim_.load(std::memory_order_acquire);
+  // job_claim_ is monotonic and was set to (epoch << 32) before this job's
+  // drainers could observe it, so cur < goal already implies the epoch bits
+  // match: the CAS can only claim indices of THIS job.
+  while (cur < goal) {
+    if (!job_claim_.compare_exchange_weak(cur, cur + 1,
+                                          std::memory_order_acq_rel)) {
+      continue;  // cur was reloaded by the failed CAS
+    }
+    const std::size_t i = static_cast<std::size_t>(cur & 0xffffffffULL);
+    try {
+      fn(i);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (!job_error_) job_error_ = std::current_exception();
+    }
+    if (job_done_.fetch_add(1, std::memory_order_acq_rel) + 1 == count) {
+      std::lock_guard<std::mutex> lock(mu_);
+      job_cv_.notify_all();
+    }
+    cur = job_claim_.load(std::memory_order_acquire);
+  }
+}
+
 void ThreadPool::for_each_helping(std::size_t count,
                                   const std::function<void(std::size_t)>& fn) {
   if (count == 0) return;
@@ -54,62 +85,89 @@ void ThreadPool::for_each_helping(std::size_t count,
     fn(0);
     return;
   }
-  struct State {
-    std::atomic<std::size_t> next{0};
-    std::atomic<std::size_t> done{0};
-    std::size_t count = 0;
-    const std::function<void(std::size_t)>* fn = nullptr;
-    std::mutex mu;
-    std::condition_variable cv;
-    std::exception_ptr error;  ///< first throw from fn, guarded by mu
-  };
-  // Helpers may dequeue after this call returned (e.g. the queue was backed
-  // up behind outer tasks); shared ownership keeps the state alive for them.
-  // They can no longer see an index < count by then, so `fn` is never
-  // dereferenced after it goes out of scope.
-  auto st = std::make_shared<State>();
-  st->count = count;
-  st->fn = &fn;
-  // Exceptions from fn must neither hang the barrier (a helper that died
-  // without bumping `done`) nor unwind the caller's frame while helpers
-  // still hold `fn`: every drain catches, records the first error, keeps
-  // counting, and the caller rethrows after the barrier.
-  const auto drain = [](const std::shared_ptr<State>& s) {
-    std::size_t i;
-    while ((i = s->next.fetch_add(1)) < s->count) {
-      try {
-        (*s->fn)(i);
-      } catch (...) {
-        std::lock_guard<std::mutex> lock(s->mu);
-        if (!s->error) s->error = std::current_exception();
+  std::uint64_t epoch = 0;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (job_active_) {
+      // The single job slot is taken: either fn of the active job called
+      // back in (nesting), or another thread is mid-job. Run serially
+      // inline — no lock held, so the active job keeps draining — with the
+      // same run-everything-then-rethrow-first contract.
+      lock.unlock();
+      std::exception_ptr err;
+      for (std::size_t i = 0; i < count; ++i) {
+        try {
+          fn(i);
+        } catch (...) {
+          if (!err) err = std::current_exception();
+        }
       }
-      if (s->done.fetch_add(1) + 1 == s->count) {
-        std::lock_guard<std::mutex> lock(s->mu);
-        s->cv.notify_all();
-      }
+      if (err) std::rethrow_exception(err);
+      return;
     }
-  };
-  const std::size_t helpers = std::min(count - 1, workers_.size());
-  for (std::size_t h = 0; h < helpers; ++h) {
-    submit([st, drain] { drain(st); });
+    job_active_ = true;
+    epoch = ++job_epoch_;
+    job_count_ = count;
+    job_fn_ = &fn;
+    job_error_ = nullptr;
+    job_done_.store(0, std::memory_order_relaxed);
+    job_claim_.store(epoch << 32, std::memory_order_release);
   }
-  drain(st);
-  std::unique_lock<std::mutex> lock(st->mu);
-  st->cv.wait(lock, [&st] { return st->done.load() == st->count; });
-  if (st->error) std::rethrow_exception(st->error);
+  cv_.notify_all();
+  drain_help(epoch, count, fn);
+  std::exception_ptr err;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    job_cv_.wait(lock, [this, count] {
+      return job_done_.load(std::memory_order_acquire) == count;
+    });
+    // Barrier passed: every index ran and returned, so no drainer can still
+    // be inside fn; stale workers fail their epoch-checked CAS harmlessly.
+    job_active_ = false;
+    job_fn_ = nullptr;
+    err = job_error_;
+    job_error_ = nullptr;
+  }
+  if (err) std::rethrow_exception(err);
 }
 
 void ThreadPool::worker_loop() {
   for (;;) {
     std::packaged_task<void()> task;
+    bool help = false;
+    std::uint64_t epoch = 0;
+    std::size_t count = 0;
+    const std::function<void(std::size_t)>* fn = nullptr;
     {
       std::unique_lock<std::mutex> lock(mu_);
-      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      cv_.wait(lock, [this] {
+        // Wake for the fork-join slot only while it still has unclaimed
+        // indices — once they are all claimed the comparison goes false and
+        // workers stop spinning even though job_active_ stays set until the
+        // caller's barrier clears it.
+        return stopping_ || !queue_.empty() ||
+               (job_active_ &&
+                job_claim_.load(std::memory_order_relaxed) <
+                    ((job_epoch_ << 32) | static_cast<std::uint64_t>(job_count_)));
+      });
       if (stopping_ && queue_.empty()) return;
-      task = std::move(queue_.front());
-      queue_.pop();
+      if (!queue_.empty()) {
+        task = std::move(queue_.front());
+        queue_.pop();
+      } else if (job_active_) {
+        help = true;
+        epoch = job_epoch_;
+        count = job_count_;
+        fn = job_fn_;
+      } else {
+        continue;
+      }
     }
-    task();
+    if (help) {
+      drain_help(epoch, count, *fn);
+    } else {
+      task();
+    }
   }
 }
 

@@ -3,8 +3,11 @@
 // synchronization is needed beyond the work queue.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
+#include <exception>
 #include <functional>
 #include <future>
 #include <mutex>
@@ -37,17 +40,43 @@ class ThreadPool {
   /// caller finishes all indices itself, so the nesting can never deadlock —
   /// it only degrades to serial. If fn throws, the remaining indices still
   /// run and the first exception is rethrown here after the barrier.
+  ///
+  /// Dispatch is allocation-free at steady state: the pool owns ONE
+  /// persistent fork-join slot (no per-call task packaging), so the round
+  /// engine's sharded phases stay heap-quiet under HeapQuiesceScope. The
+  /// slot being singular means a nested call — or a second thread calling
+  /// while a job is in flight — runs its indices serially inline, which is
+  /// the same degradation the queue-based version exhibited when the pool
+  /// was saturated by outer tasks.
   void for_each_helping(std::size_t count,
                         const std::function<void(std::size_t)>& fn);
 
  private:
   void worker_loop();
 
+  /// Claim-and-run loop for the active fork-join job, shared by workers
+  /// and the posting caller. `epoch` pins the job generation: the claim
+  /// counter is (epoch << 32) | next_index, so a worker descheduled across
+  /// a job boundary can never claim an index of a later job with this
+  /// job's `fn` (its CAS fails once the epoch bits move on).
+  void drain_help(std::uint64_t epoch, std::size_t count,
+                  const std::function<void(std::size_t)>& fn);
+
   std::vector<std::thread> workers_;
   std::queue<std::packaged_task<void()>> queue_;
   std::mutex mu_;
   std::condition_variable cv_;
   bool stopping_ = false;
+
+  /// --- persistent fork-join slot (for_each_helping) ---------------------
+  bool job_active_ = false;                                 ///< guarded by mu_
+  std::uint64_t job_epoch_ = 0;                             ///< guarded by mu_
+  std::size_t job_count_ = 0;                               ///< guarded by mu_
+  const std::function<void(std::size_t)>* job_fn_ = nullptr;  ///< guarded by mu_
+  std::exception_ptr job_error_;                            ///< guarded by mu_
+  std::atomic<std::uint64_t> job_claim_{0};  ///< (epoch << 32) | next index
+  std::atomic<std::size_t> job_done_{0};     ///< indices finished this job
+  std::condition_variable job_cv_;           ///< caller's completion barrier
 };
 
 }  // namespace churnstore

@@ -181,7 +181,11 @@ void TokenSoup::on_attach(Network& net_ref) {
       }
     }
   }
-  probes_.assign(shards, {});
+  probes_.clear();
+  probes_.reserve(shards);
+  for (std::uint32_t s = 0; s < shards; ++s) {
+    probes_.emplace_back(ArenaAllocator<ProbeDone>(&net().shard_arena(s)));
+  }
   counters_.assign(shards, {});
   fwd_count_.assign(n, 0);
   draws_.assign(shards, std::vector<std::uint32_t>(cap_));
@@ -467,8 +471,15 @@ void TokenSoup::merge_shard(std::uint32_t dst, Round r, Round keep_from) {
     std::uint64_t* s;
     std::uint16_t* m;
   };
-  std::vector<std::uint32_t> cnt(span);
-  std::vector<Cursor> cursor(span);
+  // Scratch draws from this shard's arena (alloc and free both happen on
+  // this task): after the first round both pops come off the freelist, so
+  // the refill stays heap-quiet instead of paying two mallocs per shard
+  // per round.
+  Arena* arena = &net().shard_arena(dst);
+  std::vector<std::uint32_t, ArenaAllocator<std::uint32_t>> cnt(
+      span, ArenaAllocator<std::uint32_t>(arena));
+  std::vector<Cursor, ArenaAllocator<Cursor>> cursor(
+      span, ArenaAllocator<Cursor>(arena));
   for (std::uint32_t p = p0; p <= p1; ++p) {
     const std::uint64_t pstart = std::uint64_t{p} << page_shift_;
     const std::uint64_t pend = std::uint64_t{p + 1} << page_shift_;
@@ -540,7 +551,9 @@ void TokenSoup::on_round_merge() {
   const Vertex n = net().n();
   const std::uint32_t shards = net().shards().count();
   const Round keep_from = r - window_;
-  net().run_sharded([&](std::uint32_t dst) { merge_shard(dst, r, keep_from); });
+  merge_round_ = r;
+  merge_keep_from_ = keep_from;
+  net().run_sharded(merge_task_);
 
   // Serial epilogue. Buckets are cleared here, not in merge_shard: a page
   // that straddles a shard boundary is read by both neighboring shards'

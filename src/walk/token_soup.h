@@ -220,7 +220,9 @@ class TokenSoup final : public Protocol {
   /// own shard's task), phase 2 refills it from the staged handoffs (the
   /// SAME shard's task, since the queue's vertex is the handoff target) —
   /// so no second queue array is needed. At n=1M that halves queue memory.
+  // shardcheck:arena-backed(outer vector sized once at attach/churn in serial context; TokenQueue elements draw from their vertex's shard arena)
   std::vector<TokenQueue> cur_;
+  // shardcheck:arena-backed(outer vector sized once at attach in serial context; SampleBuffer cohort groups draw from the owning shard's arena)
   std::vector<SampleBuffer> samples_;
   ProbeHook probe_hook_;
 
@@ -302,6 +304,17 @@ class TokenSoup final : public Protocol {
   /// handoff buckets (hook-only helper, runs on the dst shard's task).
   void merge_shard(std::uint32_t dst, Round r, Round keep_from);
 
+  /// Sharded merge task, built once: a fresh capturing lambda every round
+  /// would re-wrap into std::function at the run_sharded call and heap-spill
+  /// its closure (>16 bytes), breaking the heap-quiet steady state. The
+  /// round parameters travel through the two members below instead.
+  Round merge_round_ = 0;
+  Round merge_keep_from_ = 0;
+  std::function<void(std::uint32_t)> merge_task_ =
+      [this](std::uint32_t dst) {
+        merge_shard(dst, merge_round_, merge_keep_from_);
+      };
+
   /// [src_shard * pages_ + dst_page]; each bucket allocates from its
   /// SOURCE shard's arena (the source task does all the growing).
   ///
@@ -316,21 +329,28 @@ class TokenSoup final : public Protocol {
   /// canonical order is preserved: scanning (src shard ascending, bucket
   /// append order) within a page files each queue's tokens in exactly the
   /// ascending-global-source order the shard-keyed merge produced.
+  // shardcheck:arena-backed(outer vector sized at attach in serial context; each HandoffBucket draws from its source shard's arena)
   std::vector<HandoffBucket> moves_;
   std::uint32_t page_shift_ = 0;  ///< log2 of the dst-page vertex span
   std::uint32_t pages_ = 1;       ///< total dst pages covering [0, n)
   ShardedArrivals arrivals_;
-  std::vector<std::vector<ProbeDone>> probes_;  ///< per source shard
+  /// Per source shard; each inner vector draws from its shard's arena
+  /// (grown on that shard's task, cleared/read in the serial epilogue).
+  std::vector<std::vector<ProbeDone, ArenaAllocator<ProbeDone>>> probes_;
+  // shardcheck:cold-state(sized to the shard count at attach in serial context; hooks only increment elements in place)
   std::vector<ShardCounters> counters_;         ///< per source shard
+  // shardcheck:cold-state(sized to n at attach in serial context; hooks store per-vertex counts in place)
   std::vector<std::uint32_t> fwd_count_;        ///< per vertex, for metrics
   /// Per-shard scratch for the batched neighbor draws (cap_ entries each):
   /// stream_fill_below writes a vertex's whole batch here, the forward
   /// loop gathers neighbors off it. Only shard s's task touches draws_[s].
+  // shardcheck:cold-state(inner buffers pre-sized to cap_ at attach in serial context; stream_fill_below writes batches in place)
   std::vector<std::vector<std::uint32_t>> draws_;
   /// Per-shard live-token counters: settled by merge_shard (the merged
   /// handoffs are exactly the shard's queue contents), adjusted serially
   /// by inject_probe / on_churn. Replaces the former O(n) queue scan in
   /// tokens_alive().
+  // shardcheck:cold-state(sized to the shard count at attach in serial context; merge_shard settles elements in place)
   std::vector<std::uint64_t> alive_;
 
   /// --- phase-1 scatter strategy (util/wc_buffer.h) ------------------------
@@ -343,6 +363,7 @@ class TokenSoup final : public Protocol {
   /// (u >> (page_shift_ + run_shift_)), at most kMaxRuns per shard so the
   /// run WC table stays L1-resident. [src_shard * runs_n_ + run], each from
   /// its SOURCE shard's arena.
+  // shardcheck:arena-backed(outer vector sized at attach in serial context; run buckets draw from their source shard's arena)
   std::vector<HandoffBucket> runs_;
   std::uint32_t run_shift_ = 0;  ///< log2 pages per run
   std::uint32_t runs_n_ = 0;     ///< runs covering [0, pages_)
@@ -355,7 +376,9 @@ class TokenSoup final : public Protocol {
   /// Per-shard WC front ends. Final buckets are read a whole phase later,
   /// so their full-line flushes stream (non-temporal when enabled); run
   /// buckets are re-read within the chunk, so they use plain stores.
+  // shardcheck:cold-state(WC tables allocated at attach in serial context; the hot path stores through pre-allocated lines)
   std::vector<WcScatter<HandoffBucket, /*kNonTemporal=*/true>> fwc_;
+  // shardcheck:cold-state(WC tables allocated at attach in serial context; the hot path stores through pre-allocated lines)
   std::vector<WcScatter<HandoffBucket, /*kNonTemporal=*/false>> rwc_;
 
   /// Phase-1 forward core, shared by every scatter mode: spawns, draws,

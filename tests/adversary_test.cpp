@@ -11,6 +11,13 @@ std::vector<Round> uniform_births(std::uint32_t n, Round r = 0) {
   return std::vector<Round>(n, r);
 }
 
+std::vector<Vertex> select(Adversary& adv, Round r, std::uint32_t count,
+                           const std::vector<Round>& births) {
+  std::vector<Vertex> out;
+  adv.select(r, count, births, out);
+  return out;
+}
+
 TEST(ChurnSpec, FormulaAndCaps) {
   ChurnSpec spec;
   spec.kind = AdversaryKind::kUniform;
@@ -36,7 +43,7 @@ TEST(Adversary, UniformSelectsDistinctInRange) {
   Adversary adv(AdversaryKind::kUniform, 100, Rng(1));
   const auto births = uniform_births(100);
   for (Round r = 1; r < 50; ++r) {
-    const auto picks = adv.select(r, 17, births);
+    const auto picks = select(adv, r, 17, births);
     EXPECT_EQ(picks.size(), 17u);
     std::set<Vertex> dedup(picks.begin(), picks.end());
     EXPECT_EQ(dedup.size(), picks.size());
@@ -46,7 +53,7 @@ TEST(Adversary, UniformSelectsDistinctInRange) {
 
 TEST(Adversary, CountCappedAtN) {
   Adversary adv(AdversaryKind::kUniform, 10, Rng(2));
-  const auto picks = adv.select(1, 100, uniform_births(10));
+  const auto picks = select(adv, 1, 100, uniform_births(10));
   EXPECT_EQ(picks.size(), 10u);
 }
 
@@ -57,19 +64,19 @@ TEST(Adversary, ObliviousDeterminismIndependentOfCaller) {
   Adversary b(AdversaryKind::kUniform, 64, Rng(9));
   const auto births = uniform_births(64);
   for (Round r = 1; r < 30; ++r) {
-    EXPECT_EQ(a.select(r, 8, births), b.select(r, 8, births));
+    EXPECT_EQ(select(a, r, 8, births), select(b, r, 8, births));
   }
 }
 
 TEST(Adversary, BlockSweepIsContiguousAndCyclic) {
   Adversary adv(AdversaryKind::kBlockSweep, 50, Rng(3));
   const auto births = uniform_births(50);
-  const auto first = adv.select(1, 10, births);
+  const auto first = select(adv, 1, 10, births);
   ASSERT_EQ(first.size(), 10u);
   for (std::size_t i = 1; i < first.size(); ++i) {
     EXPECT_EQ(first[i], (first[i - 1] + 1) % 50);
   }
-  const auto second = adv.select(2, 10, births);
+  const auto second = select(adv, 2, 10, births);
   EXPECT_EQ(second[0], (first.back() + 1) % 50);
 }
 
@@ -78,7 +85,7 @@ TEST(Adversary, RegionRepeatReusesSameVictims) {
   const auto births = uniform_births(200);
   std::set<Vertex> all;
   for (Round r = 1; r <= 20; ++r) {
-    for (const auto v : adv.select(r, 10, births)) all.insert(v);
+    for (const auto v : select(adv, r, 10, births)) all.insert(v);
   }
   // All picks across 20 rounds come from a fixed region of 2*count = 20.
   EXPECT_LE(all.size(), 20u);
@@ -87,7 +94,7 @@ TEST(Adversary, RegionRepeatReusesSameVictims) {
 TEST(Adversary, OldestFirstPicksOldest) {
   Adversary adv(AdversaryKind::kOldestFirst, 10, Rng(5));
   std::vector<Round> births{9, 8, 7, 6, 5, 4, 3, 2, 1, 0};
-  const auto picks = adv.select(1, 3, births);
+  const auto picks = select(adv, 1, 3, births);
   const std::set<Vertex> got(picks.begin(), picks.end());
   EXPECT_EQ(got, (std::set<Vertex>{7, 8, 9}));
 }
@@ -95,14 +102,14 @@ TEST(Adversary, OldestFirstPicksOldest) {
 TEST(Adversary, YoungestFirstPicksYoungest) {
   Adversary adv(AdversaryKind::kYoungestFirst, 10, Rng(6));
   std::vector<Round> births{9, 8, 7, 6, 5, 4, 3, 2, 1, 0};
-  const auto picks = adv.select(1, 3, births);
+  const auto picks = select(adv, 1, 3, births);
   const std::set<Vertex> got(picks.begin(), picks.end());
   EXPECT_EQ(got, (std::set<Vertex>{0, 1, 2}));
 }
 
 TEST(Adversary, NoneSelectsNothing) {
   Adversary adv(AdversaryKind::kNone, 10, Rng(7));
-  EXPECT_TRUE(adv.select(1, 5, uniform_births(10)).empty());
+  EXPECT_TRUE(select(adv, 1, 5, uniform_births(10)).empty());
 }
 
 }  // namespace

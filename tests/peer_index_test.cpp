@@ -1,0 +1,120 @@
+#include "net/peer_index.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "util/heap_sentinel.h"
+#include "util/rng.h"
+
+namespace churnstore {
+namespace {
+
+TEST(PeerIndex, InsertFindEraseBasics) {
+  PeerIndex idx(8);
+  EXPECT_EQ(idx.size(), 0u);
+  EXPECT_FALSE(idx.contains(1));
+
+  idx.insert(1, 10);
+  idx.insert(2, 20);
+  idx.insert(3, 30);
+  EXPECT_EQ(idx.size(), 3u);
+  EXPECT_EQ(idx.find(1), std::optional<Vertex>(10));
+  EXPECT_EQ(idx.find(2), std::optional<Vertex>(20));
+  EXPECT_EQ(idx.find(3), std::optional<Vertex>(30));
+  EXPECT_EQ(idx.find(4), std::nullopt);
+
+  EXPECT_TRUE(idx.erase(2));
+  EXPECT_FALSE(idx.erase(2));
+  EXPECT_EQ(idx.size(), 2u);
+  EXPECT_EQ(idx.find(2), std::nullopt);
+  EXPECT_EQ(idx.find(1), std::optional<Vertex>(10));
+  EXPECT_EQ(idx.find(3), std::optional<Vertex>(30));
+}
+
+TEST(PeerIndex, NoPeerSentinelIsNeverFoundOrErased) {
+  PeerIndex idx(4);
+  EXPECT_FALSE(idx.contains(kNoPeer));
+  EXPECT_FALSE(idx.erase(kNoPeer));
+  EXPECT_EQ(idx.find(kNoPeer), std::nullopt);
+}
+
+TEST(PeerIndex, CapacityIsPowerOfTwoAtLeastFourTimesLive) {
+  for (const std::uint32_t n : {0u, 1u, 3u, 4u, 100u, 1024u}) {
+    const PeerIndex idx(n);
+    const std::size_t cap = idx.capacity();
+    EXPECT_EQ(cap & (cap - 1), 0u) << "n=" << n;
+    EXPECT_GE(cap, 4ull * n) << "n=" << n;
+    EXPECT_GE(cap, 16u) << "n=" << n;
+  }
+}
+
+// Backward-shift deletion must preserve every other key's probe chain.
+// Hammer a full-looking scenario: keys chosen so collisions are plentiful
+// (small table), deletions interleaved with reinserts, cross-checked
+// against std::unordered_map after every operation batch.
+TEST(PeerIndex, MatchesReferenceMapUnderChurnLikeOps) {
+  constexpr std::uint32_t kLive = 64;
+  PeerIndex idx(kLive);
+  std::unordered_map<PeerId, Vertex> ref;
+  Rng rng(42);
+
+  // Seed the live set, mirroring Network: one peer per vertex.
+  PeerId next = 1;
+  std::vector<PeerId> live;
+  for (Vertex v = 0; v < kLive; ++v) {
+    idx.insert(next, v);
+    ref.emplace(next, v);
+    live.push_back(next);
+    ++next;
+  }
+
+  for (int round = 0; round < 2000; ++round) {
+    // Churn: replace a random live peer with a fresh id at the same vertex.
+    const auto pick = static_cast<std::size_t>(rng.next_below(live.size()));
+    const PeerId old = live[pick];
+    const Vertex v = ref.at(old);
+    EXPECT_TRUE(idx.erase(old));
+    ref.erase(old);
+    idx.insert(next, v);
+    ref.emplace(next, v);
+    live[pick] = next;
+    ++next;
+
+    EXPECT_EQ(idx.size(), ref.size());
+    // Every live key maps identically; the one just erased is gone.
+    for (const PeerId p : live) {
+      ASSERT_EQ(idx.find(p), std::optional<Vertex>(ref.at(p))) << "peer " << p;
+    }
+    EXPECT_FALSE(idx.contains(old));
+  }
+  EXPECT_EQ(idx.size(), kLive);
+}
+
+// The class's reason to exist: after init, the churn op mix performs zero
+// heap allocations (the unordered_map it replaced allocated a node per
+// insert). Guarded by the same sentinel that polices run_round.
+TEST(PeerIndex, ChurnOpsAreHeapQuietAfterInit) {
+  if (!HeapSentinel::available()) GTEST_SKIP() << "heap sentinel unavailable";
+  constexpr std::uint32_t kLive = 256;
+  PeerIndex idx(kLive);
+  PeerId next = 1;
+  for (Vertex v = 0; v < kLive; ++v) idx.insert(next++, v);
+
+  Rng rng(7);
+  const HeapQuiesceScope probe;
+  for (int i = 0; i < 10000; ++i) {
+    const PeerId victim = 1 + static_cast<PeerId>(rng.next_below(next - 1));
+    if (const std::optional<Vertex> v = idx.find(victim)) {
+      idx.erase(victim);
+      idx.insert(next++, *v);
+    }
+  }
+  const HeapSentinel::Totals d = probe.delta();
+  EXPECT_EQ(d.allocs, 0u) << d.allocs << " allocs / " << d.bytes << " bytes";
+}
+
+}  // namespace
+}  // namespace churnstore

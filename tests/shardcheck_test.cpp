@@ -343,6 +343,241 @@ int kValue = 3;
   EXPECT_EQ(count_rule(ds, "unused-suppression"), 1) << join(ds);
 }
 
+// --- R6: heap discipline in hot regions --------------------------------------
+
+TEST(ShardcheckR6, NewAndMakeUniqueInShardedHookFire) {
+  const auto ds = check_source("src/p.cpp", R"fix(
+struct P {
+  void on_round_begin(std::uint32_t shard, ShardContext& ctx) {
+    auto* p = new int(3);
+    auto q = std::make_unique<int>(4);
+  }
+};
+)fix");
+  EXPECT_EQ(count_rule(ds, "R6"), 2) << join(ds);
+  EXPECT_TRUE(has_rule_at(ds, "R6", 4)) << join(ds);
+  EXPECT_TRUE(has_rule_at(ds, "R6", 5)) << join(ds);
+}
+
+TEST(ShardcheckR6, LocalContainerFiresButArenaAllocatorIsClean) {
+  const auto ds = check_source("src/p.cpp", R"fix(
+struct P {
+  void on_round_begin(std::uint32_t shard, ShardContext& ctx) {
+    std::vector<int> tmp;
+    std::vector<int, ArenaAllocator<int>> ok(ArenaAllocator<int>(&arena));
+  }
+};
+)fix");
+  EXPECT_EQ(count_rule(ds, "R6"), 1) << join(ds);
+  EXPECT_TRUE(has_rule_at(ds, "R6", 4)) << join(ds);
+}
+
+TEST(ShardcheckR6, StdFunctionConstructionFires) {
+  const auto ds = check_source("src/p.cpp", R"fix(
+struct P {
+  void on_round_begin(std::uint32_t shard, ShardContext& ctx) {
+    std::function<void(int)> cb = [this](int x) { use(x); };
+  }
+};
+)fix");
+  EXPECT_EQ(count_rule(ds, "R6"), 1) << join(ds);
+}
+
+TEST(ShardcheckR6, GrowthOnUnannotatedMemberFiresButArenaBackedIsClean) {
+  const auto ds = check_source("src/p.cpp", R"fix(
+struct P {
+  std::vector<int> raw_;
+  // shardcheck:arena-backed(capacity reserved to n at attach)
+  std::vector<int> backed_;
+  void on_round_begin(std::uint32_t shard, ShardContext& ctx) {
+    raw_.push_back(1);
+    backed_.push_back(2);
+  }
+};
+)fix");
+  EXPECT_EQ(count_rule(ds, "R6"), 1) << join(ds);
+  EXPECT_TRUE(has_rule_at(ds, "R6", 7)) << join(ds);
+}
+
+TEST(ShardcheckR6, ColdStateMemberGrowthInHotRegionStillFires) {
+  // cold-state declares the member is only touched in cold serial context;
+  // growing it from a hot region contradicts the declaration and stays R6
+  // (unlike arena-backed, which removes the member from the growth sets).
+  const auto ds = check_source("src/p.cpp", R"fix(
+struct P {
+  // shardcheck:cold-state(sized once at attach)
+  std::vector<int> cold_;
+  void on_round_begin(std::uint32_t shard, ShardContext& ctx) {
+    cold_.push_back(1);
+  }
+};
+)fix");
+  EXPECT_EQ(count_rule(ds, "R6"), 1) << join(ds);
+  EXPECT_TRUE(has_rule_at(ds, "R6", 6)) << join(ds);
+}
+
+TEST(ShardcheckR6, HotPathAnnotationJoinsR6ButNotR1) {
+  const auto ds = check_source("src/p.cpp", R"fix(
+struct P {
+  Rng rng_;
+  // shardcheck:hot-path(inner forward loop, called from the sharded hooks)
+  void forward() {
+    auto x = rng_.next();
+    auto* p = new int(1);
+  }
+};
+)fix");
+  EXPECT_EQ(count_rule(ds, "R6"), 1) << join(ds);
+  EXPECT_EQ(count_rule(ds, "R1"), 0) << join(ds);
+  EXPECT_TRUE(has_rule_at(ds, "R6", 7)) << join(ds);
+}
+
+TEST(ShardcheckR6, MapSubscriptFiresButFindIsClean) {
+  const auto ds = check_source("src/p.cpp", R"fix(
+struct P {
+  std::unordered_map<int, int> table_;
+  void on_round_begin(std::uint32_t shard, ShardContext& ctx) {
+    table_[7] = 1;
+    auto it = table_.find(7);
+  }
+};
+)fix");
+  EXPECT_EQ(count_rule(ds, "R6"), 1) << join(ds);
+  EXPECT_TRUE(has_rule_at(ds, "R6", 5)) << join(ds);
+}
+
+TEST(ShardcheckR6, StringAppendOnMemberFires) {
+  const auto ds = check_source("src/p.cpp", R"fix(
+struct P {
+  std::string log_;
+  void on_round_begin(std::uint32_t shard, ShardContext& ctx) {
+    log_ += "tick";
+  }
+};
+)fix");
+  EXPECT_EQ(count_rule(ds, "R6"), 1) << join(ds);
+}
+
+TEST(ShardcheckR6, BenchPathIsOutOfScope) {
+  // Heap discipline is a src/ engine contract; bench drivers allocate
+  // freely.
+  const auto ds = check_source("bench/x.cpp", R"fix(
+struct P {
+  void on_round_begin(std::uint32_t shard, ShardContext& ctx) {
+    auto* p = new int(3);
+  }
+};
+)fix");
+  EXPECT_EQ(count_rule(ds, "R6"), 0) << join(ds);
+}
+
+TEST(ShardcheckR6, DeletingArenaBackedAnnotationRestoresTheDiagnostic) {
+  // Acceptance pin: an annotation is load-bearing — stripping it flips the
+  // verdict, so a stale annotation can never silently keep a file green.
+  const std::string annotated = R"fix(
+struct P {
+  // shardcheck:arena-backed(capacity reserved to n at attach)
+  std::vector<int> buf_;
+  void on_round_begin(std::uint32_t shard, ShardContext& ctx) {
+    buf_.push_back(1);
+  }
+};
+)fix";
+  EXPECT_EQ(count_rule(check_source("src/p.cpp", annotated), "R6"), 0);
+  std::string stripped = annotated;
+  const auto pos = stripped.find("  // shardcheck:arena-backed");
+  ASSERT_NE(pos, std::string::npos);
+  stripped.erase(pos, stripped.find('\n', pos) - pos);
+  const auto ds = check_source("src/p.cpp", stripped);
+  EXPECT_EQ(count_rule(ds, "R6"), 1) << join(ds);
+}
+
+// --- R7: arena discipline declared at the member declaration -----------------
+
+TEST(ShardcheckR7, ProtocolDerivedContainerMemberFires) {
+  const auto ds = check_source("src/p.h", R"fix(
+struct P : Protocol {
+  std::vector<int> queue_;
+};
+)fix");
+  EXPECT_EQ(count_rule(ds, "R7"), 1) << join(ds);
+  EXPECT_TRUE(has_rule_at(ds, "R7", 3)) << join(ds);
+}
+
+TEST(ShardcheckR7, ArenaAllocatorSatisfiesTheDeclaration) {
+  const auto ds = check_source("src/p.h", R"fix(
+struct P : Protocol {
+  std::vector<int, ArenaAllocator<int>> queue_;
+};
+)fix");
+  EXPECT_EQ(count_rule(ds, "R7"), 0) << join(ds);
+}
+
+TEST(ShardcheckR7, ArenaBackedAndColdStateAnnotationsSatisfy) {
+  const auto ds = check_source("src/p.h", R"fix(
+struct P : Protocol {
+  // shardcheck:arena-backed(reserved to n at attach)
+  std::vector<int> hot_;
+  // shardcheck:cold-state(rebuilt only on churn, serial context)
+  std::vector<int> cold_;
+};
+)fix");
+  EXPECT_EQ(count_rule(ds, "R7"), 0) << join(ds);
+  EXPECT_EQ(count_rule(ds, "unused-suppression"), 0) << join(ds);
+}
+
+TEST(ShardcheckR7, NonProtocolClassIsClean) {
+  const auto ds = check_source("src/p.h", R"fix(
+struct Helper {
+  std::vector<int> scratch_;
+};
+)fix");
+  EXPECT_EQ(count_rule(ds, "R7"), 0) << join(ds);
+}
+
+TEST(ShardcheckR7, TransitiveDerivationFires) {
+  const auto ds = check_source("src/p.h", R"fix(
+struct Mid : Protocol {};
+struct Deep : Mid {
+  std::vector<int> buf_;
+};
+)fix");
+  EXPECT_EQ(count_rule(ds, "R7"), 1) << join(ds);
+  EXPECT_TRUE(has_rule_at(ds, "R7", 4)) << join(ds);
+}
+
+// --- Options: rule filtering -------------------------------------------------
+
+TEST(ShardcheckOptions, RulesFilterReportsOnlySelected) {
+  shardcheck::Options opts;
+  opts.rules = {"R6"};
+  const auto ds = check_source("src/p.cpp", R"fix(
+int g() { return rand(); }
+struct P {
+  void on_round_begin(std::uint32_t shard, ShardContext& ctx) {
+    auto* p = new int(3);
+  }
+};
+)fix",
+                               nullptr, opts);
+  EXPECT_EQ(count_rule(ds, "R6"), 1) << join(ds);
+  EXPECT_EQ(count_rule(ds, "R4"), 0) << join(ds);
+}
+
+TEST(ShardcheckOptions, SuppressionForDisabledRuleIsNotUnused) {
+  // The R4 diagnostic was filtered away, so its suppression cannot match —
+  // but flagging it unused would force editing suppressions whenever the
+  // rule set narrows, so disabled-rule suppressions are exempt.
+  shardcheck::Options opts;
+  opts.rules = {"R6"};
+  const auto ds = check_source(
+      "src/p.cpp",
+      "int f() { return rand(); }  // shardcheck:ok(R4: fixture)\n", nullptr,
+      opts);
+  EXPECT_EQ(count_rule(ds, "unused-suppression"), 0) << join(ds);
+  EXPECT_TRUE(ds.empty()) << join(ds);
+}
+
 // --- diagnostic formatting ---------------------------------------------------
 
 TEST(ShardcheckFormat, DiagnosticFormatIsFileLineRule) {
@@ -350,6 +585,14 @@ TEST(ShardcheckFormat, DiagnosticFormatIsFileLineRule) {
   ASSERT_EQ(ds.size(), 1u) << join(ds);
   const std::string s = ds[0].format();
   EXPECT_EQ(s.rfind("src/x.cpp:1: [shardcheck-R4] ", 0), 0u) << s;
+}
+
+TEST(ShardcheckFormat, GithubFormatIsWorkflowAnnotation) {
+  const auto ds = check_source("src/x.cpp", "int f() { return rand(); }\n");
+  ASSERT_EQ(ds.size(), 1u) << join(ds);
+  const std::string s = ds[0].format_github();
+  EXPECT_EQ(s.rfind("::error file=src/x.cpp,line=1::[shardcheck-R4] ", 0), 0u)
+      << s;
 }
 
 }  // namespace

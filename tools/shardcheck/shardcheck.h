@@ -1,4 +1,4 @@
-// shardcheck — the repo's determinism linter.
+// shardcheck — the repo's determinism and arena-discipline linter.
 //
 // Statically enforces the ShardContext contract documented in
 // src/core/protocol.h. Rules (see README "Static analysis" for the catalog
@@ -17,19 +17,46 @@
 //       and on mutable static / thread_local state.
 //   R5  pointer-keyed ordering: std::map/std::set keyed on raw pointers,
 //       std::sort over containers of raw pointers.
+//   R6  heap discipline in hot regions (sharded hooks plus functions marked
+//       `// shardcheck:hot-path(reason)`; src/ only): no operator new /
+//       make_unique / make_shared, no std::function construction, no local
+//       std container declarations or temporaries without ArenaAllocator,
+//       and no growth calls (push_back / emplace_back / resize / insert /
+//       reserve / append / assign, map operator[]-insert, += on strings) on
+//       container members not marked `// shardcheck:arena-backed(reason)`.
+//       The runtime counterpart is util/heap_sentinel.h: R6 proves the
+//       steady state heap-quiet lexically, HeapQuiesceScope proves it
+//       empirically — a violation should trip both.
+//   R7  arena boundary declared at the declaration site (src/ only): every
+//       std container member of a Protocol-derived class either takes
+//       ArenaAllocator or carries a `// shardcheck:arena-backed(reason)`
+//       (the member is legitimately mutated from hot regions and is exempt
+//       from R6 growth checks; the reason declares why that is safe —
+//       shard-arena storage, pre-sized capacity, or bounded control-plane
+//       growth) or `// shardcheck:cold-state(reason)`
+//       (storage allocated/resized only in cold serial context — attach,
+//       churn, epilogues; hot code may read/write elements in place, and
+//       growth from hot regions is still R6) annotation, so the memory
+//       contract is visible in review instead of re-derived from maxrss
+//       regressions.
 //
 // "Sharded hook" means: on_round_begin(shard, ctx); on_message(v, m, ctx)
 // of a class whose sharded_dispatch() returns true; and any function marked
 // with a `// shardcheck:sharded-hook(reason)` annotation on the line above
 // its definition (helpers reachable only from sharded hooks). Merge bodies
-// are on_round_merge() / on_dispatch_merge().
+// are on_round_merge() / on_dispatch_merge(). A "hot region" for R6 is any
+// sharded hook plus any `// shardcheck:hot-path(reason)`-annotated
+// function (serial code on the per-round path, e.g. merge helpers).
 //
 // Suppression: `// shardcheck:ok(Rn: reason)` — the reason is mandatory.
 // A trailing comment suppresses its own line; a comment alone on a line
 // suppresses the next code line. A suppression that does not match any
 // diagnostic is itself an error (unused-suppression), so stale suppressions
 // cannot linger; a suppression without a reason is an error
-// (bad-suppression).
+// (bad-suppression). The arena-backed / cold-state / hot-path annotations
+// use the same attachment grammar and the same staleness property: an
+// annotation that attaches to nothing is an error, and deleting a used one
+// flips the exit code.
 #pragma once
 
 #include <map>
@@ -45,12 +72,18 @@ namespace shardcheck {
 struct Diagnostic {
   std::string file;
   int line = 0;
-  std::string rule;     ///< "R1".."R5", "bad-suppression", "unused-suppression"
+  std::string rule;     ///< "R1".."R7", "bad-suppression", "unused-suppression"
   std::string message;
 
   [[nodiscard]] std::string format() const {
     return file + ":" + std::to_string(line) + ": [shardcheck-" + rule + "] " +
            message;
+  }
+  /// GitHub Actions workflow-annotation form: rendered inline on the PR
+  /// diff when printed from a CI step (shardcheck --format=github).
+  [[nodiscard]] std::string format_github() const {
+    return "::error file=" + file + ",line=" + std::to_string(line) +
+           "::[shardcheck-" + rule + "] " + message;
   }
 };
 
@@ -69,25 +102,53 @@ struct Symbols {
   /// Classes whose sharded_dispatch() override returns true (their 3-arg
   /// on_message is a sharded hook).
   std::set<std::string, std::less<>> sharded_dispatch_classes;
+  /// std container members (any class) declared WITHOUT ArenaAllocator and
+  /// WITHOUT an arena-backed annotation — growth calls on these inside hot
+  /// regions are R6. Declared in headers, grown in .cpp hook bodies, hence
+  /// cross-file.
+  std::set<std::string, std::less<>> growth_members;
+  /// Subset of the above that is map-like (std::map / std::unordered_map):
+  /// operator[] on them inserts, so a bare subscript in a hot region is R6.
+  std::set<std::string, std::less<>> map_members;
+  /// Subset declared std::string (operator+= / append allocate).
+  std::set<std::string, std::less<>> string_members;
+  /// class -> direct base classes; R7 resolves "Protocol-derived"
+  /// transitively from this at analyze time.
+  std::map<std::string, std::set<std::string, std::less<>>, std::less<>> bases;
 };
 
 /// Scan one lexed file into `sym` (pass 1).
 void collect_symbols(const LexOutput& lx, Symbols& sym);
 
+/// Analysis options. Default-constructed = every rule enabled.
+struct Options {
+  /// Rules to report, e.g. {"R1","R6"}; empty = all. Structural meta
+  /// diagnostics (bad-suppression, unused-suppression) are always on,
+  /// except that suppressions for disabled rules are exempt from the
+  /// unused-suppression check (their diagnostics were filtered away).
+  std::set<std::string, std::less<>> rules;
+
+  [[nodiscard]] bool enabled(std::string_view rule) const {
+    return rules.empty() || rules.count(rule) > 0;
+  }
+};
+
 /// Analyze one lexed file (pass 2). `path` is the repo-relative path with
-/// forward slashes; it selects the R4 scope (src/ outside src/util/).
-/// Returned diagnostics are post-suppression and include bad-suppression /
-/// unused-suppression meta findings; `suppressed_count`, when non-null,
-/// receives the number of diagnostics silenced by valid suppressions.
+/// forward slashes; it selects the R4 scope (src/ outside src/util/) and
+/// the R6/R7 scope (src/). Returned diagnostics are post-suppression and
+/// include bad-suppression / unused-suppression meta findings;
+/// `suppressed_count`, when non-null, receives the number of diagnostics
+/// silenced by valid suppressions.
 [[nodiscard]] std::vector<Diagnostic> analyze(const std::string& path,
                                               const LexOutput& lx,
                                               const Symbols& sym,
-                                              int* suppressed_count = nullptr);
+                                              int* suppressed_count = nullptr,
+                                              const Options& options = {});
 
 /// Convenience for tests and single-file use: lex + collect + analyze one
 /// buffer as both pass-1 input and pass-2 subject.
 [[nodiscard]] std::vector<Diagnostic> check_source(
     const std::string& path, std::string_view text,
-    int* suppressed_count = nullptr);
+    int* suppressed_count = nullptr, const Options& options = {});
 
 }  // namespace shardcheck
