@@ -18,10 +18,13 @@
 // Keys: chord (net | ring | both), chord-replication, chord-stabilize,
 // chord-replicate, items, searches.
 #include <cmath>
+#include <optional>
 
 #include "baseline/chord.h"
 #include "baseline/chord_net/chord_net.h"
+#include "obs/export.h"
 #include "scenario_common.h"
+#include "stats/histogram.h"
 #include "util/resource.h"
 
 namespace churnstore {
@@ -41,12 +44,23 @@ struct ChordCell {
   double consistency = -1.0;
   double bits_node_round = -1.0;
   double locate_rounds = 0.0;
+  /// Hop-count distribution over successful lookups (protocol histogram)
+  /// and lookup-latency distribution in rounds (scenario-side histogram
+  /// over located searches); < 0 = no mass / not measurable (ring sim).
+  double hops_p50 = -1.0;
+  double hops_p95 = -1.0;
+  double hops_p99 = -1.0;
+  double lat_p50 = -1.0;
+  double lat_p95 = -1.0;
+  double lat_p99 = -1.0;
+  double lat_p999 = -1.0;
 };
 
 /// One measured cell: build the chord stack (net or ring), run the
 /// store -> age -> search workload through the StorageService facade, and
 /// read the protocol's own counters for the hop/health columns.
-ChordCell run_cell(const ScenarioSpec& spec, bool ring) {
+ChordCell run_cell(const ScenarioSpec& spec, bool ring,
+                   const std::string& obs_label) {
   ScenarioSpec cell = spec;
   cell.protocol = "chord";
   cell.extras["chord"] = ring ? "ring" : "net";
@@ -54,6 +68,20 @@ ChordCell run_cell(const ScenarioSpec& spec, bool ring) {
       build_stack(cell.protocol, cell.system_config(), cell.extras);
   P2PSystem& sys = *built.system;
   StorageService& svc = *built.service;
+
+  // obs=jsonl|chrome attaches a per-cell exporter session; each cell gets
+  // its own labelled file. Declared after `built` so the session (whose
+  // trace lanes borrow the network's shard arenas) dies first.
+  ObsConfig obs = obs_config_from_extras(cell.extras);
+  std::optional<ObsSession> session;
+  if (obs.mode != ObsConfig::Mode::kNone) {
+    if (obs.path.empty()) {
+      obs.path = obs.mode == ObsConfig::Mode::kJsonl ? "obs.jsonl"
+                                                     : "obs_trace.json";
+    }
+    obs.path = obs_path_with_label(obs.path, obs_label);
+    session.emplace(sys, obs);
+  }
 
   Rng workload(mix64(cell.seed ^ 0x776f726bULL));
   sys.run_rounds(sys.warmup_rounds());
@@ -91,6 +119,7 @@ ChordCell run_cell(const ScenarioSpec& spec, bool ring) {
   sys.run_rounds(svc.search_timeout() + 4);
 
   RunningStat locate;
+  Histogram latency(0.0, 256.0, 256);
   for (const std::uint64_t sid : sids) {
     const WorkloadOutcome o = svc.search_outcome(sid);
     ++out.searches;
@@ -100,10 +129,18 @@ ChordCell run_cell(const ScenarioSpec& spec, bool ring) {
     }
     if (o.located) {
       ++out.ok;
-      locate.add(static_cast<double>(o.located_round - start));
+      const auto rounds = static_cast<double>(o.located_round - start);
+      locate.add(rounds);
+      latency.add(rounds);
     }
   }
   out.locate_rounds = locate.count() ? locate.mean() : 0.0;
+  if (latency.total() > 0) {
+    out.lat_p50 = latency.quantile(0.50);
+    out.lat_p95 = latency.quantile(0.95);
+    out.lat_p99 = latency.quantile(0.99);
+    out.lat_p999 = latency.quantile(0.999);
+  }
 
   if (const auto* chord = sys.find_protocol<ChordNetProtocol>()) {
     const auto& st = chord->stats();
@@ -113,6 +150,11 @@ ChordCell run_cell(const ScenarioSpec& spec, bool ring) {
                           static_cast<double>(sys.n());
     out.consistency = chord->ring_consistency();
     out.bits_node_round = sys.metrics().mean_bits_per_node_round().mean();
+    if (st.ok_hops.total() > 0) {
+      out.hops_p50 = st.ok_hops.quantile(0.50);
+      out.hops_p95 = st.ok_hops.quantile(0.95);
+      out.hops_p99 = st.ok_hops.quantile(0.99);
+    }
   } else {
     // Ring sim: idealized routing, overlay traffic not charged.
     out.mean_hops = std::ceil(std::log2(static_cast<double>(sys.n())));
@@ -147,9 +189,13 @@ CHURNSTORE_SCENARIO(chord,
     rings = {false};
   }
 
+  // New observability columns are APPENDED so downstream consumers of the
+  // historical BENCH_chord.json column set keep their positions.
   Table t({"variant", "n", "churn/rd", "searches", "censored", "ok rate",
            "avail", "mean hops", "max hops", "hops/log2 n", "joined",
-           "succ consist", "mean bits/node/rd", "locate rds", "maxrss MB"});
+           "succ consist", "mean bits/node/rd", "locate rds", "maxrss MB",
+           "hops p50", "hops p95", "hops p99", "lat p50", "lat p95",
+           "lat p99", "lat p999"});
   for (const std::uint32_t n : base.ns) {
     for (const double cm : {0.0, 0.25 * base.churn.multiplier,
                             0.5 * base.churn.multiplier,
@@ -157,7 +203,11 @@ CHURNSTORE_SCENARIO(chord,
       for (const bool ring : rings) {
         const ScenarioSpec cell =
             at_churn(base, n, cm).with_seed(mix64(base.seed + n));
-        const ChordCell res = run_cell(cell, ring);
+        const std::string obs_label =
+            std::string(ring ? "ring" : "net") + ".n" + std::to_string(n) +
+            ".c" +
+            std::to_string(static_cast<std::int64_t>(cell.churn.per_round(n)));
+        const ChordCell res = run_cell(cell, ring, obs_label);
         const double log2n = std::log2(static_cast<double>(n));
         const std::uint64_t eligible = res.searches - res.censored;
         t.begin_row()
@@ -190,6 +240,23 @@ CHURNSTORE_SCENARIO(chord,
         t.cell(res.locate_rounds, 1)
             .cell(static_cast<double>(peak_rss_bytes()) / (1024.0 * 1024.0),
                   1);
+        // Quantile columns: "n/a" when the histogram has no mass (no
+        // successful lookups) or is unmeasurable (ring sim has no real
+        // routing, so no measured hop distribution).
+        const auto quant = [&t](double v, int precision) {
+          if (v < 0.0) {
+            t.cell("n/a");
+          } else {
+            t.cell(v, precision);
+          }
+        };
+        quant(res.hops_p50, 1);
+        quant(res.hops_p95, 1);
+        quant(res.hops_p99, 1);
+        quant(res.lat_p50, 1);
+        quant(res.lat_p95, 1);
+        quant(res.lat_p99, 1);
+        quant(res.lat_p999, 1);
       }
     }
   }

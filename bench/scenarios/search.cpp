@@ -28,9 +28,12 @@ CHURNSTORE_SCENARIO(search, "E7: retrieval success and latency (Theorem 4)") {
          "vs n and churn; latency grows like log n, success stays ~1");
 
   Runner runner(base);
+  // Tail-latency quantiles appended after the historical columns (same
+  // observations as "locate rds mean", full distribution via locate_hist).
   Table t({"n", "churn/rd", "searches", "censored", "locate rate",
            "fetch rate", "avail", "avail ci95", "locate rds mean",
-           "locate rds max", "tau"});
+           "locate rds max", "tau", "lat p50", "lat p95", "lat p99",
+           "lat p999"});
   std::vector<double> lnns, latencies;
   for (const std::uint32_t n : base.ns) {
     for (const double cm :
@@ -50,6 +53,14 @@ CHURNSTORE_SCENARIO(search, "E7: retrieval success and latency (Theorem 4)") {
           .cell(res.locate_rounds.mean(), 1)
           .cell(res.locate_rounds.max(), 1)
           .cell(static_cast<std::int64_t>(tau));
+      if (res.locate_hist.total() > 0) {
+        t.cell(res.locate_hist.quantile(0.50), 1)
+            .cell(res.locate_hist.quantile(0.95), 1)
+            .cell(res.locate_hist.quantile(0.99), 1)
+            .cell(res.locate_hist.quantile(0.999), 1);
+      } else {
+        t.cell("n/a").cell("n/a").cell("n/a").cell("n/a");
+      }
       if (cm == base.churn.multiplier && res.locate_rounds.count() > 0) {
         lnns.push_back(std::log(static_cast<double>(n)));
         latencies.push_back(res.locate_rounds.mean());

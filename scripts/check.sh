@@ -81,6 +81,40 @@ if [[ "$SMOKE" == "1" ]]; then
     # shellcheck disable=SC2086
     "$DRIVER" --scenario="$sc" $TINY $EXTRA >/dev/null
   done
+  # Observability smoke: the chord scenario with both exporters. Every
+  # emitted file must parse — jsonl line by line, the chrome trace as one
+  # JSON document (the Perfetto-loadability floor).
+  OBS_DIR="$(mktemp -d)"
+  trap 'rm -rf "$OBS_DIR"' EXIT
+  echo "== smoke: chord $TINY obs=jsonl (and obs=chrome) -> $OBS_DIR"
+  # shellcheck disable=SC2086
+  "$DRIVER" --scenario=chord $TINY \
+    obs=jsonl obs-file="$OBS_DIR/obs.jsonl" trace-sample=1 >/dev/null
+  # shellcheck disable=SC2086
+  "$DRIVER" --scenario=chord $TINY \
+    obs=chrome obs-file="$OBS_DIR/obs_trace.json" >/dev/null
+  python3 - "$OBS_DIR" <<'PYEOF'
+import glob, json, sys
+obs_dir = sys.argv[1]
+jsonl = glob.glob(obs_dir + "/obs.*.jsonl")
+chrome = glob.glob(obs_dir + "/obs_trace.*.json")
+assert jsonl, "obs=jsonl produced no files"
+assert chrome, "obs=chrome produced no files"
+for path in jsonl:
+    summaries = 0
+    with open(path) as f:
+        for i, line in enumerate(f):
+            obj = json.loads(line)  # every line must be valid JSON
+            summaries += 1 if obj.get("summary") else 0
+    assert summaries == 1, f"{path}: expected exactly one summary line"
+for path in chrome:
+    with open(path) as f:
+        doc = json.load(f)  # the whole file must be one JSON document
+    events = doc["traceEvents"]
+    assert events, f"{path}: empty traceEvents"
+    assert all("ph" in e for e in events), f"{path}: event without ph"
+print(f"obs smoke: {len(jsonl)} jsonl + {len(chrome)} chrome files parse")
+PYEOF
   echo
   echo "check.sh --smoke: every registered scenario ran at tiny n"
   exit 0

@@ -52,6 +52,21 @@ void ChordNetProtocol::LookupStats::accumulate(const LookupStats& o) noexcept {
   maintenance_messages += o.maintenance_messages;
   transfers += o.transfers;
   joins_completed += o.joins_completed;
+  ok_hops.merge(o.ok_hops);
+}
+
+void ChordNetProtocol::LookupStats::reset() noexcept {
+  searches_ok = 0;
+  searches_failed = 0;
+  stores_ok = 0;
+  stores_failed = 0;
+  hop_messages = 0;
+  ok_hops_sum = 0;
+  ok_hops_max = 0;
+  maintenance_messages = 0;
+  transfers = 0;
+  joins_completed = 0;
+  ok_hops.clear();
 }
 
 ChordNetProtocol::ChordNetProtocol(Options options)
@@ -239,12 +254,29 @@ bool ChordNetProtocol::put(Vertex creator, ItemId item,
   lk.token = nodes_[creator].next_token++;
   lk.deadline = net().round() + deadline_rounds_;
   lk.payload = std::move(payload);
+  // Stores draw a trace id from the same sid counter as searches whether or
+  // not a collector is installed, so the sid sequence (and with it every
+  // downstream draw) is identical in traced and untraced runs.
+  const std::uint64_t tid = mix64(next_sid_++ ^ 0x63737472ULL) | 1;  // "cstr"
+  if (TraceCollector* tc = net().trace_collector();
+      tc != nullptr && tc->sampled(tid)) {
+    lk.trace = tid;
+    lk.started = net().round();
+    tc->record(make_trace_event(tid, lk.started, creator, 0, 0,
+                                RequestClass::kChordStore, TraceEv::kBegin));
+  }
   lookups_[creator].push_back(std::move(lk));
   return true;
 }
 
 std::uint64_t ChordNetProtocol::get(Vertex initiator, ItemId item) {
   const std::uint64_t sid = mix64(next_sid_++ ^ 0x63686f7264ULL) | 1;
+  TraceCollector* tc = net().trace_collector();
+  const bool traced = tc != nullptr && tc->sampled(sid);
+  if (traced) {
+    tc->record(make_trace_event(sid, net().round(), initiator, 0, 0,
+                                RequestClass::kChordSearch, TraceEv::kBegin));
+  }
   SearchRec& rec = records_[sid];
   rec.item = item;
   // Local hit: the initiator already holds a verified replica.
@@ -255,6 +287,11 @@ std::uint64_t ChordNetProtocol::get(Vertex initiator, ItemId item) {
     rec.out.located_round = rec.out.fetched_round = net().round();
     rec.value = it->second.bytes;
     ++totals_.searches_ok;  // serial context: totals mutated directly
+    totals_.ok_hops.add(0.0);
+    if (traced) {
+      tc->record(make_trace_event(sid, net().round(), initiator, 0, 0,
+                                  RequestClass::kChordSearch, TraceEv::kEndOk));
+    }
     return sid;
   }
   Lookup lk;
@@ -263,6 +300,10 @@ std::uint64_t ChordNetProtocol::get(Vertex initiator, ItemId item) {
   lk.sid = sid;
   lk.token = nodes_[initiator].next_token++;
   lk.deadline = net().round() + deadline_rounds_;
+  if (traced) {
+    lk.trace = sid;
+    lk.started = net().round();
+  }
   lookups_[initiator].push_back(std::move(lk));
   return sid;
 }
@@ -351,7 +392,7 @@ void ChordNetProtocol::on_round_begin(std::uint32_t shard, ShardContext& ctx) {
 void ChordNetProtocol::on_round_merge() {
   for (LookupStats& st : shard_stats_) {
     totals_.accumulate(st);
-    st = LookupStats{};
+    st.reset();  // in place: the histogram member must not reallocate
   }
 }
 
@@ -469,8 +510,17 @@ void ChordNetProtocol::advance_lookups(Vertex v, Round now, ShardContext& ctx,
     Lookup& lk = list[read];
     bool finished = false;
     if (now > lk.deadline) {
-      if (lk.kind == Lookup::Kind::kSearch) finish_search_failure(lk, now, st);
-      if (lk.kind == Lookup::Kind::kStore) ++st.stores_failed;
+      if (lk.kind == Lookup::Kind::kSearch) {
+        finish_search_failure(v, lk, now, ctx, st);
+      }
+      if (lk.kind == Lookup::Kind::kStore) {
+        ++st.stores_failed;
+        if (lk.trace != 0) {
+          ctx.trace(make_trace_event(lk.trace, now, v, now - lk.started,
+                                     lk.hops, RequestClass::kChordStore,
+                                     TraceEv::kEndFail));
+        }
+      }
       finished = true;
     } else if (lk.storing) {
       if (now - lk.sent >= static_cast<Round>(2 * options_.lookup_retry)) {
@@ -524,6 +574,7 @@ Message ChordNetProtocol::make_lookup(PeerId src, PeerId dst,
   for (std::size_t i = lk.dead.size() - n; i < lk.dead.size(); ++i) {
     m.words.push_back(lk.dead[i]);
   }
+  m.trace_id = lk.trace;  // 0 (untraced) costs nothing; see Message::size_bits
   return m;
 }
 
@@ -591,6 +642,13 @@ bool ChordNetProtocol::issue_hop(Vertex v, Lookup& lk, Round now,
   lk.sent = now;
   ++lk.hops;
   ++st.hop_messages;
+  if (lk.trace != 0) {
+    ctx.trace(make_trace_event(lk.trace, now, v, kHopIssue, lk.hops,
+                               lk.kind == Lookup::Kind::kStore
+                                   ? RequestClass::kChordStore
+                                   : RequestClass::kChordSearch,
+                               TraceEv::kHop));
+  }
   return false;
 }
 
@@ -655,6 +713,11 @@ bool ChordNetProtocol::complete_resolution(Vertex v, Lookup& lk,
       }
       if (local) {
         ++st.stores_ok;  // a copy exists at the creator's own slot
+        if (lk.trace != 0) {
+          ctx.trace(make_trace_event(lk.trace, now, v, now - lk.started,
+                                     lk.hops, RequestClass::kChordStore,
+                                     TraceEv::kEndOk));
+        }
         return true;
       }
       lk.storing = true;
@@ -698,6 +761,12 @@ bool ChordNetProtocol::advance_fetch(Vertex v, Lookup& lk, Round now,
         ++st.searches_ok;
         st.ok_hops_sum += lk.hops;
         st.ok_hops_max = std::max<std::uint64_t>(st.ok_hops_max, lk.hops);
+        st.ok_hops.add(static_cast<double>(lk.hops));
+        if (lk.trace != 0) {
+          ctx.trace(make_trace_event(lk.trace, now, v, now - lk.started,
+                                     lk.hops, RequestClass::kChordSearch,
+                                     TraceEv::kEndOk));
+        }
         return true;
       }
       ++lk.fetch_idx;
@@ -708,24 +777,33 @@ bool ChordNetProtocol::advance_fetch(Vertex v, Lookup& lk, Round now,
     m.dst = c.peer;
     m.type = MsgType::kChordFetch;
     m.words = {lk.key, lk.token};
+    m.trace_id = lk.trace;
     ctx.send(v, std::move(m));
     lk.hop = c.peer;
     lk.sent = now;
+    if (lk.trace != 0) {
+      ctx.trace(make_trace_event(lk.trace, now, v, kHopFetch, lk.fetch_idx,
+                                 RequestClass::kChordSearch, TraceEv::kHop));
+    }
     return false;
   }
-  finish_search_failure(lk, now, st);
+  finish_search_failure(v, lk, now, ctx, st);
   return true;
 }
 
 // shardcheck:sharded-hook(called from both sharded lanes: round begin and dispatch)
-void ChordNetProtocol::finish_search_failure(const Lookup& lk, Round now,
+void ChordNetProtocol::finish_search_failure(Vertex v, const Lookup& lk,
+                                             Round now, ShardContext& ctx,
                                              LookupStats& st) {
-  (void)now;
   const auto it = records_.find(lk.sid);
   if (it != records_.end() && !it->second.out.done) {
     it->second.out.done = true;
   }
   ++st.searches_failed;
+  if (lk.trace != 0) {
+    ctx.trace(make_trace_event(lk.trace, now, v, now - lk.started, lk.hops,
+                               RequestClass::kChordSearch, TraceEv::kEndFail));
+  }
 }
 
 // shardcheck:sharded-hook(called from the sharded on_round_begin lane)
@@ -836,8 +914,18 @@ bool ChordNetProtocol::on_message(Vertex v, const Message& m,
           fwd.dst = next.peer;
           fwd.type = MsgType::kChordLookup;
           fwd.words = m.words;  // key/token/want/origin/dead ride along
+          fwd.trace_id = m.trace_id;
           ctx.send(v, std::move(fwd));
           ++st.hop_messages;
+          if (m.trace_id != 0) {
+            // Router-side hop: the trace id rides the message, so forwards
+            // made far from the initiator still land in its span.
+            ctx.trace(make_trace_event(m.trace_id, net().round(), v,
+                                       kHopForward, 0,
+                                       want_data ? RequestClass::kChordSearch
+                                                 : RequestClass::kChordStore,
+                                       TraceEv::kHop));
+          }
           append_entries(next, {});
         }
       }
@@ -1018,6 +1106,12 @@ bool ChordNetProtocol::on_message(Vertex v, const Message& m,
           ++st.searches_ok;
           st.ok_hops_sum += lk.hops;
           st.ok_hops_max = std::max<std::uint64_t>(st.ok_hops_max, lk.hops);
+          st.ok_hops.add(static_cast<double>(lk.hops));
+          if (lk.trace != 0) {
+            ctx.trace(make_trace_event(lk.trace, now, v, now - lk.started,
+                                       lk.hops, RequestClass::kChordSearch,
+                                       TraceEv::kEndOk));
+          }
           finished = true;
         } else {
           // Holder answered but had no (valid) copy: try the next candidate.
@@ -1064,6 +1158,12 @@ bool ChordNetProtocol::on_message(Vertex v, const Message& m,
       for (std::size_t i = 0; i < list.size(); ++i) {
         if (list[i].token != token || !list[i].storing) continue;
         ++st.stores_ok;
+        if (list[i].trace != 0) {
+          ctx.trace(make_trace_event(list[i].trace, now, v,
+                                     now - list[i].started, list[i].hops,
+                                     RequestClass::kChordStore,
+                                     TraceEv::kEndOk));
+        }
         list.erase(list.begin() + static_cast<std::ptrdiff_t>(i));
         break;
       }

@@ -38,6 +38,7 @@
 #include "core/protocol.h"
 #include "core/service.h"
 #include "net/network.h"
+#include "stats/histogram.h"
 #include "net/periodic.h"
 
 namespace churnstore {
@@ -74,6 +75,10 @@ class ChordNetProtocol final : public Protocol, public StorageService {
     std::uint64_t maintenance_messages = 0;  ///< stabilize/notify/replies
     std::uint64_t transfers = 0;             ///< replica pushes + handovers
     std::uint64_t joins_completed = 0;
+    /// Full hop-count distribution over successful searches (unit bins over
+    /// [0, 256)); sum/max above stay for the legacy columns, this feeds the
+    /// E14 p50/p95/p99 hop columns and the obs exports.
+    Histogram ok_hops{0.0, 256.0, 256};
 
     [[nodiscard]] double mean_hops() const noexcept {
       return searches_ok ? static_cast<double>(ok_hops_sum) /
@@ -87,6 +92,9 @@ class ChordNetProtocol final : public Protocol, public StorageService {
                   : 0.0;
     }
     void accumulate(const LookupStats& o) noexcept;
+    /// Zero every counter and histogram count in place (no reallocation —
+    /// the per-round shard-stats reset runs on the round path).
+    void reset() noexcept;
   };
 
   ChordNetProtocol() : ChordNetProtocol(Options{}) {}
@@ -179,6 +187,8 @@ class ChordNetProtocol final : public Protocol, public StorageService {
     bool fetching = false;
     bool storing = false;  ///< transfers sent, awaiting a kChordStoreAck
     std::uint32_t fetch_idx = 0;
+    std::uint64_t trace = 0;  ///< sampled trace id (0 = untraced)
+    Round started = 0;        ///< round the request was issued (traced only)
     std::vector<Entry> candidates;       ///< holder + successors, once found
     std::vector<PeerId> dead;            ///< timed-out peers, never re-tried
     std::vector<std::uint8_t> payload;   ///< kStore: bytes to place
@@ -228,7 +238,8 @@ class ChordNetProtocol final : public Protocol, public StorageService {
                            Round now, ShardContext& ctx, LookupStats& st);
   bool advance_fetch(Vertex v, Lookup& lk, Round now, ShardContext& ctx,
                      LookupStats& st);
-  void finish_search_failure(const Lookup& lk, Round now, LookupStats& st);
+  void finish_search_failure(Vertex v, const Lookup& lk, Round now,
+                             ShardContext& ctx, LookupStats& st);
   [[nodiscard]] bool verify_payload(ItemId item,
                                     const std::uint8_t* data,
                                     std::size_t len) const;

@@ -65,6 +65,13 @@ std::uint64_t KWalkerSearch::search(Vertex initiator, ItemId item,
   for (std::uint32_t i = 0; i < options_.walkers; ++i) {
     walkers_.push_back(Walker{sid, item, initiator, ttl});
   }
+  if (TraceCollector* tc = net().trace_collector();
+      tc != nullptr && tc->sampled(sid)) {
+    traced_.push_back(TracedProbe{sid, initiator});
+    tc->record(make_trace_event(sid, net().round(), initiator, 0,
+                                options_.walkers, RequestClass::kWalkerProbe,
+                                TraceEv::kBegin));
+  }
   return sid;
 }
 
@@ -159,6 +166,39 @@ void KWalkerSearch::on_round_merge() {
     walkers_.insert(walkers_.end(), stage.survivors.begin(),
                     stage.survivors.end());
     stage.survivors.clear();
+  }
+
+  // Resolve sampled probes (serial; traced_ is empty unless sampling hit).
+  // A probe ends ok the round its outcome flips done, and ends failed once
+  // no walker of its sid survives (all TTLs expired or churned out).
+  if (!traced_.empty()) {
+    std::size_t write = 0;
+    for (std::size_t read = 0; read < traced_.size(); ++read) {
+      const TracedProbe& tp = traced_[read];
+      const auto out_it = outcomes_.find(tp.sid);
+      if (out_it != outcomes_.end() && out_it->second.done) {
+        net().trace_serial(make_trace_event(
+            tp.sid, now, tp.initiator, out_it->second.rounds_taken,
+            options_.walkers, RequestClass::kWalkerProbe, TraceEv::kEndOk));
+        continue;
+      }
+      bool alive = false;
+      for (const Walker& w : walkers_) {
+        if (w.sid == tp.sid) {
+          alive = true;
+          break;
+        }
+      }
+      if (!alive) {
+        net().trace_serial(make_trace_event(
+            tp.sid, now, tp.initiator, now - start_round_[tp.sid],
+            options_.walkers, RequestClass::kWalkerProbe, TraceEv::kEndFail));
+        continue;
+      }
+      if (write != read) traced_[write] = traced_[read];
+      ++write;
+    }
+    traced_.resize(write);
   }
 }
 

@@ -106,6 +106,15 @@ class KWalkerSearch final : public Protocol, public StorageService {
   std::unordered_map<std::uint64_t, SearchOutcome> outcomes_;
   // shardcheck:cold-state(mutated only from the serial search() API path)
   std::unordered_map<std::uint64_t, Round> start_round_;
+  /// Sampled probes awaiting an end event (obs/trace.h). Resolved in the
+  /// serial merge: success when the outcome flips done, failure when no
+  /// walker of the sid survives. Usually empty (only sampled probes).
+  struct TracedProbe {
+    std::uint64_t sid;
+    Vertex initiator;
+  };
+  // shardcheck:cold-state(mutated only in serial search()/merge context)
+  std::vector<TracedProbe> traced_;
   /// Walker-index partition for the current round (set in the prologue).
   ShardPlan walker_plan_;
   /// Per-shard staging: surviving walkers and this round's hits, merged in

@@ -22,6 +22,7 @@ void StoreSearchResult::merge(const StoreSearchResult& o) {
   censored += o.censored;
   locate_rounds.merge(o.locate_rounds);
   fetch_rounds.merge(o.fetch_rounds);
+  locate_hist.merge(o.locate_hist);
   copies_alive.merge(o.copies_alive);
   landmarks_alive.merge(o.landmarks_alive);
   availability.merge(o.availability);
@@ -126,8 +127,9 @@ StoreSearchResult drive_store_search(P2PSystem& sys, StorageService& svc,
       }
       if (out.located) {
         ++res.located;
-        res.locate_rounds.add(
-            static_cast<double>(out.located_round - batch_start));
+        const auto rounds = static_cast<double>(out.located_round - batch_start);
+        res.locate_rounds.add(rounds);
+        res.locate_hist.add(rounds);
       }
       if (out.fetched) {
         ++res.fetched;

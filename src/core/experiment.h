@@ -14,6 +14,7 @@
 
 #include "core/scenario.h"
 #include "core/system.h"
+#include "stats/histogram.h"
 #include "stats/summary.h"
 
 namespace churnstore {
@@ -27,6 +28,9 @@ struct StoreSearchResult {
   std::uint64_t censored = 0;  ///< initiator churned out mid-search
   RunningStat locate_rounds;   ///< rounds from start to locate, successes only
   RunningStat fetch_rounds;
+  /// Full locate-latency distribution (same observations as locate_rounds)
+  /// so scenarios can print tail quantiles, not just the mean.
+  Histogram locate_hist{0.0, 256.0, 256};
   RunningStat copies_alive;       ///< sampled at search time, per item
   RunningStat landmarks_alive;
   /// Per-trial summaries: each trial contributes ONE observation, so after

@@ -107,6 +107,13 @@ class ShardContext {
   void charge(Vertex v, std::uint64_t bits) {
     net_.charge_sharded(shard_, v, bits);
   }
+  /// True when a TraceCollector is installed (span events will be kept).
+  [[nodiscard]] bool tracing() const noexcept {
+    return net_.trace_collector() != nullptr;
+  }
+  /// Stage a request-trace event on this shard's lane (obs/trace.h);
+  /// merged in canonical order with the message lanes. No-op untraced.
+  void trace(const TraceEvent& ev) { net_.trace_sharded(shard_, ev); }
 
  private:
   Network& net_;

@@ -53,6 +53,8 @@ std::set<std::string>& extra_key_registry() {
       // scenario knobs
       "baseline-sps", "counters", "horizon-taus", "measure-rounds", "periods",
       "probes", "scatter", "shard-sweep", "steps",
+      // observability (obs/export.h)
+      "obs", "obs-file", "obs-host", "trace-sample",
       // stack knobs (core/stacks.cpp builders)
       "chord", "chord-replicate", "chord-replication", "chord-stabilize",
       "flood-refresh", "probes-per-round", "replication", "replication-mult",

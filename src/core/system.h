@@ -21,6 +21,7 @@
 //   auto sys2 = P2PSystem::with_protocols(cfg, std::move(mods));
 #pragma once
 
+#include <algorithm>
 #include <chrono>
 #include <cstdint>
 #include <memory>
@@ -72,6 +73,17 @@ struct RoundHeapStats {
   void reset() noexcept { *this = RoundHeapStats{}; }
 };
 
+class P2PSystem;
+
+/// End-of-round callback for exporters (obs/export.h): runs after the
+/// round's protocols, delivery, heap accounting, and trace drain, so it
+/// observes the finished round. Explicitly cold-path — anything it
+/// allocates is exporter overhead, excluded from heap_stats().
+struct RoundObserver {
+  virtual ~RoundObserver() = default;
+  virtual void on_round_observed(P2PSystem& sys) = 0;
+};
+
 class P2PSystem {
  public:
   /// Build the paper's full protocol stack.
@@ -120,7 +132,19 @@ class P2PSystem {
   [[nodiscard]] const RoundPhaseTimers& phase_timers() const noexcept {
     return phase_timers_;
   }
-  void reset_phase_timers() noexcept { phase_timers_.reset(); }
+  void reset_phase_timers() noexcept {
+    phase_timers_.reset();
+    std::fill(protocol_secs_.begin(), protocol_secs_.end(), 0.0);
+  }
+  /// Cumulative round-hook seconds per registered protocol (index-aligned
+  /// with protocols()); accumulated only while phase timing is enabled.
+  /// The chrome-trace exporter renders these as per-protocol segments.
+  [[nodiscard]] const std::vector<double>& protocol_secs() const noexcept {
+    return protocol_secs_;
+  }
+
+  /// Install (or clear, with nullptr) the end-of-round observer (borrowed).
+  void set_round_observer(RoundObserver* obs) noexcept { observer_ = obs; }
 
   /// Global-heap traffic per round (HeapSentinel deltas around run_round).
   /// The steady-state proof reads: reset, run K rounds, assert allocs == 0
@@ -220,7 +244,10 @@ class P2PSystem {
   std::unique_ptr<Network> net_;
   std::vector<std::unique_ptr<Protocol>> protocols_;
   RoundPhaseTimers phase_timers_;
+  /// Per-protocol cumulative round-hook seconds (see protocol_secs()).
+  std::vector<double> protocol_secs_;
   RoundHeapStats heap_stats_;
+  RoundObserver* observer_ = nullptr;
   /// Per-shard lists of paused dispatch chains (reused across rounds).
   std::vector<std::vector<PendingDispatch>> dispatch_pending_;
 

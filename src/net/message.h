@@ -77,10 +77,16 @@ struct Message {
   SmallVec<std::uint8_t, kInlineBlobBytes> blob;
   /// Additional opaque bits charged but not materialized.
   std::uint64_t payload_bits = 0;
+  /// Optional request-trace correlation id (obs/trace.h); 0 = untraced. A
+  /// set id is charged as one extra header word below, so traced runs
+  /// account their own overhead honestly while untraced messages cost
+  /// exactly what they did before tracing existed.
+  std::uint64_t trace_id = 0;
 
   [[nodiscard]] std::uint64_t size_bits() const noexcept {
     return 3 * 64 + 64 * static_cast<std::uint64_t>(words.size()) +
-           8 * static_cast<std::uint64_t>(blob.size()) + payload_bits;
+           8 * static_cast<std::uint64_t>(blob.size()) + payload_bits +
+           (trace_id != 0 ? 64 : 0);
   }
 };
 

@@ -35,7 +35,7 @@ Network::Network(const SimConfig& config)
                             ? config.shards
                             : std::max(1u, std::thread::hardware_concurrency())),
       inbox_(config.n),
-      metrics_(config.n) {
+      metrics_(config.n, shards_.count()) {
   arenas_.reserve(shards_.count());
   shard_lanes_.reserve(shards_.count());
   deliver_buckets_.resize(shards_.count());
@@ -162,6 +162,10 @@ void Network::flush_shard_lanes() {
     for (const auto& [v, bits] : lane.charges) metrics_.charge_bits(v, bits);
     lane.charges.clear();
   }
+  // Trace lanes merge at exactly the message-lane merge points, so the
+  // trace stream inherits the same canonical (phase, shard, vertex) order
+  // for every shard count.
+  if (trace_ != nullptr) trace_->flush_lanes();
 }
 
 void Network::deliver() {
@@ -189,7 +193,7 @@ void Network::deliver() {
   run_sharded([this](std::uint32_t s) {
     for (const auto& [i, v] : deliver_buckets_[s]) {
       Message& m = outbox_[i];
-      metrics_.charge_bits_local(v, m.size_bits());
+      metrics_.charge_bits_local(v, m.size_bits(), s);
       inbox_[v].push_back(std::move(m));
     }
   });

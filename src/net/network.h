@@ -38,6 +38,7 @@
 #include "net/event_bus.h"
 #include "net/message.h"
 #include "net/metrics.h"
+#include "obs/trace.h"
 #include "net/types.h"
 #include "util/arena.h"
 #include "util/rng.h"
@@ -133,6 +134,27 @@ class Network {
     metrics_.charge_bits(v, bits);
   }
 
+  /// --- request tracing -----------------------------------------------------
+  /// Install (or clear, with nullptr) the trace collector. Borrowed, not
+  /// owned; the collector must be bound to THIS network (its lanes draw
+  /// from the shard arenas) and destroyed before it. With none installed
+  /// the trace hooks below are branch-and-return no-ops.
+  void set_trace_collector(TraceCollector* tc) noexcept { trace_ = tc; }
+  [[nodiscard]] TraceCollector* trace_collector() const noexcept {
+    return trace_;
+  }
+  /// Stage a trace event on `shard`'s lane (sharded hooks route here via
+  /// ShardContext::trace); merged canonically at the next lane flush.
+  // shardcheck:sharded-hook(forwards to the caller shard's trace lane; no cross-shard state)
+  void trace_sharded(std::uint32_t shard, const TraceEvent& ev) {
+    if (trace_ != nullptr) trace_->lane_append(shard, ev);
+  }
+  /// Record a trace event from serial context (request start/finish).
+  // shardcheck:hot-path(appends to the collector's recycled merged log)
+  void trace_serial(const TraceEvent& ev) {
+    if (trace_ != nullptr) trace_->record(ev);
+  }
+
   /// --- events -------------------------------------------------------------
   [[nodiscard]] EventBus& events() noexcept { return events_; }
   [[nodiscard]] const EventBus& events() const noexcept { return events_; }
@@ -225,6 +247,7 @@ class Network {
   std::uint64_t churn_events_ = 0;
 
   ThreadPool* worker_pool_ = nullptr;
+  TraceCollector* trace_ = nullptr;
 };
 
 }  // namespace churnstore

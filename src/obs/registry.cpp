@@ -1,0 +1,129 @@
+#include "obs/registry.h"
+
+#include <string>
+
+#include "core/system.h"
+#include "obs/trace.h"
+#include "util/heap_sentinel.h"
+
+namespace churnstore {
+
+void MetricsRegistry::add(std::string name, Read read) {
+  entries_.push_back(Entry{std::move(name), std::move(read), nullptr});
+}
+
+void MetricsRegistry::add_gated(std::string name, Read read, Ok ok) {
+  entries_.push_back(Entry{std::move(name), std::move(read), std::move(ok)});
+}
+
+void MetricsRegistry::add_histogram(std::string name, const Histogram* hist) {
+  histograms_.emplace_back(std::move(name), hist);
+}
+
+std::vector<MetricsRegistry::Sample> MetricsRegistry::snapshot() const {
+  std::vector<Sample> out;
+  out.reserve(entries_.size() + 5 * histograms_.size());
+  for (const Entry& e : entries_) {
+    Sample s;
+    s.name = e.name;
+    s.ok = !e.ok || e.ok();
+    s.value = s.ok ? e.read() : 0.0;
+    out.push_back(std::move(s));
+  }
+  for (const auto& [name, hist] : histograms_) {
+    const bool has_mass = hist->total() > 0;
+    const auto q = [&](const char* suffix, double quant) {
+      Sample s;
+      s.name = name + suffix;
+      s.ok = has_mass;
+      s.value = has_mass ? hist->quantile(quant) : 0.0;
+      out.push_back(std::move(s));
+    };
+    q(".p50", 0.50);
+    q(".p95", 0.95);
+    q(".p99", 0.99);
+    q(".p999", 0.999);
+    Sample c;
+    c.name = name + ".count";
+    c.value = static_cast<double>(hist->total());
+    out.push_back(std::move(c));
+  }
+  return out;
+}
+
+void register_standard_metrics(MetricsRegistry& reg, P2PSystem& sys) {
+  Metrics& m = sys.network().metrics();
+  const auto counter = [&reg, &m](const char* name,
+                                  std::uint64_t (Metrics::*get)()
+                                      const noexcept) {
+    reg.add(name, [&m, get] { return static_cast<double>((m.*get)()); });
+  };
+  counter("rounds", &Metrics::rounds);
+  counter("bits.total", &Metrics::total_bits);
+  counter("messages.total", &Metrics::total_messages);
+  counter("messages.dropped", &Metrics::dropped_messages);
+  counter("tokens.spawned", &Metrics::tokens_spawned);
+  counter("tokens.completed", &Metrics::tokens_completed);
+  counter("tokens.lost", &Metrics::tokens_lost);
+  counter("committees.formed", &Metrics::committees_formed);
+  counter("committees.lost", &Metrics::committees_lost);
+  counter("landmarks.created", &Metrics::landmarks_created);
+  reg.add("churn.events", [&sys] {
+    return static_cast<double>(sys.network().churn_events());
+  });
+  reg.add("bits.node_round.last_max",
+          [&m] { return static_cast<double>(m.last_round_max_bits()); });
+  reg.add("bits.node_round.last_mean",
+          [&m] { return m.last_round_mean_bits(); });
+
+  // Wall-clock phase timers: valid only while phase timing is enabled.
+  const auto phase = [&reg, &sys](const char* name,
+                                  double RoundPhaseTimers::*field) {
+    reg.add_gated(
+        name, [&sys, field] { return sys.phase_timers().*field; },
+        [&sys] { return sys.phase_timers().enabled; });
+  };
+  phase("secs.churn", &RoundPhaseTimers::churn_secs);
+  phase("secs.soup", &RoundPhaseTimers::soup_secs);
+  phase("secs.handlers", &RoundPhaseTimers::handler_secs);
+  phase("secs.deliver", &RoundPhaseTimers::deliver_secs);
+  phase("secs.dispatch", &RoundPhaseTimers::dispatch_secs);
+
+  // Heap-sentinel round stats: "unknown" (not zero) when the sentinel is
+  // compiled out or force-disabled.
+  const auto heap = [&reg, &sys](const char* name,
+                                 std::uint64_t RoundHeapStats::*field) {
+    reg.add_gated(
+        name,
+        [&sys, field] {
+          return static_cast<double>(sys.heap_stats().*field);
+        },
+        [] { return HeapSentinel::available(); });
+  };
+  heap("heap.rounds", &RoundHeapStats::rounds);
+  heap("heap.allocs", &RoundHeapStats::allocs);
+  heap("heap.frees", &RoundHeapStats::frees);
+  heap("heap.bytes", &RoundHeapStats::bytes);
+}
+
+void register_trace_metrics(MetricsRegistry& reg, const TraceCollector& tc) {
+  for (std::size_t c = 0; c < kRequestClassCount; ++c) {
+    const auto cls = static_cast<RequestClass>(c);
+    const std::string base = std::string("trace.") + request_class_name(cls);
+    reg.add(base + ".begun",
+            [&tc, cls] { return static_cast<double>(tc.spans_begun(cls)); });
+    reg.add(base + ".ok",
+            [&tc, cls] { return static_cast<double>(tc.spans_ok(cls)); });
+    reg.add(base + ".failed",
+            [&tc, cls] { return static_cast<double>(tc.spans_failed(cls)); });
+    reg.add(base + ".censored", [&tc, cls] {
+      return static_cast<double>(tc.spans_censored(cls));
+    });
+    reg.add_histogram(base + ".latency_rounds", &tc.latency(cls));
+    reg.add_histogram(base + ".hops", &tc.hops(cls));
+  }
+  reg.add("trace.events",
+          [&tc] { return static_cast<double>(tc.events_recorded()); });
+}
+
+}  // namespace churnstore

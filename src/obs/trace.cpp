@@ -1,0 +1,92 @@
+#include "obs/trace.h"
+
+#include "net/network.h"
+
+namespace churnstore {
+
+namespace {
+// Histogram shapes are part of the export contract: latency in rounds,
+// unit bins over [0, 1024); hop metric, unit bins over [0, 256). Bin
+// midpoints land on x + 0.5, so quantiles read back as value + 0.5.
+constexpr double kLatencyLo = 0.0;
+constexpr double kLatencyHi = 1024.0;
+constexpr std::size_t kLatencyBins = 1024;
+constexpr double kHopsLo = 0.0;
+constexpr double kHopsHi = 256.0;
+constexpr std::size_t kHopsBins = 256;
+}  // namespace
+
+const char* request_class_name(RequestClass cls) noexcept {
+  switch (cls) {
+    case RequestClass::kChordSearch:
+      return "chord-search";
+    case RequestClass::kChordStore:
+      return "chord-store";
+    case RequestClass::kSearch:
+      return "search";
+    case RequestClass::kStore:
+      return "store";
+    case RequestClass::kWalkerProbe:
+      return "walker-probe";
+  }
+  return "unknown";
+}
+
+TraceCollector::TraceCollector(std::uint64_t seed, std::uint32_t sample_every)
+    : sample_key_(mix64(seed ^ 0x7472616365ULL)),  // "trace"
+      sample_every_(sample_every) {
+  latency_.reserve(kRequestClassCount);
+  hops_.reserve(kRequestClassCount);
+  for (std::size_t c = 0; c < kRequestClassCount; ++c) {
+    latency_.emplace_back(kLatencyLo, kLatencyHi, kLatencyBins);
+    hops_.emplace_back(kHopsLo, kHopsHi, kHopsBins);
+  }
+}
+
+void TraceCollector::bind(Network& net) {
+  lanes_.clear();
+  const std::uint32_t shards = net.shards().count();
+  lanes_.reserve(shards);
+  for (std::uint32_t s = 0; s < shards; ++s) {
+    lanes_.emplace_back(ArenaAllocator<TraceEvent>(&net.shard_arena(s)));
+  }
+}
+
+// shardcheck:hot-path(serial lane merge on the per-round path; appends into the recycled merged log, lanes cleared capacity-kept)
+void TraceCollector::flush_lanes() {
+  for (Lane& lane : lanes_) {
+    if (lane.empty()) continue;
+    log_.insert(log_.end(), lane.begin(), lane.end());
+    lane.clear();
+  }
+}
+
+void TraceCollector::end_round(Round round) {
+  flush_lanes();  // catch serial-context lane stragglers (none expected)
+  for (const TraceEvent& e : log_) {
+    const auto c = static_cast<std::size_t>(e.cls);
+    switch (static_cast<TraceEv>(e.ev)) {
+      case TraceEv::kBegin:
+        ++begun_[c];
+        break;
+      case TraceEv::kHop:
+        break;
+      case TraceEv::kEndOk:
+        ++ok_[c];
+        latency_[c].add(static_cast<double>(e.detail));
+        hops_[c].add(static_cast<double>(e.hop));
+        break;
+      case TraceEv::kEndFail:
+        ++failed_[c];
+        break;
+      case TraceEv::kEndCensored:
+        ++censored_[c];
+        break;
+    }
+  }
+  events_recorded_ += log_.size();
+  if (consumer_ && !log_.empty()) consumer_(round, log_.data(), log_.size());
+  log_.clear();  // capacity kept: next round's appends recycle it
+}
+
+}  // namespace churnstore

@@ -38,14 +38,27 @@ double Histogram::bin_hi(std::size_t bin) const noexcept {
 
 double Histogram::quantile(double q) const noexcept {
   if (total_ == 0) return lo_;
+  if (!(q > 0.0)) q = 0.0;  // negative and NaN both mean "the minimum"
+  if (q > 1.0) q = 1.0;
   const auto target = static_cast<std::uint64_t>(
       q * static_cast<double>(total_));
   std::uint64_t acc = 0;
+  std::size_t last_nonempty = 0;
   for (std::size_t i = 0; i < counts_.size(); ++i) {
+    if (counts_[i] != 0) last_nonempty = i;
     acc += counts_[i];
     if (acc > target) return (bin_lo(i) + bin_hi(i)) / 2.0;
   }
-  return hi_;
+  // q == 1: target == total, so the scan consumed every count without ever
+  // exceeding the target. The answer is the highest OBSERVED bin — returning
+  // hi_ here (the old behavior) invented a value beyond the data whenever
+  // all mass sat in lower bins (e.g. a single clamped edge bin).
+  return (bin_lo(last_nonempty) + bin_hi(last_nonempty)) / 2.0;
+}
+
+void Histogram::clear() noexcept {
+  std::fill(counts_.begin(), counts_.end(), 0);
+  total_ = 0;
 }
 
 std::string Histogram::render(std::size_t max_width) const {

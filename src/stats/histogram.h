@@ -15,6 +15,9 @@ class Histogram {
 
   void add(double x) noexcept;
   void merge(const Histogram& other);
+  /// Zero every count in place (capacity and layout kept — the per-round
+  /// LookupStats reset must not reallocate on the hot path).
+  void clear() noexcept;
 
   [[nodiscard]] std::size_t bins() const noexcept { return counts_.size(); }
   [[nodiscard]] std::uint64_t count(std::size_t bin) const { return counts_.at(bin); }

@@ -59,6 +59,12 @@ std::uint64_t SearchManager::start_search(Vertex initiator, ItemId item) {
   st.initiator = net().peer_at(initiator);
   st.start = net().round();
   st.deadline = st.start + timeout_;
+  if (TraceCollector* tc = net().trace_collector();
+      tc != nullptr && tc->sampled(sid)) {
+    st.trace = sid;
+    tc->record(make_trace_event(sid, st.start, initiator, 0, 0,
+                                RequestClass::kSearch, TraceEv::kBegin));
+  }
   status_[sid] = st;
   active_.push_back(sid);
 
@@ -72,8 +78,17 @@ std::uint64_t SearchManager::start_search(Vertex initiator, ItemId item) {
 void SearchManager::finish(std::uint64_t sid) {
   auto& st = status_[sid];
   st.finished = true;
-  if (const auto v = net().find_vertex(st.initiator)) {
-    initiator_[*v].erase(sid);
+  const auto v = net().find_vertex(st.initiator);
+  if (v) initiator_[*v].erase(sid);
+  if (st.trace != 0) {
+    // Span payload: detail = end-to-end latency in rounds; hop = rounds to
+    // locate a holder (the locate/fetch phase breakdown of the span).
+    const Round now = net().round();
+    const Round locate = st.located >= 0 ? st.located - st.start : 0;
+    net().trace_serial(make_trace_event(
+        st.trace, now, v ? *v : 0, now - st.start, locate,
+        RequestClass::kSearch,
+        st.fetch_ok ? TraceEv::kEndOk : TraceEv::kEndFail));
   }
 }
 
@@ -127,6 +142,11 @@ void SearchManager::on_round_begin() {
       // nodes that stay long enough, so this is a censored trial.
       st.initiator_churned = true;
       st.finished = true;
+      if (st.trace != 0) {
+        net().trace_serial(make_trace_event(st.trace, now, 0, now - st.start,
+                                            0, RequestClass::kSearch,
+                                            TraceEv::kEndCensored));
+      }
       continue;
     }
     const Vertex iv = *iv_slot;

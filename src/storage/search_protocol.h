@@ -43,6 +43,7 @@ struct SearchStatus {
   std::vector<std::uint8_t> fetched_data;  ///< the retrieved item content
   bool initiator_churned = false;
   bool finished = false;
+  std::uint64_t trace = 0;  ///< sampled trace id (obs/trace.h); 0 = untraced
 
   [[nodiscard]] bool succeeded_locate() const noexcept { return located >= 0; }
   [[nodiscard]] bool succeeded_fetch() const noexcept { return fetch_ok; }

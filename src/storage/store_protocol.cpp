@@ -29,6 +29,15 @@ bool StoreManager::store(Vertex creator, ItemId item,
     return false;
   }
   records_[item] = rec;
+  // Begin-only span: paper-stack stores have no acknowledgement to the
+  // creator (the committee owns the item from here), so the trace marks
+  // the request without a completion event.
+  const std::uint64_t tid = mix64(item ^ 0x73746f7265ULL) | 1;  // "store"
+  if (TraceCollector* tc = net().trace_collector();
+      tc != nullptr && tc->sampled(tid)) {
+    tc->record(make_trace_event(tid, rec.stored_round, creator, 0, 0,
+                                RequestClass::kStore, TraceEv::kBegin));
+  }
   return true;
 }
 

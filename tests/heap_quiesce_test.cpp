@@ -14,8 +14,10 @@
 
 #include "core/system.h"
 #include "net/network.h"
+#include "obs/trace.h"
 #include "shardcheck/shardcheck.h"
 #include "util/heap_sentinel.h"
+#include "util/rng.h"
 #include "util/thread_pool.h"
 #include "walk/token_soup.h"
 
@@ -73,6 +75,88 @@ INSTANTIATE_TEST_SUITE_P(Shards, HeapQuiesceSoup,
                          [](const auto& pinfo) {
                            return "S" + std::to_string(pinfo.param);
                          });
+
+TEST(HeapQuiesceTracing, InstalledAndSampledTracingStaysHeapQuiet) {
+  // The PR-9 heap-quiet contract with the tracer in the loop: a bound
+  // TraceCollector — first idle (installed, no spans crossing), then with
+  // a sampled event burst through BOTH the sharded lanes and the serial
+  // path every round — adds zero steady-state global-heap allocations.
+  // Lanes are arena-backed, the merged log keeps its capacity across
+  // rounds, and histogram adds are O(1) in preallocated bins.
+  if (!HeapQuiesceScope::supported()) {
+    GTEST_SKIP() << "sentinel unavailable: quiet() would be vacuous";
+  }
+  using churnstore::make_trace_event;
+  using churnstore::mix64;
+  using churnstore::RequestClass;
+  using churnstore::Round;
+  using churnstore::TraceCollector;
+  using churnstore::TraceEv;
+  using churnstore::TraceEvent;
+  using churnstore::Vertex;
+
+  for (const std::uint32_t shards : {1u, 16u}) {
+    SystemConfig cfg;
+    cfg.sim.n = 1024;
+    cfg.sim.seed = 7;
+    cfg.sim.shards = shards;
+    ThreadPool pool(0);
+    Network net(cfg.sim);
+    if (shards != 1) net.set_worker_pool(&pool);
+    TokenSoup soup(net, cfg.walk);
+
+    TraceCollector tc(cfg.sim.seed, /*sample_every=*/2);
+    tc.bind(net);
+    net.set_trace_collector(&tc);
+    std::uint64_t consumed = 0;
+    tc.set_consumer([&consumed](Round, const TraceEvent*, std::size_t count) {
+      consumed += count;  // deliberately allocation-free consumer
+    });
+
+    const auto traced_round = [&](std::uint64_t salt, bool emit) {
+      net.begin_round();
+      soup.step();
+      if (emit) {
+        for (std::uint64_t i = 0; i < 8; ++i) {
+          const std::uint64_t id = mix64(salt * 64 + i) | 1;
+          if (!tc.sampled(id)) continue;
+          net.trace_sharded(
+              static_cast<std::uint32_t>(i % net.shards().count()),
+              make_trace_event(id, net.round(), static_cast<Vertex>(i), 0, i,
+                               RequestClass::kWalkerProbe, TraceEv::kBegin));
+          net.trace_serial(
+              make_trace_event(id, net.round(), static_cast<Vertex>(i), 3, i,
+                               RequestClass::kWalkerProbe, TraceEv::kEndOk));
+        }
+      }
+      net.deliver();
+      tc.end_round(net.round());
+    };
+
+    // Warm-up: high-water marks for lanes, merged log, and soup queues.
+    for (std::uint32_t r = 0; r < 2 * soup.tau() + 8; ++r) {
+      traced_round(r, true);
+    }
+
+    {
+      const HeapQuiesceScope probe;
+      for (std::uint32_t r = 0; r < 32; ++r) traced_round(0, false);
+      EXPECT_TRUE(probe.quiet())
+          << "idle installed tracer allocated " << probe.delta().allocs
+          << " times at S=" << shards;
+    }
+    {
+      const std::uint64_t before = consumed;
+      const HeapQuiesceScope probe;
+      for (std::uint32_t r = 0; r < 32; ++r) traced_round(100 + r, true);
+      EXPECT_TRUE(probe.quiet())
+          << "sampled tracing allocated " << probe.delta().allocs
+          << " times at S=" << shards;
+      EXPECT_GT(consumed, before) << "no events crossed; the claim is vacuous";
+    }
+    net.set_trace_collector(nullptr);
+  }
+}
 
 TEST(HeapQuiesceStack, FullStackTrafficIsMeasuredNotAsserted) {
   // The paper stack's control plane (committee elections, landmark tree

@@ -1,0 +1,244 @@
+// Observability layer unit tests: the Metrics touched-vertex sweep is
+// exactly the old O(n) full sweep, trace sampling is a deterministic
+// function of (seed, id), the message-carried trace id is charged honestly,
+// TraceCollector drains spans into the right counters/histograms, and the
+// registry/exporter plumbing (snapshot order, ok gating, spec-key parsing,
+// per-cell file labels) behaves as documented.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <map>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "net/message.h"
+#include "net/metrics.h"
+#include "obs/export.h"
+#include "obs/registry.h"
+#include "obs/trace.h"
+#include "stats/histogram.h"
+#include "util/rng.h"
+
+namespace churnstore {
+namespace {
+
+TEST(MetricsTouchedSweep, ExactlyMatchesBruteForceFullSweep) {
+  // end_round sweeps only first-touched vertices; max and mean must equal
+  // the brute-force sweep over all n counters, bit for bit, across rounds
+  // with repeat charges, zero-bit charges, and sharded-local charging.
+  constexpr std::uint32_t kN = 257;
+  constexpr std::uint32_t kShards = 4;
+  Metrics m(kN, kShards);
+  Rng rng(99);
+  for (std::uint32_t round = 0; round < 20; ++round) {
+    std::vector<std::uint64_t> shadow(kN, 0);
+    // Serial charges, including repeats and explicit zero-bit no-ops.
+    for (int i = 0; i < 40; ++i) {
+      const auto v = static_cast<Vertex>(rng.next_below(kN));
+      const std::uint64_t bits = rng.next_below(3) == 0 ? 0 : rng.next_below(512);
+      m.charge_bits(v, bits);
+      shadow[v] += bits;
+    }
+    // Sharded-local charges: each vertex charged only by its owning shard
+    // (contiguous partition), mirroring the engine's contract.
+    for (int i = 0; i < 40; ++i) {
+      const auto v = static_cast<Vertex>(rng.next_below(kN));
+      const std::uint64_t bits = rng.next_below(256);
+      m.charge_bits_local(v, bits, v % kShards);
+      shadow[v] += bits;
+    }
+    std::uint64_t want_max = 0;
+    std::uint64_t want_sum = 0;
+    for (const std::uint64_t b : shadow) {
+      want_max = b > want_max ? b : want_max;
+      want_sum += b;
+    }
+    m.end_round();
+    EXPECT_EQ(m.last_round_max_bits(), want_max) << "round " << round;
+    EXPECT_DOUBLE_EQ(m.last_round_mean_bits(),
+                     static_cast<double>(want_sum) / static_cast<double>(kN))
+        << "round " << round;
+  }
+  EXPECT_EQ(m.rounds(), 20u);
+}
+
+TEST(MetricsTouchedSweep, CountersAreFullyResetBetweenRounds) {
+  // A vertex touched in round 1 but not round 2 must contribute zero in
+  // round 2 — the drain really zeroed its counter.
+  Metrics m(8, 2);
+  m.charge_bits(3, 100);
+  m.end_round();
+  EXPECT_EQ(m.last_round_max_bits(), 100u);
+  m.charge_bits(5, 7);
+  m.end_round();
+  EXPECT_EQ(m.last_round_max_bits(), 7u);
+  m.end_round();  // nothing touched at all
+  EXPECT_EQ(m.last_round_max_bits(), 0u);
+  EXPECT_DOUBLE_EQ(m.last_round_mean_bits(), 0.0);
+}
+
+TEST(TraceSampling, IsADeterministicFunctionOfSeedAndId) {
+  TraceCollector a(42, 4);
+  TraceCollector b(42, 4);
+  TraceCollector other_seed(43, 4);
+  std::uint64_t kept = 0;
+  bool seed_matters = false;
+  constexpr int kIds = 4096;
+  for (int i = 0; i < kIds; ++i) {
+    const std::uint64_t id = mix64(static_cast<std::uint64_t>(i)) | 1;
+    EXPECT_EQ(a.sampled(id), b.sampled(id));
+    kept += a.sampled(id);
+    seed_matters |= a.sampled(id) != other_seed.sampled(id);
+  }
+  // 1/4 sampling: the kept fraction concentrates near kIds/4.
+  EXPECT_GT(kept, kIds / 8u);
+  EXPECT_LT(kept, kIds / 2u);
+  EXPECT_TRUE(seed_matters) << "sampling ignored the seed";
+  // sample_every <= 1 keeps everything.
+  TraceCollector all(42, 1);
+  TraceCollector zero(42, 0);
+  for (int i = 0; i < 64; ++i) {
+    const std::uint64_t id = mix64(static_cast<std::uint64_t>(i)) | 1;
+    EXPECT_TRUE(all.sampled(id));
+    EXPECT_TRUE(zero.sampled(id));
+  }
+}
+
+TEST(MessageTraceId, IsChargedSixtyFourBitsWhenSet) {
+  Message m;
+  m.src = 1;
+  m.dst = 2;
+  m.type = MsgType::kProbe;
+  m.words = {7, 8};
+  m.payload_bits = 100;
+  const std::uint64_t untraced = m.size_bits();
+  m.trace_id = 0xdeadbeefULL;
+  EXPECT_EQ(m.size_bits(), untraced + 64)
+      << "a carried trace id must be paid for, not smuggled";
+  m.trace_id = 0;
+  EXPECT_EQ(m.size_bits(), untraced);
+}
+
+TEST(TraceCollector, EndRoundDrainsSpansIntoCountersAndHistograms) {
+  TraceCollector tc(7, 1);
+  std::vector<TraceEvent> seen;
+  tc.set_consumer([&seen](Round, const TraceEvent* ev, std::size_t n) {
+    seen.insert(seen.end(), ev, ev + n);
+  });
+
+  const auto cls = RequestClass::kSearch;
+  tc.record(make_trace_event(11, 5, 3, 0, 0, cls, TraceEv::kBegin));
+  tc.record(make_trace_event(11, 6, 4, kHopForward, 1, cls, TraceEv::kHop));
+  tc.record(make_trace_event(11, 9, 4, /*latency=*/4, /*hops=*/2, cls,
+                             TraceEv::kEndOk));
+  tc.record(make_trace_event(12, 9, 5, 0, 0, cls, TraceEv::kBegin));
+  tc.record(make_trace_event(12, 12, 0, 3, 0, cls, TraceEv::kEndFail));
+  tc.record(
+      make_trace_event(13, 12, 0, 1, 0, cls, TraceEv::kEndCensored));
+  tc.end_round(12);
+
+  EXPECT_EQ(tc.spans_begun(cls), 2u);
+  EXPECT_EQ(tc.spans_ok(cls), 1u);
+  EXPECT_EQ(tc.spans_failed(cls), 1u);
+  EXPECT_EQ(tc.spans_censored(cls), 1u);
+  EXPECT_EQ(tc.events_recorded(), 6u);
+  // Only kEndOk feeds the latency/hop histograms (failed/censored spans
+  // would bias the tail downward).
+  EXPECT_EQ(tc.latency(cls).total(), 1u);
+  EXPECT_EQ(tc.hops(cls).total(), 1u);
+  EXPECT_NEAR(tc.latency(cls).quantile(0.5), 4.0, 0.5);
+  EXPECT_NEAR(tc.hops(cls).quantile(0.5), 2.0, 0.5);
+  ASSERT_EQ(seen.size(), 6u);
+  EXPECT_EQ(seen[0].trace_id, 11u);
+  EXPECT_EQ(seen[2].ev, static_cast<std::uint8_t>(TraceEv::kEndOk));
+
+  // The merged log is cleared between rounds: a new round drains only its
+  // own events.
+  seen.clear();
+  tc.record(make_trace_event(14, 13, 1, 0, 0, cls, TraceEv::kBegin));
+  tc.end_round(13);
+  EXPECT_EQ(seen.size(), 1u);
+  EXPECT_EQ(tc.spans_begun(cls), 3u);
+}
+
+TEST(TraceEventLayout, StaysPackedAndRoundTripsFields) {
+  static_assert(sizeof(TraceEvent) == 24);
+  const TraceEvent e = make_trace_event(
+      0xffffffffffffffffULL, 0x11223344, 0xaabbccdd, 0x55667788,
+      /*hop=*/0x12345, RequestClass::kWalkerProbe, TraceEv::kEndOk);
+  EXPECT_EQ(e.trace_id, 0xffffffffffffffffULL);
+  EXPECT_EQ(e.round, 0x11223344u);
+  EXPECT_EQ(e.vertex, 0xaabbccddu);
+  EXPECT_EQ(e.detail, 0x55667788u);
+  EXPECT_EQ(e.hop, 0xffffu) << "hop must clamp, not wrap";
+  EXPECT_EQ(e.cls, static_cast<std::uint8_t>(RequestClass::kWalkerProbe));
+}
+
+TEST(MetricsRegistry, SnapshotPreservesOrderAndGatesValidity) {
+  MetricsRegistry reg;
+  int calls = 0;
+  reg.add("a", [&calls] { return static_cast<double>(++calls); });
+  reg.add_gated("b.unavailable", [] { return 123.0; }, [] { return false; });
+  Histogram h(0.0, 10.0, 10);
+  reg.add_histogram("h", &h);
+
+  auto snap = reg.snapshot();
+  ASSERT_EQ(snap.size(), 2u + 5u);
+  EXPECT_EQ(snap[0].name, "a");
+  EXPECT_TRUE(snap[0].ok);
+  EXPECT_EQ(snap[1].name, "b.unavailable");
+  EXPECT_FALSE(snap[1].ok) << "gated source must read not-ok, never 0";
+  EXPECT_EQ(snap[2].name, "h.p50");
+  EXPECT_FALSE(snap[2].ok) << "empty histogram quantiles are not data";
+  EXPECT_EQ(snap[6].name, "h.count");
+  EXPECT_TRUE(snap[6].ok);
+  EXPECT_EQ(snap[6].value, 0.0);
+
+  for (int i = 0; i < 10; ++i) h.add(i + 0.5);
+  snap = reg.snapshot();
+  EXPECT_TRUE(snap[2].ok);
+  EXPECT_NEAR(snap[2].value, 5.5, 1.0);
+  EXPECT_EQ(snap[6].value, 10.0);
+}
+
+TEST(ObsConfig, ParsesSpecKeysAndRejectsUnknownModes) {
+  using Extras = std::map<std::string, std::string>;
+  EXPECT_EQ(obs_config_from_extras(Extras{}).mode, ObsConfig::Mode::kNone);
+  EXPECT_EQ(obs_config_from_extras(Extras{{"obs", "off"}}).mode,
+            ObsConfig::Mode::kNone);
+
+  const ObsConfig j = obs_config_from_extras(Extras{{"obs", "jsonl"},
+                                                    {"obs-file", "x.jsonl"},
+                                                    {"trace-sample", "8"},
+                                                    {"obs-host", "0"}});
+  EXPECT_EQ(j.mode, ObsConfig::Mode::kJsonl);
+  EXPECT_EQ(j.path, "x.jsonl");
+  EXPECT_EQ(j.sample_every, 8u);
+  EXPECT_FALSE(j.host_metrics);
+
+  const ObsConfig c = obs_config_from_extras(Extras{{"obs", "chrome"}});
+  EXPECT_EQ(c.mode, ObsConfig::Mode::kChrome);
+  EXPECT_TRUE(c.host_metrics);
+  EXPECT_EQ(c.sample_every, 1u);
+
+  EXPECT_THROW((void)obs_config_from_extras(Extras{{"obs", "csv"}}),
+               std::invalid_argument);
+  EXPECT_THROW((void)obs_config_from_extras(
+                   Extras{{"obs", "jsonl"}, {"trace-sample", "-1"}}),
+               std::invalid_argument);
+}
+
+TEST(ObsPathLabel, InsertsTheLabelBeforeTheExtension) {
+  EXPECT_EQ(obs_path_with_label("obs.jsonl", "net.n256"),
+            "obs.net.n256.jsonl");
+  EXPECT_EQ(obs_path_with_label("out/obs_trace.json", "s16"),
+            "out/obs_trace.s16.json");
+  EXPECT_EQ(obs_path_with_label("noext", "a"), "noext.a");
+  EXPECT_EQ(obs_path_with_label("dir.v1/noext", "a"), "dir.v1/noext.a")
+      << "a dot in a directory name is not an extension";
+  EXPECT_EQ(obs_path_with_label("obs.jsonl", ""), "obs.jsonl");
+}
+
+}  // namespace
+}  // namespace churnstore

@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 #include <vector>
 
 #include "stats/divergence.h"
@@ -89,6 +90,46 @@ TEST(Histogram, BinningAndQuantile) {
   for (std::size_t b = 0; b < 10; ++b) EXPECT_EQ(h.count(b), 1u);
   EXPECT_NEAR(h.quantile(0.05), 0.5, 1e-9);
   EXPECT_NEAR(h.quantile(0.95), 9.5, 1e-9);
+}
+
+TEST(Histogram, QuantileEdgeCases) {
+  // Empty histogram: no mass, return the low bound rather than reading
+  // past the bins.
+  Histogram empty(0, 10, 10);
+  EXPECT_EQ(empty.quantile(0.5), 0.0);
+  EXPECT_EQ(empty.quantile(1.0), 0.0);
+
+  // All mass in the clamped edge bins.
+  Histogram edges(0, 10, 5);
+  edges.add(-100);  // clamps to bin 0
+  edges.add(100);   // clamps to bin 4
+  EXPECT_NEAR(edges.quantile(0.0), 1.0, 1e-9);   // mid of [0,2)
+  EXPECT_NEAR(edges.quantile(1.0), 9.0, 1e-9);   // mid of [8,10)
+
+  Histogram h(0, 10, 10);
+  for (int i = 0; i < 10; ++i) h.add(i + 0.5);
+  // q=0 is the minimum observation's bin; q=1 is the maximum's bin, even
+  // when the top bins are empty — never the histogram's hi bound.
+  EXPECT_NEAR(h.quantile(0.0), 0.5, 1e-9);
+  EXPECT_NEAR(h.quantile(1.0), 9.5, 1e-9);
+  Histogram low(0, 100, 100);
+  low.add(3.5);
+  EXPECT_NEAR(low.quantile(1.0), 3.5, 1e-9)
+      << "q=1 must find the last non-empty bin, not return hi";
+
+  // Out-of-range and NaN q clamp instead of indexing garbage.
+  EXPECT_NEAR(h.quantile(-0.5), h.quantile(0.0), 1e-9);
+  EXPECT_NEAR(h.quantile(1.5), h.quantile(1.0), 1e-9);
+  EXPECT_NEAR(h.quantile(std::numeric_limits<double>::quiet_NaN()),
+              h.quantile(0.0), 1e-9);
+
+  // clear() empties counts but keeps the binning.
+  h.clear();
+  EXPECT_EQ(h.total(), 0u);
+  EXPECT_EQ(h.quantile(0.5), 0.0);
+  h.add(4.5);
+  EXPECT_EQ(h.total(), 1u);
+  EXPECT_NEAR(h.quantile(0.5), 4.5, 1e-9);
 }
 
 TEST(Histogram, ClampsOutOfRange) {
